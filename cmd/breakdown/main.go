@@ -1,0 +1,99 @@
+// Command breakdown reproduces the step-time profile figures:
+//
+//	-app deepcam   Fig 9:  Cori V100/A100, small set, batch 4
+//	-app cosmoflow Fig 12: Summit + Cori-V100, small set, batch 4
+//
+// Each row is one pipeline variant's per-sample stage profile: storage
+// read, host CPU preprocessing, host-to-device transfer, on-device decode,
+// model compute, and gradient allreduce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"scipp/internal/bench"
+	"scipp/internal/core"
+	"scipp/internal/pipeline"
+	"scipp/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("breakdown: ")
+	app := flag.String("app", "deepcam", "deepcam (Fig 9) or cosmoflow (Fig 12)")
+	scale := flag.Float64("scale", 0.5, "calibration fraction of paper-scale sample dims")
+	des := flag.Bool("des", false, "also run the discrete-event node simulation and print per-resource busy fractions")
+	flag.Parse()
+
+	var rows []bench.BreakdownRow
+	var err error
+	var title string
+	switch *app {
+	case "deepcam":
+		rows, err = bench.Fig9(*scale)
+		title = "FIG 9: DeepCAM per-sample time breakdown, Cori V100/A100, small set, batch 4"
+	case "cosmoflow":
+		rows, err = bench.Fig12(*scale)
+		title = "FIG 12: CosmoFlow per-sample time breakdown, Summit + Cori-V100, small set, batch 4"
+	default:
+		log.Fatalf("unknown -app %q", *app)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatBreakdown(title, rows))
+	if *des {
+		printDES(*app, *scale)
+	}
+}
+
+// printDES runs the queueing simulation for the baseline and GPU-plugin
+// pipelines and prints resource utilizations — the emergent version of the
+// paper's "the base version underutilizes the GPU" observation.
+func printDES(app string, scale float64) {
+	coreApp := core.DeepCAM
+	if app == "cosmoflow" {
+		coreApp = core.CosmoFlow
+	}
+	m, err := bench.Calibrate(coreApp, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("DISCRETE-EVENT NODE SIMULATION (30 steps, batch 4, small staged set)")
+	for _, p := range platform.All() {
+		samples := bench.DeepCAMSmallPerNode
+		if coreApp == core.CosmoFlow {
+			samples = bench.CosmoSmallPerGPU * p.GPUsPerNode
+		}
+		for _, v := range []struct {
+			name string
+			enc  core.Encoding
+			plug pipeline.Plugin
+		}{
+			{"base", core.Baseline, pipeline.CPUPlugin},
+			{"gpu-plugin", core.Plugin, pipeline.GPUPlugin},
+		} {
+			res, err := bench.SimulateNode(bench.Scenario{
+				Platform: p, Model: m, Enc: v.enc, Plugin: v.plug,
+				SamplesPerNode: samples, Staged: true, Batch: 4, Epoch: 1,
+			}, 30, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			keys := make([]string, 0, len(res.Busy))
+			for k := range res.Busy {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Printf("  %-10s %-11s node=%6.0f/s busy:", p.Name, v.name, res.Node)
+			for _, k := range []string{"storage", "cpu0", "link0", "gpu0"} {
+				fmt.Printf(" %s=%3.0f%%", k, 100*res.Busy[k])
+			}
+			fmt.Println()
+		}
+	}
+}

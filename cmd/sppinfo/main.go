@@ -1,0 +1,41 @@
+// Command sppinfo prints the modeled system architecture (Table I), the
+// software-environment metadata (Table II), and the calibrated per-sample
+// workload models for both applications.
+//
+// Usage:
+//
+//	sppinfo [-scale 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"scipp/internal/bench"
+	"scipp/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sppinfo: ")
+	scale := flag.Float64("scale", 0.5, "calibration fraction of paper-scale sample dimensions (0,1]")
+	flag.Parse()
+
+	fmt.Println(bench.TableI())
+	fmt.Println(bench.TableII())
+
+	fmt.Println("CALIBRATED PER-SAMPLE WORKLOAD MODELS (paper-scale bytes)")
+	for _, app := range []core.App{core.DeepCAM, core.CosmoFlow} {
+		m, err := bench.Calibrate(app, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s raw-fp32=%6.1fMB stored=%6.1fMB gzip=%6.1fMB plugin=%6.1fMB decoded-fp16=%6.1fMB\n",
+			app, mb(m.RawF32Bytes), mb(m.StoredBytes), mb(m.GzipBytes), mb(m.PluginBytes), mb(m.DecodedBytes))
+		fmt.Printf("%-10s plugin ratio vs stored: %.2fx, gzip ratio: %.2fx\n",
+			"", float64(m.StoredBytes)/float64(m.PluginBytes), float64(m.StoredBytes)/float64(m.GzipBytes))
+	}
+}
+
+func mb(b int) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,109 @@
+// Command throughput reproduces the throughput figures:
+//
+//	-app deepcam              Fig 8  (platforms x sets x staging x batch)
+//	-app cosmoflow -set small Fig 10 (128 samples/GPU)
+//	-app cosmoflow -set large Fig 11 (2048 samples/GPU)
+//	-summary                  headline speedups across all sweeps
+//
+// Node throughput is samples/s for a full node, as the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"scipp/internal/bench"
+	"scipp/internal/core"
+	"scipp/internal/pipeline"
+	"scipp/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("throughput: ")
+	app := flag.String("app", "deepcam", "deepcam (Fig 8) or cosmoflow (Figs 10/11)")
+	set := flag.String("set", "small", "cosmoflow set: small or large")
+	scale := flag.Float64("scale", 0.5, "calibration fraction of paper-scale sample dims")
+	summary := flag.Bool("summary", false, "print headline speedups instead of full tables")
+	scaleout := flag.Bool("scaleout", false, "print a multi-node weak-scaling projection instead")
+	flag.Parse()
+
+	if *scaleout {
+		printScaleOut(*app, *scale)
+		return
+	}
+
+	if *summary {
+		h, err := bench.Headlines(*scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("HEADLINES (paper: DeepCAM up to ~3x, CosmoFlow up to ~10x, gzip up to ~1.5x slower)\n")
+		fmt.Printf("  DeepCAM small-set max GPU-plugin speedup: %5.2fx (%s)\n", h.DeepCAMSmallSetSpeedup, h.DeepCAMBestPlatform)
+		fmt.Printf("  DeepCAM sweep max (caching-amplified):    %5.2fx (see EXPERIMENTS.md)\n", h.DeepCAMCachingAmplifiedMax)
+		fmt.Printf("  CosmoFlow max GPU-plugin speedup:         %5.2fx (%s)\n", h.CosmoMaxSpeedup, h.CosmoBestPlatform)
+		fmt.Printf("  gzip worst slowdown vs base:              %5.2fx\n", h.GzipWorstSlowdown)
+		return
+	}
+
+	switch *app {
+	case "deepcam":
+		rows, err := bench.Fig8(*scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.SortRows(rows)
+		fmt.Print(bench.FormatThroughput(
+			"FIG 8: DeepCAM node throughput (samples/s), base vs CPU/GPU decoder plugins", rows))
+	case "cosmoflow":
+		var rows []bench.ThroughputRow
+		var err error
+		var title string
+		if *set == "large" {
+			rows, err = bench.Fig11(*scale)
+			title = "FIG 11: CosmoFlow node throughput, large set (2048 samples/GPU)"
+		} else {
+			rows, err = bench.Fig10(*scale)
+			title = "FIG 10: CosmoFlow node throughput, small set (128 samples/GPU)"
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.SortRows(rows)
+		fmt.Print(bench.FormatThroughput(title, rows))
+	default:
+		log.Fatalf("unknown -app %q", *app)
+	}
+}
+
+// printScaleOut projects weak scaling of the GPU-plugin pipeline across
+// nodes for every platform — the beyond-single-node exploration of §X.
+func printScaleOut(app string, scale float64) {
+	coreApp := core.DeepCAM
+	if app == "cosmoflow" {
+		coreApp = core.CosmoFlow
+	}
+	m, err := bench.Calibrate(coreApp, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := []int{1, 2, 4, 16, 64, 256, 1024}
+	for _, p := range platform.All() {
+		samples := bench.DeepCAMSmallPerNode
+		if coreApp == core.CosmoFlow {
+			samples = bench.CosmoSmallPerGPU * p.GPUsPerNode
+		}
+		rows, err := bench.ScaleOut(bench.Scenario{
+			Platform: p, Model: m, Enc: core.Plugin, Plugin: pipeline.GPUPlugin,
+			SamplesPerNode: samples, Staged: true, Batch: 4, Epoch: 1,
+		}, nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatScaleOut(
+			fmt.Sprintf("WEAK SCALING PROJECTION: %s GPU-plugin on %s (inter-node ring at %.0f GB/s injection)",
+				coreApp, p.Name, p.InjectionGBs), rows))
+		fmt.Println()
+	}
+}

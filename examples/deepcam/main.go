@@ -1,0 +1,108 @@
+// DeepCAM pipeline example: build a small encoded climate dataset, run the
+// three pipeline variants the paper compares (baseline CPU preprocessing,
+// CPU decoder plugin, simulated-GPU decoder plugin), and show both the real
+// decoded batches and the modeled node throughput for the paper-scale
+// configuration on all three platforms.
+//
+//	go run ./examples/deepcam
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scipp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := scipp.DefaultClimateConfig()
+	cfg.Channels, cfg.Height, cfg.Width = 8, 96, 144
+	const n = 12
+
+	fmt.Println("building datasets (baseline HDF5-like vs plugin-encoded)...")
+	base, err := scipp.BuildClimateDataset(cfg, n, scipp.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plug, err := scipp.BuildClimateDataset(cfg, n, scipp.PluginEncoding)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d samples, baseline %.1f MB, plugin-encoded %.1f MB\n\n",
+		n, mb(base.EncodedBytes()), mb(plug.EncodedBytes()))
+
+	summit := mustPlatform("Summit")
+	variants := []struct {
+		name string
+		ds   *scipp.MemDataset
+		cfg  scipp.LoaderConfig
+	}{
+		{"baseline (CPU preprocess, FP32)", base, scipp.LoaderConfig{
+			App: scipp.DeepCAM, Encoding: scipp.Baseline, Plugin: scipp.CPUPlugin, Batch: 4}},
+		{"CPU decoder plugin (FP16)", plug, scipp.LoaderConfig{
+			App: scipp.DeepCAM, Encoding: scipp.PluginEncoding, Plugin: scipp.CPUPlugin, Batch: 4}},
+		{"GPU decoder plugin (FP16, simulated V100)", plug, scipp.LoaderConfig{
+			App: scipp.DeepCAM, Encoding: scipp.PluginEncoding, Plugin: scipp.GPUPlugin,
+			Platform: summit, Batch: 4}},
+	}
+	for _, v := range variants {
+		loader, err := scipp.NewLoader(v.ds, v.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		it := loader.Epoch(0)
+		batches, samples := 0, 0
+		var first *scipp.Batch
+		for {
+			b, err := it.Next()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if b == nil {
+				break
+			}
+			if first == nil {
+				first = b
+			}
+			batches++
+			samples += b.Size()
+		}
+		fmt.Printf("%-42s %d batches, %d samples, sample dtype %v shape %v\n",
+			v.name, batches, samples, first.Data[0].DT, first.Data[0].Shape)
+	}
+
+	// Modeled paper-scale throughput (Fig 8's batch-4, small staged cell).
+	fmt.Println("\nmodeled node throughput at paper scale (small staged set, batch 4):")
+	m, err := scipp.Calibrate(scipp.DeepCAM, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range scipp.Platforms() {
+		baseR, err := scipp.Simulate(scipp.Scenario{
+			Platform: p, Model: m, Enc: scipp.Baseline,
+			SamplesPerNode: 1536, Staged: true, Batch: 4, Epoch: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		plugR, err := scipp.Simulate(scipp.Scenario{
+			Platform: p, Model: m, Enc: scipp.PluginEncoding, Plugin: scipp.GPUPlugin,
+			SamplesPerNode: 1536, Staged: true, Batch: 4, Epoch: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s base %6.0f samples/s (%s-bound) -> gpu-plugin %6.0f samples/s (%s-bound), %.2fx\n",
+			p.Name, baseR.Node, baseR.Bound, plugR.Node, plugR.Bound, plugR.Node/baseR.Node)
+	}
+}
+
+func mustPlatform(name string) scipp.Platform {
+	p, err := scipp.PlatformByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func mb(b int) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,74 @@
+// Simulation example: drive the performance-model layer from the public
+// API — the closed-form node pipeline model, the discrete-event validation
+// with per-resource utilizations, and the multi-node weak-scaling
+// projection. All of Figs 8-12's machinery, scriptable.
+//
+//	go run ./examples/simulate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scipp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	m, err := scipp.Calibrate(scipp.CosmoFlow, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CosmoFlow on the three Table I platforms (small staged set, batch 4):")
+	fmt.Printf("%-10s %12s %12s %9s %20s\n", "platform", "base/s", "plugin/s", "speedup", "plugin utilization")
+	for _, p := range scipp.Platforms() {
+		samples := 128 * p.GPUsPerNode
+		base := mustSim(scipp.Scenario{
+			Platform: p, Model: m, Enc: scipp.Baseline,
+			SamplesPerNode: samples, Staged: true, Batch: 4, Epoch: 1,
+		})
+		plug := mustSim(scipp.Scenario{
+			Platform: p, Model: m, Enc: scipp.PluginEncoding, Plugin: scipp.GPUPlugin,
+			SamplesPerNode: samples, Staged: true, Batch: 4, Epoch: 1,
+		})
+		// Validate the closed form with the event simulation and report
+		// where the time actually goes.
+		des, err := scipp.SimulateNode(scipp.Scenario{
+			Platform: p, Model: m, Enc: scipp.PluginEncoding, Plugin: scipp.GPUPlugin,
+			SamplesPerNode: samples, Staged: true, Batch: 4, Epoch: 1,
+		}, 30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.0f %12.0f %8.2fx  gpu=%3.0f%% cpu=%3.0f%% link=%3.0f%%\n",
+			p.Name, base.Node, plug.Node, plug.Node/base.Node,
+			100*des.Busy["gpu0"], 100*des.Busy["cpu0"], 100*des.Busy["link0"])
+	}
+
+	// Weak-scaling projection for the plugin pipeline on Summit.
+	summit, err := scipp.PlatformByName("Summit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := scipp.ScaleOut(scipp.Scenario{
+		Platform: summit, Model: m, Enc: scipp.PluginEncoding, Plugin: scipp.GPUPlugin,
+		SamplesPerNode: 128 * summit.GPUsPerNode, Staged: true, Batch: 4, Epoch: 1,
+	}, []int{1, 4, 16, 64, 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nweak scaling of the GPU-plugin pipeline on Summit:")
+	fmt.Printf("%8s %14s %12s\n", "nodes", "samples/s", "efficiency")
+	for _, r := range rows {
+		fmt.Printf("%8d %14.0f %11.1f%%\n", r.Nodes, r.Throughput, 100*r.Efficiency)
+	}
+}
+
+func mustSim(sc scipp.Scenario) scipp.StepResult {
+	r, err := scipp.Simulate(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

@@ -1,0 +1,3 @@
+module scipp
+
+go 1.22

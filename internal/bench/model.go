@@ -1,0 +1,245 @@
+// Package bench is the experiment harness: it calibrates per-sample
+// workload models from the real codecs on real synthetic data, runs the
+// node-pipeline performance model over the Table I platforms, and formats
+// the rows/series of every table and figure in the paper's evaluation
+// (Tables I-II, Figs 5-12).
+//
+// Absolute times are modeled (the substrate is a simulator, §DESIGN); the
+// calibration constants are chosen once, globally, to reproduce the paper's
+// *relationships*: who wins, by what factor, and where the crossovers fall.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"scipp/internal/codec"
+	"scipp/internal/codec/deltafp"
+	"scipp/internal/codec/gzipc"
+	"scipp/internal/codec/lut"
+	"scipp/internal/core"
+	"scipp/internal/synthetic"
+)
+
+// AppModel holds the calibrated per-sample workload of one application at
+// paper scale. Sizes are measured by running the real encoders on real
+// synthetic samples (at a reduced spatial scale, then extrapolated
+// linearly in voxel/pixel count); compute constants are the model.
+type AppModel struct {
+	App core.App
+
+	// Per-sample sizes in bytes at paper scale.
+	RawF32Bytes  int // FP32 tensor the baseline materializes and ships H2D
+	StoredBytes  int // baseline on-disk encoded size (HDF5-ish / int16 record)
+	GzipBytes    int // gzip-compressed stored size
+	PluginBytes  int // domain-encoded size
+	DecodedBytes int // FP16 plugin decode output
+
+	// DecodeWorkload is the plugin decode cost profile scaled to paper size.
+	DecodeWorkload codec.Workload
+
+	// PreprocOps counts per-value preprocessing operations the baseline CPU
+	// path performs (the per-voxel log for CosmoFlow; ~0 for DeepCAM).
+	PreprocOps int
+
+	// ComputeFLOPs is the fwd+bwd cost per sample under mixed precision.
+	ComputeFLOPs float64
+	// StepOverheadSec is the per-optimizer-step framework overhead,
+	// amortized over the batch.
+	StepOverheadSec float64
+	// GradBytes is the FP16 gradient volume allreduced per step.
+	GradBytes int
+}
+
+// Paper-scale dimensions.
+const (
+	deepcamC, deepcamH, deepcamW = 16, 768, 1152
+	cosmoDim                     = 128
+)
+
+// Model compute constants (see DESIGN.md §1: calibration constants).
+const (
+	// deepcamFLOPs places the V100 DeepCAM step at ~8 ms/sample under the
+	// mixed-precision efficiencies below, so the Cori baselines are
+	// IO/CPU-bound — the regime §IX-A measures (the baseline does not
+	// improve from V100 to A100).
+	deepcamFLOPs   = 2.7e11
+	cosmoFLOPs     = 4.0e11
+	deepcamOvhSec  = 6e-3
+	cosmoOvhSec    = 3e-3
+	deepcamGradMB  = 120 // DeepLabv3+-class model, FP16 gradients
+	cosmoGradMB    = 16
+	logOpsPerValue = 1 // one transcendental per voxel in the baseline
+)
+
+var (
+	calMu    sync.Mutex
+	calCache = map[string]AppModel{}
+)
+
+// Calibrate measures an AppModel by generating one representative sample at
+// `scale` of the paper dimensions (scale 1 = full size; tests use ~0.25),
+// running the real encoders over it, and extrapolating sizes linearly to
+// paper scale. Results are cached per (app, scale).
+func Calibrate(app core.App, scale float64) (AppModel, error) {
+	if scale <= 0 || scale > 1 {
+		return AppModel{}, fmt.Errorf("bench: scale %g out of (0,1]", scale)
+	}
+	key := fmt.Sprintf("%v-%g", app, scale)
+	calMu.Lock()
+	defer calMu.Unlock()
+	if m, ok := calCache[key]; ok {
+		return m, nil
+	}
+	var m AppModel
+	var err error
+	if app == core.CosmoFlow {
+		m, err = calibrateCosmo(scale)
+	} else {
+		m, err = calibrateDeepCAM(scale)
+	}
+	if err != nil {
+		return AppModel{}, err
+	}
+	calCache[key] = m
+	return m, nil
+}
+
+func calibrateDeepCAM(scale float64) (AppModel, error) {
+	cfg := synthetic.DefaultClimateConfig()
+	cfg.Height = snap4(float64(deepcamH) * scale)
+	cfg.Width = snap4(float64(deepcamW) * scale)
+	s, err := synthetic.GenerateClimate(cfg, 0)
+	if err != nil {
+		return AppModel{}, err
+	}
+	blob, err := deltafp.Encode(s.Data, deltafp.Options{})
+	if err != nil {
+		return AppModel{}, err
+	}
+	cd, err := deltafp.Format().Open(blob)
+	if err != nil {
+		return AppModel{}, err
+	}
+	h5, err := core.BuildClimateDataset(cfg, 1, core.Baseline)
+	if err != nil {
+		return AppModel{}, err
+	}
+	gz, err := gzipc.Encode(h5.Blobs[0], 1) // fast level: parity with TFRecordOptions defaults
+	if err != nil {
+		return AppModel{}, err
+	}
+
+	nScaled := cfg.Channels * cfg.Height * cfg.Width
+	nFull := deepcamC * deepcamH * deepcamW
+	f := float64(nFull) / float64(nScaled)
+	wl := cd.Workload()
+	m := AppModel{
+		App:          core.DeepCAM,
+		RawF32Bytes:  4 * nFull,
+		StoredBytes:  scaleInt(len(h5.Blobs[0]), f),
+		GzipBytes:    scaleInt(len(gz), f),
+		PluginBytes:  scaleInt(len(blob), f),
+		DecodedBytes: 2 * nFull,
+		DecodeWorkload: codec.Workload{
+			BytesIn:   scaleInt(wl.BytesIn, f),
+			BytesOut:  2 * nFull,
+			Ops:       scaleInt(wl.Ops, f),
+			Chunks:    scaleInt(wl.Chunks, f),
+			Divergent: scaleInt(wl.Divergent, f),
+		},
+		PreprocOps:      0,
+		ComputeFLOPs:    deepcamFLOPs,
+		StepOverheadSec: deepcamOvhSec,
+		GradBytes:       deepcamGradMB << 20,
+	}
+	return m, nil
+}
+
+func calibrateCosmo(scale float64) (AppModel, error) {
+	cfg := synthetic.DefaultCosmoConfig()
+	cfg.Dim = snap8(float64(cosmoDim) * scale)
+	s, err := synthetic.GenerateCosmo(cfg, 0)
+	if err != nil {
+		return AppModel{}, err
+	}
+	rec := synthetic.CosmoToRecord(s)
+	blob, err := lut.Encode(s.Channels, s.Dim)
+	if err != nil {
+		return AppModel{}, err
+	}
+	cd, err := lut.Format().Open(blob)
+	if err != nil {
+		return AppModel{}, err
+	}
+	gz, err := gzipc.Encode(rec, 1)
+	if err != nil {
+		return AppModel{}, err
+	}
+
+	nScaled := 4 * cfg.Dim * cfg.Dim * cfg.Dim
+	nFull := 4 * cosmoDim * cosmoDim * cosmoDim
+	f := float64(nFull) / float64(nScaled)
+	wl := cd.Workload()
+	// LUT blobs split into per-voxel keys (scale linearly with volume) and
+	// group tables (grow sublinearly — the paper-scale group count stays in
+	// the tens of thousands regardless of volume, Fig 5c). Extrapolating
+	// the whole blob linearly would overstate the table share, so split.
+	st, err := lut.BlobStats(blob)
+	if err != nil {
+		return AppModel{}, err
+	}
+	tableBytes := st.Groups * 8
+	keyBytes := len(blob) - tableBytes
+	pluginFull := scaleInt(keyBytes, f) + tableBytes
+	m := AppModel{
+		App:          core.CosmoFlow,
+		RawF32Bytes:  4 * nFull,
+		StoredBytes:  scaleInt(len(rec), f),
+		GzipBytes:    scaleInt(len(gz), f),
+		PluginBytes:  pluginFull,
+		DecodedBytes: 2 * nFull,
+		DecodeWorkload: codec.Workload{
+			BytesIn:   scaleInt(wl.BytesIn, f),
+			BytesOut:  2 * nFull,
+			Ops:       scaleInt(wl.Ops, f),
+			Chunks:    scaleInt(wl.Chunks, f),
+			Divergent: 0,
+		},
+		PreprocOps:      logOpsPerValue * nFull,
+		ComputeFLOPs:    cosmoFLOPs,
+		StepOverheadSec: cosmoOvhSec,
+		GradBytes:       cosmoGradMB << 20,
+	}
+	return m, nil
+}
+
+func scaleInt(v int, f float64) int { return int(float64(v) * f) }
+
+func snap4(v float64) int {
+	n := int(v+3) / 4 * 4
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+func snap8(v float64) int {
+	n := int(v+7) / 8 * 8
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// BytesFor returns the on-disk sample size under an encoding.
+func (m AppModel) BytesFor(enc core.Encoding) int {
+	switch enc {
+	case core.Gzip:
+		return m.GzipBytes
+	case core.Plugin:
+		return m.PluginBytes
+	default:
+		return m.StoredBytes
+	}
+}

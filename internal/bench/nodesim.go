@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"scipp/internal/core"
+	"scipp/internal/dist"
+	"scipp/internal/gpusim"
+	"scipp/internal/iosim"
+	"scipp/internal/pipeline"
+	"scipp/internal/trace"
+)
+
+// NodeSimResult is the outcome of a discrete-event simulation of training
+// steps on one node. Unlike Simulate's closed-form steady state (throughput
+// = slowest stage), the DES models queueing on the shared resources
+// (storage, PCIe switch groups), finite prefetch, the cold pipeline fill,
+// and the allreduce barrier at every step — so bandwidth sharing and
+// overlap are emergent rather than assumed.
+type NodeSimResult struct {
+	TotalSec float64
+	// Node is the aggregate steady throughput in samples/s.
+	Node float64
+	// Busy maps resource name to its busy fraction of the total span.
+	Busy map[string]float64
+}
+
+// SimulateNode runs `steps` synchronous training steps of the scenario
+// through the event model. If tl is non-nil it receives every activity
+// (resources: "storage", "link<g>", "cpu<g>", "gpu<g>").
+func SimulateNode(sc Scenario, steps int, tl *trace.Timeline) (NodeSimResult, error) {
+	if steps <= 0 {
+		return NodeSimResult{}, fmt.Errorf("bench: steps must be positive")
+	}
+	// Reuse the closed-form per-sample service times; the DES composes them
+	// with explicit queueing instead of a max().
+	closed, err := Simulate(sc)
+	if err != nil {
+		return NodeSimResult{}, err
+	}
+	p := sc.Platform
+	g := p.GPUsPerNode
+	node := iosim.Node{P: p}
+	ds := iosim.Dataset{
+		Samples:     sc.SamplesPerNode,
+		SampleBytes: sc.Model.BytesFor(sc.Enc),
+		Staged:      sc.Staged,
+	}
+	level := node.ResidentLevel(ds, sc.Epoch)
+	// Service times at FULL resource speed: sharing emerges from queueing.
+	tRead := node.ReadTime(ds, level, 1)
+	tCPU := closed.Stages.CPU // per-sample with the GPU's worker pool
+	h2dBytes := sc.Model.RawF32Bytes
+	switch {
+	case sc.Enc == core.Plugin && sc.Plugin == pipeline.GPUPlugin:
+		h2dBytes = sc.Model.PluginBytes
+	case sc.Enc == core.Plugin:
+		h2dBytes = sc.Model.DecodedBytes
+	}
+	tH2D := gpusim.CopyTime(p.Link, h2dBytes*sc.Batch, 1) / float64(sc.Batch)
+	tGPU := closed.Stages.GPUDecode + closed.Stages.GPUCompute
+	ring := dist.RingTime(sc.Model.GradBytes, g, p.CollectiveGBs, 30e-6)
+
+	prefetch := 2 * sc.Batch
+	nGroups := (g + p.Link.ShareGroup - 1) / p.Link.ShareGroup
+
+	var availStorage float64
+	availLink := make([]float64, nGroups)
+	availCPU := make([]float64, g)
+	availGPU := make([]float64, g)
+	// gpuDone[g][j] is when sample j of GPU g finished its GPU stage; used
+	// for the prefetch window.
+	gpuDone := make([][]float64, g)
+	for i := range gpuDone {
+		gpuDone[i] = make([]float64, steps*sc.Batch)
+	}
+	busy := map[string]float64{}
+	add := func(res string, tag string, start, dur float64) float64 {
+		if tl != nil {
+			tl.Add(res, tag, start, start+dur)
+		}
+		busy[res] += dur
+		return start + dur
+	}
+
+	total := 0.0
+	for step := 0; step < steps; step++ {
+		for k := 0; k < sc.Batch; k++ {
+			j := step*sc.Batch + k
+			for gi := 0; gi < g; gi++ {
+				// Prefetch window: sample j may not begin loading until
+				// sample j-prefetch has cleared the GPU.
+				issue := 0.0
+				if j >= prefetch {
+					issue = gpuDone[gi][j-prefetch]
+				}
+				rs := max2(availStorage, issue)
+				availStorage = add("storage", "read", rs, tRead)
+				cs := max2(availCPU[gi], availStorage)
+				availCPU[gi] = add(fmt.Sprintf("cpu%d", gi), "cpu", cs, tCPU)
+				grp := gi / p.Link.ShareGroup
+				hs := max2(availLink[grp], availCPU[gi])
+				availLink[grp] = add(fmt.Sprintf("link%d", grp), "h2d", hs, tH2D)
+				gs := max2(availGPU[gi], availLink[grp])
+				availGPU[gi] = add(fmt.Sprintf("gpu%d", gi), "gpu", gs, tGPU)
+				gpuDone[gi][j] = availGPU[gi]
+			}
+		}
+		// Synchronous allreduce barrier: every GPU joins at the slowest.
+		barrier := 0.0
+		for gi := 0; gi < g; gi++ {
+			if availGPU[gi] > barrier {
+				barrier = availGPU[gi]
+			}
+		}
+		for gi := 0; gi < g; gi++ {
+			availGPU[gi] = add(fmt.Sprintf("gpu%d", gi), "allreduce", barrier, ring)
+		}
+		total = barrier + ring
+	}
+
+	res := NodeSimResult{
+		TotalSec: total,
+		Node:     float64(steps*sc.Batch*g) / total,
+		Busy:     map[string]float64{},
+	}
+	for r, b := range busy {
+		res.Busy[r] = b / total
+	}
+	return res, nil
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"testing"
+
+	"scipp/internal/core"
+	"scipp/internal/pipeline"
+	"scipp/internal/platform"
+	"scipp/internal/trace"
+)
+
+func nodeScenario(t *testing.T, app core.App, enc core.Encoding, plug pipeline.Plugin, p platform.Platform) Scenario {
+	t.Helper()
+	m := mustModel(t, app)
+	samples := DeepCAMSmallPerNode
+	if app == core.CosmoFlow {
+		samples = CosmoSmallPerGPU * p.GPUsPerNode
+	}
+	return Scenario{
+		Platform: p, Model: m, Enc: enc, Plugin: plug,
+		SamplesPerNode: samples, Staged: true, Batch: 4, Epoch: 1,
+	}
+}
+
+func TestNodeSimAgreesWithClosedForm(t *testing.T) {
+	// The DES models the same pipeline with explicit queueing; its steady
+	// throughput must land within ~40% of the closed-form bound (the DES is
+	// strictly more pessimistic: barriers and queueing waves cost extra).
+	for _, tc := range []struct {
+		app  core.App
+		enc  core.Encoding
+		plug pipeline.Plugin
+	}{
+		{core.DeepCAM, core.Baseline, pipeline.CPUPlugin},
+		{core.DeepCAM, core.Plugin, pipeline.GPUPlugin},
+		{core.CosmoFlow, core.Baseline, pipeline.CPUPlugin},
+		{core.CosmoFlow, core.Plugin, pipeline.GPUPlugin},
+	} {
+		sc := nodeScenario(t, tc.app, tc.enc, tc.plug, platform.CoriV100())
+		closed, err := Simulate(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		des, err := SimulateNode(sc, 30, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := des.Node / closed.Node
+		if ratio > 1.15 || ratio < 0.5 {
+			t.Errorf("%v/%v/%v: DES %.0f vs closed %.0f (ratio %.2f)",
+				tc.app, tc.enc, tc.plug, des.Node, closed.Node, ratio)
+		}
+	}
+}
+
+func TestNodeSimPluginStillWins(t *testing.T) {
+	// The headline ordering must survive the queueing model.
+	p := platform.CoriA100()
+	base, err := SimulateNode(nodeScenario(t, core.DeepCAM, core.Baseline, pipeline.CPUPlugin, p), 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plug, err := SimulateNode(nodeScenario(t, core.DeepCAM, core.Plugin, pipeline.GPUPlugin, p), 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plug.Node <= base.Node {
+		t.Errorf("plugin (%.0f) should beat base (%.0f) in the DES too", plug.Node, base.Node)
+	}
+}
+
+func TestNodeSimBusyFractions(t *testing.T) {
+	sc := nodeScenario(t, core.CosmoFlow, core.Baseline, pipeline.CPUPlugin, platform.CoriV100())
+	res, err := SimulateNode(sc, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CosmoFlow baseline is CPU-bound: per-GPU CPU busy fraction near 1.
+	cpuBusy := res.Busy["cpu0"]
+	if cpuBusy < 0.7 || cpuBusy > 1.01 {
+		t.Errorf("cpu0 busy fraction %.2f, want near 1 for the CPU-bound baseline", cpuBusy)
+	}
+	// The GPU should be mostly idle in the baseline (Fig 12's point: "the
+	// base version underutilizes the GPU").
+	if gpuBusy := res.Busy["gpu0"]; gpuBusy > 0.6 {
+		t.Errorf("gpu0 busy fraction %.2f, baseline should underutilize the GPU", gpuBusy)
+	}
+}
+
+func TestNodeSimPluginRaisesGPUUtilization(t *testing.T) {
+	p := platform.CoriV100()
+	base, err := SimulateNode(nodeScenario(t, core.CosmoFlow, core.Baseline, pipeline.CPUPlugin, p), 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plug, err := SimulateNode(nodeScenario(t, core.CosmoFlow, core.Plugin, pipeline.GPUPlugin, p), 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plug.Busy["gpu0"] <= base.Busy["gpu0"] {
+		t.Errorf("plugin GPU busy %.2f should exceed baseline %.2f (plugin reveals the raw GPU)",
+			plug.Busy["gpu0"], base.Busy["gpu0"])
+	}
+}
+
+func TestNodeSimTimeline(t *testing.T) {
+	sc := nodeScenario(t, core.CosmoFlow, core.Plugin, pipeline.GPUPlugin, platform.Summit())
+	tl := &trace.Timeline{}
+	res, err := SimulateNode(sc, 3, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSec <= 0 {
+		t.Error("non-positive total")
+	}
+	b := tl.Breakdown()
+	for _, tag := range []string{"read", "cpu", "h2d", "gpu", "allreduce"} {
+		if b[tag] <= 0 {
+			t.Errorf("missing %q events: %v", tag, b)
+		}
+	}
+	// 3 steps x batch 4 x 6 GPUs samples, 4 stages each, plus 3x6 allreduce.
+	want := 3*4*6*4 + 3*6
+	if tl.Len() != want {
+		t.Errorf("timeline has %d events, want %d", tl.Len(), want)
+	}
+}
+
+func TestNodeSimValidation(t *testing.T) {
+	sc := nodeScenario(t, core.DeepCAM, core.Baseline, pipeline.CPUPlugin, platform.Summit())
+	if _, err := SimulateNode(sc, 0, nil); err == nil {
+		t.Error("zero steps accepted")
+	}
+	bad := sc
+	bad.Batch = 0
+	if _, err := SimulateNode(bad, 5, nil); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"scipp/internal/dist"
+)
+
+// ScaleRow is one point of a weak-scaling projection: nodes, aggregate
+// throughput, and parallel efficiency relative to one node.
+type ScaleRow struct {
+	Nodes      int
+	Throughput float64 // samples/s aggregate
+	Efficiency float64 // vs. perfect scaling of the 1-node rate
+	Bound      string
+}
+
+// ScaleOut projects weak scaling of a scenario across multiple nodes: each
+// node keeps the per-node dataset and batch, and the gradient allreduce
+// becomes hierarchical — the intra-node ring (already in the scenario
+// model) plus an inter-node ring over the nodes' InfiniBand injection
+// bandwidth. The paper evaluates single nodes; this projection explores the
+// "system architectures beyond those investigated" direction of §X.
+func ScaleOut(sc Scenario, nodes []int) ([]ScaleRow, error) {
+	base, err := Simulate(sc)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScaleRow
+	var oneNode float64
+	for _, n := range nodes {
+		if n <= 0 {
+			return nil, fmt.Errorf("bench: invalid node count %d", n)
+		}
+		st := base.Stages
+		// Inter-node ring among node leaders, amortized over the per-GPU
+		// batch like the intra-node term. Per-step latency is higher across
+		// the fabric.
+		inter := dist.RingTime(sc.Model.GradBytes, n, sc.Platform.InjectionGBs, 100e-6)
+		st.AllReduce += inter / float64(sc.Batch)
+		name, bound := st.Bottleneck()
+		perGPU := 1 / bound
+		agg := perGPU * float64(sc.Platform.GPUsPerNode) * float64(n)
+		if n == 1 || oneNode == 0 {
+			if n == 1 {
+				oneNode = agg
+			}
+		}
+		eff := 1.0
+		if oneNode > 0 {
+			eff = agg / (oneNode * float64(n))
+		}
+		out = append(out, ScaleRow{Nodes: n, Throughput: agg, Efficiency: eff, Bound: name})
+	}
+	return out, nil
+}
+
+// FormatScaleOut renders a weak-scaling projection.
+func FormatScaleOut(title string, rows []ScaleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%8s %16s %12s %8s\n", "nodes", "samples/s", "efficiency", "bound")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %16.0f %11.1f%% %8s\n", r.Nodes, r.Throughput, 100*r.Efficiency, r.Bound)
+	}
+	return b.String()
+}

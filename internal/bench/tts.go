@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+
+	"scipp/internal/core"
+	"scipp/internal/pipeline"
+	"scipp/internal/platform"
+	"scipp/internal/synthetic"
+	"scipp/internal/train"
+)
+
+// TTSResult combines statistical efficiency (epochs to a target loss, from
+// *real* training) with runtime efficiency (modeled epoch time at paper
+// scale) into time-to-solution — "ultimately, the performance of these
+// applications is defined by the time to a desired accuracy, which
+// intertwines multiple performance contributing factors" (§III).
+type TTSResult struct {
+	Platform   string
+	TargetLoss float64
+	// Epochs to reach the target under each sample class (real training on
+	// the reduced-scale model; -1 if the target was not reached).
+	EpochsBase, EpochsPlugin int
+	// Modeled seconds per epoch at paper scale.
+	EpochSecBase, EpochSecPlugin float64
+	// Time to solution = epochs x epoch time.
+	TTSBase, TTSPlugin float64
+	// Speedup of the plugin pipeline in time-to-solution.
+	Speedup float64
+}
+
+func epochsToTarget(losses []float64, target float64) int {
+	for i, l := range losses {
+		if l <= target {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// TimeToSolution runs the CosmoFlow convergence experiment for both sample
+// classes, takes epochs-to-target from the real loss curves, and multiplies
+// by the modeled per-epoch wall time of the corresponding pipeline on p.
+func TimeToSolution(scale float64, p platform.Platform, target float64, cosmoCfg synthetic.CosmoConfig, trainCfg train.Config) (TTSResult, error) {
+	res := TTSResult{Platform: p.Name, TargetLoss: target}
+
+	base, err := train.CosmoFlow(cosmoCfg, trainCfg)
+	if err != nil {
+		return res, err
+	}
+	trainCfg.Encoded = true
+	plug, err := train.CosmoFlow(cosmoCfg, trainCfg)
+	if err != nil {
+		return res, err
+	}
+	res.EpochsBase = epochsToTarget(base, target)
+	res.EpochsPlugin = epochsToTarget(plug, target)
+	if res.EpochsBase < 0 || res.EpochsPlugin < 0 {
+		return res, fmt.Errorf("bench: target loss %g not reached within %d epochs (base %v, plugin %v)",
+			target, trainCfg.Epochs, res.EpochsBase, res.EpochsPlugin)
+	}
+
+	m, err := Calibrate(core.CosmoFlow, scale)
+	if err != nil {
+		return res, err
+	}
+	samples := CosmoSmallPerGPU * p.GPUsPerNode
+	baseStep, err := Simulate(Scenario{
+		Platform: p, Model: m, Enc: core.Baseline,
+		SamplesPerNode: samples, Staged: true, Batch: trainCfg.Batch, Epoch: 1,
+	})
+	if err != nil {
+		return res, err
+	}
+	plugStep, err := Simulate(Scenario{
+		Platform: p, Model: m, Enc: core.Plugin, Plugin: pipeline.GPUPlugin,
+		SamplesPerNode: samples, Staged: true, Batch: trainCfg.Batch, Epoch: 1,
+	})
+	if err != nil {
+		return res, err
+	}
+	res.EpochSecBase = float64(samples) / baseStep.Node
+	res.EpochSecPlugin = float64(samples) / plugStep.Node
+	res.TTSBase = float64(res.EpochsBase) * res.EpochSecBase
+	res.TTSPlugin = float64(res.EpochsPlugin) * res.EpochSecPlugin
+	if res.TTSPlugin > 0 {
+		res.Speedup = res.TTSBase / res.TTSPlugin
+	}
+	return res, nil
+}
+
+// String formats the result.
+func (r TTSResult) String() string {
+	return fmt.Sprintf(
+		"TIME TO SOLUTION on %s (target loss %.3f)\n"+
+			"  base:   %d epochs x %.1f s/epoch = %.1f s\n"+
+			"  plugin: %d epochs x %.1f s/epoch = %.1f s\n"+
+			"  speedup %.2fx (convergence preserved -> gain tracks throughput)\n",
+		r.Platform, r.TargetLoss,
+		r.EpochsBase, r.EpochSecBase, r.TTSBase,
+		r.EpochsPlugin, r.EpochSecPlugin, r.TTSPlugin,
+		r.Speedup)
+}

@@ -1,0 +1,154 @@
+// Package codec defines the encoder/decoder plugin contract of the paper's
+// preprocessing pipeline (§V–VI).
+//
+// An encoded sample is an opaque blob plus a Format that can open it into a
+// ChunkDecoder: a decoder whose work decomposes into independent chunks
+// ("we use metadata that enables independent decoding of lines, thus
+// enabling efficient execution on accelerator architectures"). The CPU
+// plugin assigns chunks to worker threads; the simulated-GPU plugin assigns
+// them to warps, using the Workload profile for cost accounting.
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"scipp/internal/tensor"
+)
+
+// Workload characterizes the decode work of one encoded sample for the
+// execution-cost models (both CPU thread pool and simulated GPU).
+type Workload struct {
+	BytesIn  int // encoded bytes read
+	BytesOut int // decoded bytes written
+	Ops      int // arithmetic operation estimate (FP adds, table lookups...)
+	// Chunks is the number of independently decodable units.
+	Chunks int
+	// DivergentChunks counts chunks whose decode has data-dependent control
+	// flow (differential-encoded lines); on the simulated GPU these execute
+	// with a warp-divergence penalty (§VI's hierarchical parallelism).
+	Divergent int
+	// SerialBytes counts bytes that must pass through an inherently serial
+	// host-CPU stage before any parallel decode can start (gzip inflate:
+	// "the decompression can only be performed on the host CPU", §IX-B).
+	// Zero for GPU-decodable formats.
+	SerialBytes int
+}
+
+// ChunkDecoder decodes one encoded sample. Implementations must allow
+// concurrent DecodeChunk calls on distinct chunks.
+type ChunkDecoder interface {
+	// OutputShape is the shape of the decoded tensor.
+	OutputShape() tensor.Shape
+	// OutputDType is the element type of the decoded tensor (F16 for the
+	// paper's plugins, F32 for the baseline path).
+	OutputDType() tensor.DType
+	// NumChunks returns the count of independently decodable units.
+	NumChunks() int
+	// DecodeChunk decodes unit chunk into its region of dst, which must
+	// have OutputShape/OutputDType.
+	DecodeChunk(chunk int, dst *tensor.Tensor) error
+	// Workload reports the decode cost profile.
+	Workload() Workload
+}
+
+// Format opens encoded blobs of one on-disk format.
+type Format interface {
+	// Name identifies the format (e.g. "deltafp", "cosmo-lut", "raw-cosmo").
+	Name() string
+	// Open parses blob and returns a decoder for it.
+	Open(blob []byte) (ChunkDecoder, error)
+}
+
+// Decode fully decodes blob-opened decoder d serially.
+func Decode(d ChunkDecoder) (*tensor.Tensor, error) {
+	dst := tensor.New(d.OutputDType(), d.OutputShape()...)
+	for c := 0; c < d.NumChunks(); c++ {
+		if err := d.DecodeChunk(c, dst); err != nil {
+			return nil, fmt.Errorf("codec: chunk %d: %w", c, err)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeParallel decodes with up to workers concurrent goroutines, the CPU
+// plugin's execution strategy ("on the CPU we assign different samples to
+// different threads" — and within a sample, chunks to threads).
+func DecodeParallel(d ChunkDecoder, workers int) (*tensor.Tensor, error) {
+	n := d.NumChunks()
+	if workers <= 1 || n <= 1 {
+		return Decode(d)
+	}
+	if workers > n {
+		workers = n
+	}
+	dst := tensor.New(d.OutputDType(), d.OutputShape()...)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+		next = make(chan int, n)
+	)
+	for c := 0; c < n; c++ {
+		next <- c
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				if err := d.DecodeChunk(c, dst); err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("codec: chunk %d: %w", c, err))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return dst, nil
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Format)
+)
+
+// Register adds a format to the global registry. It panics on duplicate
+// names (a programming error).
+func Register(f Format) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[f.Name()]; dup {
+		panic(fmt.Sprintf("codec: duplicate format %q", f.Name()))
+	}
+	registry[f.Name()] = f
+}
+
+// Lookup returns the registered format with the given name.
+func Lookup(name string) (Format, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown format %q", name)
+	}
+	return f, nil
+}
+
+// Formats returns the registered format names, sorted.
+func Formats() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,130 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"scipp/internal/tensor"
+)
+
+// fakeDecoder decodes chunk i by writing i into element i.
+type fakeDecoder struct {
+	n       int
+	failAt  int // chunk index that errors, -1 for none
+	dtype   tensor.DType
+	counter chan int
+}
+
+func (f *fakeDecoder) OutputShape() tensor.Shape { return tensor.Shape{f.n} }
+func (f *fakeDecoder) OutputDType() tensor.DType { return f.dtype }
+func (f *fakeDecoder) NumChunks() int            { return f.n }
+func (f *fakeDecoder) Workload() Workload        { return Workload{Chunks: f.n} }
+func (f *fakeDecoder) DecodeChunk(c int, dst *tensor.Tensor) error {
+	if c == f.failAt {
+		return errors.New("injected failure")
+	}
+	dst.Set32(c, float32(c))
+	if f.counter != nil {
+		f.counter <- c
+	}
+	return nil
+}
+
+type fakeFormat struct{ name string }
+
+func (f fakeFormat) Name() string { return f.name }
+func (f fakeFormat) Open([]byte) (ChunkDecoder, error) {
+	return &fakeDecoder{n: 4, failAt: -1, dtype: tensor.F32}, nil
+}
+
+func TestDecodeSerial(t *testing.T) {
+	d := &fakeDecoder{n: 8, failAt: -1, dtype: tensor.F32}
+	out, err := Decode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if out.F32s[i] != float32(i) {
+			t.Fatalf("chunk %d not decoded", i)
+		}
+	}
+}
+
+func TestDecodeParallelAllChunksOnce(t *testing.T) {
+	n := 32
+	d := &fakeDecoder{n: n, failAt: -1, dtype: tensor.F32, counter: make(chan int, n)}
+	out, err := DecodeParallel(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(d.counter)
+	seen := make(map[int]int)
+	for c := range d.counter {
+		seen[c]++
+	}
+	if len(seen) != n {
+		t.Errorf("decoded %d distinct chunks, want %d", len(seen), n)
+	}
+	for c, k := range seen {
+		if k != 1 {
+			t.Errorf("chunk %d decoded %d times", c, k)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if out.F32s[i] != float32(i) {
+			t.Fatalf("chunk %d missing from output", i)
+		}
+	}
+}
+
+func TestDecodeParallelDegradesToSerial(t *testing.T) {
+	d := &fakeDecoder{n: 1, failAt: -1, dtype: tensor.F32}
+	if _, err := DecodeParallel(d, 16); err != nil {
+		t.Fatal(err)
+	}
+	d2 := &fakeDecoder{n: 4, failAt: -1, dtype: tensor.F32}
+	if _, err := DecodeParallel(d2, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrorsPropagate(t *testing.T) {
+	d := &fakeDecoder{n: 4, failAt: 2, dtype: tensor.F32}
+	if _, err := Decode(d); err == nil {
+		t.Error("serial decode swallowed error")
+	}
+	if _, err := DecodeParallel(d, 3); err == nil {
+		t.Error("parallel decode swallowed error")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	name := fmt.Sprintf("test-fmt-%p", t)
+	Register(fakeFormat{name: name})
+	f, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != name {
+		t.Error("wrong format returned")
+	}
+	found := false
+	for _, n := range Formats() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Formats() missing registered name")
+	}
+	if _, err := Lookup("definitely-missing"); err == nil {
+		t.Error("missing format lookup succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(fakeFormat{name: name})
+}

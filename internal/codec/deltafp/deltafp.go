@@ -1,0 +1,575 @@
+// Package deltafp implements the paper's DeepCAM differential floating-point
+// encoding (§V-A, Fig 4).
+//
+// A sample is a [C, H, W] FP32 stack. Each line (one row of one channel) is
+// encoded independently — the per-line metadata is what "enables independent
+// decoding of lines, thus enabling efficient execution on accelerator
+// architectures". A line is stored in whichever of three modes is smallest:
+//
+//   - CONST: all neighboring values are similar; store the head value once.
+//   - DELTA: a sequence of segments. Each segment stores an exact FP32 pivot
+//     (the head value), the minimum exponent of the segment's deltas, and one
+//     byte per following value: [sign:1][exponent-offset:expBits][mantissa:mantBits]
+//     with expBits+mantBits = 7. The exponent offset is relative to the
+//     segment's minimum exponent — the paper's "exponent of these differences
+//     is clustered into groups of close values". Byte 0x00 encodes an exact
+//     zero delta.
+//   - RAW: lines with abrupt transitions or too many segments are kept
+//     uncompressed "because they potentially carry interesting climate
+//     phenomena".
+//
+// The encoder quantizes each delta against the *reconstructed* previous
+// value (mirroring decoder state), so quantization error does not accumulate
+// along a segment. Decoding computes in FP32 and emits FP16 — the slightly
+// lossy path whose error distribution §V-A quantifies.
+package deltafp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"scipp/internal/codec"
+	"scipp/internal/fp16"
+	"scipp/internal/tensor"
+)
+
+// Line modes.
+const (
+	modeRaw   = 0
+	modeConst = 1
+	modeDelta = 2
+)
+
+const blobMagic = 0x44465043 // "DFPC"
+
+// Options tune the encoder. The zero value is replaced by Default().
+type Options struct {
+	// ExpBits is the width of the per-delta exponent-offset field
+	// (paper: 3). MantBits = 7 - ExpBits.
+	ExpBits int
+	// MaxSegFrac caps DELTA segments at W*MaxSegFrac before falling back to
+	// RAW (abrupt lines).
+	MaxSegFrac float64
+	// RelTol closes a segment (resetting to an exact pivot) when a single
+	// delta's quantization error exceeds RelTol of the value magnitude.
+	RelTol float64
+	// ConstTol declares a line CONST when every neighbor delta is below
+	// ConstTol relative to the line's magnitude.
+	ConstTol float64
+}
+
+// Default returns the paper's configuration: 3 exponent bits, 4 mantissa
+// bits, 1 sign bit per delta.
+func Default() Options {
+	return Options{ExpBits: 3, MaxSegFrac: 1.0 / 8, RelTol: 0.05, ConstTol: 1e-7}
+}
+
+func (o Options) withDefaults() Options {
+	d := Default()
+	if o.ExpBits == 0 {
+		o.ExpBits = d.ExpBits
+	}
+	if o.MaxSegFrac == 0 {
+		o.MaxSegFrac = d.MaxSegFrac
+	}
+	if o.RelTol == 0 {
+		o.RelTol = d.RelTol
+	}
+	if o.ConstTol == 0 {
+		o.ConstTol = d.ConstTol
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.ExpBits < 1 || o.ExpBits > 6 {
+		return fmt.Errorf("deltafp: ExpBits %d out of [1,6]", o.ExpBits)
+	}
+	if o.MaxSegFrac <= 0 || o.MaxSegFrac > 1 {
+		return fmt.Errorf("deltafp: MaxSegFrac %g out of (0,1]", o.MaxSegFrac)
+	}
+	return nil
+}
+
+// Encode compresses a [C, H, W] FP32 tensor into a deltafp blob.
+func Encode(t *tensor.Tensor, opts Options) ([]byte, error) {
+	if t.DT != tensor.F32 || len(t.Shape) != 3 {
+		return nil, fmt.Errorf("deltafp: need rank-3 F32 tensor, got %v %v", t.DT, t.Shape)
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	c, h, w := t.Shape[0], t.Shape[1], t.Shape[2]
+	if w == 0 || h == 0 || c == 0 {
+		return nil, errors.New("deltafp: empty tensor")
+	}
+	if w > math.MaxUint16 {
+		return nil, fmt.Errorf("deltafp: line width %d exceeds uint16 segment counters", w)
+	}
+	nLines := c * h
+
+	// Header: magic, C, H, W, expBits. Then line offset table, then payload.
+	var payload []byte
+	offsets := make([]uint32, nLines+1)
+	enc := lineEncoder{opts: opts, mantBits: 7 - opts.ExpBits}
+	for l := 0; l < nLines; l++ {
+		line := t.F32s[l*w : (l+1)*w]
+		payload = enc.encodeLine(line, payload)
+		offsets[l+1] = uint32(len(payload))
+	}
+
+	headerLen := 4 * 5
+	blob := make([]byte, headerLen+4*(nLines+1)+len(payload))
+	binary.LittleEndian.PutUint32(blob[0:], blobMagic)
+	binary.LittleEndian.PutUint32(blob[4:], uint32(c))
+	binary.LittleEndian.PutUint32(blob[8:], uint32(h))
+	binary.LittleEndian.PutUint32(blob[12:], uint32(w))
+	binary.LittleEndian.PutUint32(blob[16:], uint32(opts.ExpBits))
+	for i, off := range offsets {
+		binary.LittleEndian.PutUint32(blob[headerLen+4*i:], off)
+	}
+	copy(blob[headerLen+4*(nLines+1):], payload)
+	return blob, nil
+}
+
+type lineEncoder struct {
+	opts     Options
+	mantBits int
+}
+
+type deltaCode struct {
+	sign byte  // 0 or 1
+	exp  uint8 // raw IEEE-754 FP32 exponent bits
+	mant uint8 // top mantBits of the mantissa, after rounding
+	zero bool  // exact zero delta
+}
+
+// dequant reconstructs the FP32 delta a code represents.
+func dequant(d deltaCode, mantBits int) float32 {
+	if d.zero {
+		return 0
+	}
+	shift := uint(23 - mantBits)
+	bits := uint32(d.sign)<<31 | uint32(d.exp)<<23 | uint32(d.mant)<<shift
+	return math.Float32frombits(bits)
+}
+
+// encodeLine appends the cheapest encoding of line to payload.
+func (e *lineEncoder) encodeLine(line []float32, payload []byte) []byte {
+	w := len(line)
+
+	// Reject non-finite content outright: RAW preserves it bit-exactly.
+	maxAbs := float64(0)
+	finite := true
+	for _, v := range line {
+		av := math.Abs(float64(v))
+		if math.IsNaN(av) || math.IsInf(av, 0) {
+			finite = false
+			break
+		}
+		if av > maxAbs {
+			maxAbs = av
+		}
+	}
+	if !finite {
+		return appendRaw(payload, line)
+	}
+
+	// CONST check: every neighbor delta below tolerance.
+	isConst := true
+	tol := e.opts.ConstTol * maxAbs
+	for i := 1; i < w; i++ {
+		if math.Abs(float64(line[i]-line[i-1])) > tol {
+			isConst = false
+			break
+		}
+	}
+	if isConst {
+		payload = append(payload, modeConst)
+		return binary.LittleEndian.AppendUint32(payload, math.Float32bits(line[0]))
+	}
+
+	segs, ok := e.buildSegments(line)
+	if !ok {
+		return appendRaw(payload, line)
+	}
+	// Size comparison: take DELTA only if it beats RAW.
+	deltaSize := 3
+	for _, s := range segs {
+		deltaSize += 7 + len(s.codes)
+	}
+	if deltaSize >= 1+4*w {
+		return appendRaw(payload, line)
+	}
+
+	payload = append(payload, modeDelta)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(segs)))
+	for _, s := range segs {
+		payload = binary.LittleEndian.AppendUint32(payload, math.Float32bits(s.pivot))
+		payload = append(payload, s.minExp)
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(s.codes)+1))
+		for _, d := range s.codes {
+			payload = append(payload, e.packDelta(d, s.minExp))
+		}
+	}
+	return payload
+}
+
+func appendRaw(payload []byte, line []float32) []byte {
+	payload = append(payload, modeRaw)
+	for _, v := range line {
+		payload = binary.LittleEndian.AppendUint32(payload, math.Float32bits(v))
+	}
+	return payload
+}
+
+func (e *lineEncoder) packDelta(d deltaCode, minExp uint8) byte {
+	if d.zero {
+		return 0
+	}
+	off := d.exp - minExp
+	b := d.sign<<7 | off<<uint(e.mantBits) | d.mant
+	if b == 0 {
+		// Would collide with the reserved exact-zero byte; bump the mantissa
+		// by one step (a 2^-mantBits relative perturbation of the delta).
+		b = 1
+	}
+	return b
+}
+
+type segment struct {
+	pivot  float32
+	minExp uint8
+	codes  []deltaCode
+}
+
+// buildSegments performs the greedy segmentation of Fig 4. It returns
+// (nil, false) when the line is too abrupt (segment budget exceeded or
+// non-encodable deltas).
+func (e *lineEncoder) buildSegments(line []float32) ([]segment, bool) {
+	w := len(line)
+	maxSegs := int(float64(w) * e.opts.MaxSegFrac)
+	if maxSegs < 1 {
+		maxSegs = 1
+	}
+	window := uint8(1<<uint(e.opts.ExpBits) - 1)
+	mantBits := e.mantBits
+	shift := uint(23 - mantBits)
+	roundBit := uint32(1) << (shift - 1)
+	mantMax := uint8(1<<uint(mantBits) - 1)
+
+	var segs []segment
+	i := 0
+	for i < w {
+		seg := segment{pivot: line[i]}
+		recon := line[i]
+		var minE, maxE uint8
+		haveExp := false
+		j := i + 1
+		for j < w {
+			d := float64(line[j]) - float64(recon)
+			if d == 0 {
+				seg.codes = append(seg.codes, deltaCode{zero: true})
+				j++
+				continue
+			}
+			bits := math.Float32bits(float32(math.Abs(d)))
+			exp := uint8(bits >> 23)
+			mant := uint8((bits >> shift) & uint32(mantMax))
+			if bits&roundBit != 0 {
+				if mant == mantMax {
+					mant = 0
+					if exp == 0xFE {
+						break // rounding into Inf: start a new pivot
+					}
+					exp++
+				} else {
+					mant++
+				}
+			}
+			if exp == 0 {
+				// FP32-denormal delta: indistinguishable from zero at any
+				// realistic data scale.
+				seg.codes = append(seg.codes, deltaCode{zero: true})
+				j++
+				continue
+			}
+			if exp == 0xFF {
+				break // delta overflowed: isolate with a fresh pivot
+			}
+			if d > 0 && mant == 0 {
+				// A positive delta with zero mantissa could pack to the
+				// reserved zero byte (when exp lands on the segment minimum).
+				// Bump the mantissa one step *before* mirroring the decoder,
+				// so encoder and decoder reconstructions stay identical; the
+				// quality guard below sees the bumped value.
+				mant = 1
+			}
+			nMin, nMax := minE, maxE
+			if !haveExp {
+				nMin, nMax = exp, exp
+			} else {
+				if exp < nMin {
+					nMin = exp
+				}
+				if exp > nMax {
+					nMax = exp
+				}
+			}
+			if nMax-nMin > window {
+				break // exponent group exhausted: close the segment
+			}
+			code := deltaCode{exp: exp, mant: mant}
+			if d < 0 {
+				code.sign = 1
+			}
+			qd := dequant(code, mantBits)
+			// Quality guard: a single-step quantization error beyond RelTol
+			// of the value magnitude forces an exact pivot reset.
+			if qErr := math.Abs(float64(qd) - d); qErr > e.opts.RelTol*math.Abs(float64(line[j]))+1e-12 {
+				break
+			}
+			minE, maxE, haveExp = nMin, nMax, true
+			seg.codes = append(seg.codes, code)
+			recon += qd
+			j++
+		}
+		seg.minExp = minE
+		if !haveExp {
+			seg.minExp = 0
+		}
+		segs = append(segs, seg)
+		if len(segs) > maxSegs {
+			return nil, false
+		}
+		i = j
+	}
+	return segs, true
+}
+
+// format implements codec.Format for deltafp blobs.
+type format struct{}
+
+// Format returns the codec.Format for deltafp blobs.
+func Format() codec.Format { return format{} }
+
+func (format) Name() string { return "deltafp" }
+
+func (format) Open(blob []byte) (codec.ChunkDecoder, error) {
+	const headerLen = 20
+	if len(blob) < headerLen {
+		return nil, errors.New("deltafp: blob too short")
+	}
+	if binary.LittleEndian.Uint32(blob[0:]) != blobMagic {
+		return nil, errors.New("deltafp: bad magic")
+	}
+	c := int(binary.LittleEndian.Uint32(blob[4:]))
+	h := int(binary.LittleEndian.Uint32(blob[8:]))
+	w := int(binary.LittleEndian.Uint32(blob[12:]))
+	expBits := int(binary.LittleEndian.Uint32(blob[16:]))
+	if c <= 0 || h <= 0 || w <= 0 || expBits < 1 || expBits > 6 {
+		return nil, fmt.Errorf("deltafp: invalid header C=%d H=%d W=%d expBits=%d", c, h, w, expBits)
+	}
+	if w > math.MaxUint16 {
+		return nil, fmt.Errorf("deltafp: line width %d exceeds format limit", w)
+	}
+	// Allocation guard against corrupt headers: the densest legitimate
+	// encoding (CONST lines) expands 5 payload bytes into 2*w output bytes,
+	// so the decoded size can never exceed ~2*w/5 of the blob.
+	if outBytes := 2 * c * h * w; outBytes/(2*math.MaxUint16) > len(blob) {
+		return nil, fmt.Errorf("deltafp: header implies %d output bytes from a %d-byte blob", outBytes, len(blob))
+	}
+	nLines := c * h
+	need := headerLen + 4*(nLines+1)
+	if len(blob) < need {
+		return nil, errors.New("deltafp: truncated offset table")
+	}
+	offsets := make([]uint32, nLines+1)
+	for i := range offsets {
+		offsets[i] = binary.LittleEndian.Uint32(blob[headerLen+4*i:])
+	}
+	payload := blob[need:]
+	if int(offsets[nLines]) != len(payload) {
+		return nil, errors.New("deltafp: payload length mismatch")
+	}
+	for i := 0; i < nLines; i++ {
+		if offsets[i] > offsets[i+1] {
+			return nil, errors.New("deltafp: non-monotonic offsets")
+		}
+	}
+	d := &Decoder{
+		c: c, h: h, w: w,
+		mantBits: 7 - expBits,
+		offsets:  offsets,
+		payload:  payload,
+		blobLen:  len(blob),
+	}
+	if err := d.profile(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Decoder decodes a deltafp blob line by line. Lines are independent, so
+// DecodeChunk may be called concurrently on distinct chunks.
+type Decoder struct {
+	c, h, w  int
+	mantBits int
+	offsets  []uint32
+	payload  []byte
+	blobLen  int
+
+	nRaw, nConst, nDelta int
+}
+
+// profile scans line modes once for the workload report and validates every
+// line's framing.
+func (d *Decoder) profile() error {
+	for l := 0; l < d.c*d.h; l++ {
+		line := d.payload[d.offsets[l]:d.offsets[l+1]]
+		if len(line) == 0 {
+			return fmt.Errorf("deltafp: empty line %d", l)
+		}
+		switch line[0] {
+		case modeRaw:
+			if len(line) != 1+4*d.w {
+				return fmt.Errorf("deltafp: raw line %d has %d bytes", l, len(line))
+			}
+			d.nRaw++
+		case modeConst:
+			if len(line) != 5 {
+				return fmt.Errorf("deltafp: const line %d has %d bytes", l, len(line))
+			}
+			d.nConst++
+		case modeDelta:
+			d.nDelta++
+		default:
+			return fmt.Errorf("deltafp: line %d has unknown mode %d", l, line[0])
+		}
+	}
+	return nil
+}
+
+// OutputShape implements codec.ChunkDecoder.
+func (d *Decoder) OutputShape() tensor.Shape { return tensor.Shape{d.c, d.h, d.w} }
+
+// OutputDType implements codec.ChunkDecoder: the plugin emits FP16.
+func (d *Decoder) OutputDType() tensor.DType { return tensor.F16 }
+
+// NumChunks implements codec.ChunkDecoder: one chunk per line.
+func (d *Decoder) NumChunks() int { return d.c * d.h }
+
+// LineModes returns the number of RAW, CONST and DELTA lines.
+func (d *Decoder) LineModes() (raw, cnst, delta int) { return d.nRaw, d.nConst, d.nDelta }
+
+// Workload implements codec.ChunkDecoder.
+func (d *Decoder) Workload() codec.Workload {
+	n := d.c * d.h * d.w
+	return codec.Workload{
+		BytesIn:   d.blobLen,
+		BytesOut:  2 * n,
+		Ops:       3 * n, // delta add + FP16 convert + store per value
+		Chunks:    d.c * d.h,
+		Divergent: d.nDelta,
+	}
+}
+
+// DecodeChunk implements codec.ChunkDecoder, decoding line chunk into dst.
+func (d *Decoder) DecodeChunk(chunk int, dst *tensor.Tensor) error {
+	if chunk < 0 || chunk >= d.c*d.h {
+		return fmt.Errorf("deltafp: chunk %d out of range", chunk)
+	}
+	if dst.DT != tensor.F16 || !dst.Shape.Equal(d.OutputShape()) {
+		return fmt.Errorf("deltafp: dst must be F16 %v", d.OutputShape())
+	}
+	out := dst.F16s[chunk*d.w : (chunk+1)*d.w]
+	line := d.payload[d.offsets[chunk]:d.offsets[chunk+1]]
+	switch line[0] {
+	case modeRaw:
+		for i := 0; i < d.w; i++ {
+			v := math.Float32frombits(binary.LittleEndian.Uint32(line[1+4*i:]))
+			out[i] = fp16.FromFloat32(v)
+		}
+	case modeConst:
+		v := fp16.FromFloat32(math.Float32frombits(binary.LittleEndian.Uint32(line[1:])))
+		for i := range out {
+			out[i] = v
+		}
+	case modeDelta:
+		return d.decodeDeltaLine(line, out)
+	}
+	return nil
+}
+
+func (d *Decoder) decodeDeltaLine(line []byte, out []fp16.Bits) error {
+	nsegs := int(binary.LittleEndian.Uint16(line[1:]))
+	pos := 3
+	emitted := 0
+	shift := uint(23 - d.mantBits)
+	mantMask := byte(1<<uint(d.mantBits) - 1)
+	expMask := byte(1<<uint(7-d.mantBits) - 1)
+	for s := 0; s < nsegs; s++ {
+		if pos+7 > len(line) {
+			return errors.New("deltafp: truncated segment header")
+		}
+		pivot := math.Float32frombits(binary.LittleEndian.Uint32(line[pos:]))
+		minExp := line[pos+4]
+		count := int(binary.LittleEndian.Uint16(line[pos+5:]))
+		pos += 7
+		if count < 1 || emitted+count > len(out) || pos+count-1 > len(line) {
+			return errors.New("deltafp: segment overruns line")
+		}
+		// The decode loop is the "software emulated addition for
+		// floating-point numbers": computation in FP32, emission in FP16.
+		v := pivot
+		out[emitted] = fp16.FromFloat32(v)
+		emitted++
+		for k := 0; k < count-1; k++ {
+			b := line[pos+k]
+			if b != 0 {
+				sign := uint32(b>>7) << 31
+				off := uint32((b >> uint(d.mantBits)) & expMask)
+				mant := uint32(b & mantMask)
+				bits := sign | (uint32(minExp)+off)<<23 | mant<<shift
+				v += math.Float32frombits(bits)
+			}
+			out[emitted] = fp16.FromFloat32(v)
+			emitted++
+		}
+		pos += count - 1
+	}
+	if emitted != len(out) || pos != len(line) {
+		return errors.New("deltafp: line did not decode to full width")
+	}
+	return nil
+}
+
+// Stats summarizes an encoded blob.
+type Stats struct {
+	C, H, W              int
+	RawLines, ConstLines int
+	DeltaLines           int
+	EncodedBytes         int
+	SourceBytes          int // FP32 source size
+	Ratio                float64
+}
+
+// BlobStats inspects blob without decoding it.
+func BlobStats(blob []byte) (Stats, error) {
+	cd, err := Format().Open(blob)
+	if err != nil {
+		return Stats{}, err
+	}
+	d := cd.(*Decoder)
+	src := d.c * d.h * d.w * 4
+	return Stats{
+		C: d.c, H: d.h, W: d.w,
+		RawLines: d.nRaw, ConstLines: d.nConst, DeltaLines: d.nDelta,
+		EncodedBytes: d.blobLen,
+		SourceBytes:  src,
+		Ratio:        float64(src) / float64(d.blobLen),
+	}, nil
+}

@@ -1,0 +1,82 @@
+package deltafp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"scipp/internal/tensor"
+)
+
+// EncodeParallel is Encode with per-line parallelism: line independence
+// works in both directions, so the encoder can process lines on a worker
+// pool and assemble the blob afterwards. Output is byte-identical to
+// Encode. This is the encode-side analogue of the paper's step b.1, which
+// runs once per sample at dataset-preparation time.
+func EncodeParallel(t *tensor.Tensor, opts Options, workers int) ([]byte, error) {
+	if t.DT != tensor.F32 || len(t.Shape) != 3 {
+		return nil, fmt.Errorf("deltafp: need rank-3 F32 tensor, got %v %v", t.DT, t.Shape)
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	c, h, w := t.Shape[0], t.Shape[1], t.Shape[2]
+	if w == 0 || h == 0 || c == 0 {
+		return nil, fmt.Errorf("deltafp: empty tensor")
+	}
+	if w > math.MaxUint16 {
+		return nil, fmt.Errorf("deltafp: line width %d exceeds uint16 segment counters", w)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nLines := c * h
+	if workers > nLines {
+		workers = nLines
+	}
+
+	lineBufs := make([][]byte, nLines)
+	var wg sync.WaitGroup
+	next := make(chan int, nLines)
+	for l := 0; l < nLines; l++ {
+		next <- l
+	}
+	close(next)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			enc := lineEncoder{opts: opts, mantBits: 7 - opts.ExpBits}
+			for l := range next {
+				lineBufs[l] = enc.encodeLine(t.F32s[l*w:(l+1)*w], nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Assemble: header, offset table, concatenated payloads.
+	offsets := make([]uint32, nLines+1)
+	total := 0
+	for l, buf := range lineBufs {
+		total += len(buf)
+		offsets[l+1] = uint32(total)
+	}
+	headerLen := 4 * 5
+	blob := make([]byte, headerLen+4*(nLines+1)+total)
+	binary.LittleEndian.PutUint32(blob[0:], blobMagic)
+	binary.LittleEndian.PutUint32(blob[4:], uint32(c))
+	binary.LittleEndian.PutUint32(blob[8:], uint32(h))
+	binary.LittleEndian.PutUint32(blob[12:], uint32(w))
+	binary.LittleEndian.PutUint32(blob[16:], uint32(opts.ExpBits))
+	for i, off := range offsets {
+		binary.LittleEndian.PutUint32(blob[headerLen+4*i:], off)
+	}
+	pos := headerLen + 4*(nLines+1)
+	for _, buf := range lineBufs {
+		pos += copy(blob[pos:], buf)
+	}
+	return blob, nil
+}

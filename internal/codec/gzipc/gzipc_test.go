@@ -1,0 +1,134 @@
+package gzipc
+
+import (
+	"testing"
+
+	"scipp/internal/codec"
+	"scipp/internal/codec/lut"
+	"scipp/internal/codec/rawfmt"
+	"scipp/internal/synthetic"
+	"scipp/internal/tensor"
+)
+
+func cosmoRecord(t testing.TB, dim int) (*synthetic.CosmoSample, []byte) {
+	t.Helper()
+	cfg := synthetic.DefaultCosmoConfig()
+	cfg.Dim = dim
+	s, err := synthetic.GenerateCosmo(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, synthetic.CosmoToRecord(s)
+}
+
+func TestRoundTripThroughGzip(t *testing.T) {
+	_, rec := cosmoRecord(t, 16)
+	z, err := Encode(rec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) >= len(rec) {
+		t.Errorf("gzip did not compress: %d >= %d", len(z), len(rec))
+	}
+	f := Wrap(rawfmt.Cosmo())
+	if f.Name() != "gzip+raw-cosmo" {
+		t.Errorf("name = %q", f.Name())
+	}
+	cd, err := f.Open(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := codec.Decode(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must match the un-gzipped baseline exactly.
+	plain, err := rawfmt.Cosmo().Open(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := codec.Decode(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(out, want) != 0 {
+		t.Error("gzip wrapper altered decode output")
+	}
+}
+
+func TestWorkloadReportsSerialInflate(t *testing.T) {
+	_, rec := cosmoRecord(t, 16)
+	z, err := Encode(rec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := Wrap(rawfmt.Cosmo()).Open(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := cd.Workload()
+	if wl.BytesIn != len(z) {
+		t.Errorf("BytesIn = %d, want compressed size %d", wl.BytesIn, len(z))
+	}
+	if wl.SerialBytes != len(rec) {
+		t.Errorf("SerialBytes = %d, want inflated size %d", wl.SerialBytes, len(rec))
+	}
+}
+
+func TestGzipBeatsLUTRatioButStaysClose(t *testing.T) {
+	// §V-B: gzip ~5x vs LUT ~4x on the int16 source. Verify the ordering
+	// and rough magnitudes on synthetic data.
+	s, rec := cosmoRecord(t, 48)
+	z, err := Encode(rec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lutBlob, err := lut.Encode(s.Channels, s.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := float64(s.StoredBytes())
+	gzRatio := src / float64(len(z))
+	lutRatio := src / float64(len(lutBlob))
+	t.Logf("gzip %.2fx, lut %.2fx", gzRatio, lutRatio)
+	if gzRatio < lutRatio*0.8 {
+		t.Errorf("gzip ratio %.2f much worse than lut %.2f; paper has gzip ahead", gzRatio, lutRatio)
+	}
+	// At dim=48 the per-sample table overhead is not yet amortized; the
+	// paper-scale ~4x shows up at dim=128 (validated by the bench harness).
+	if lutRatio < 2.5 {
+		t.Errorf("lut ratio %.2f below the small-volume ballpark", lutRatio)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	if _, err := Wrap(rawfmt.Cosmo()).Open([]byte("definitely-not-gzip")); err == nil {
+		t.Error("non-gzip blob accepted")
+	}
+	// Valid gzip wrapping garbage for the inner format.
+	z, err := Encode([]byte("junk-payload"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Wrap(rawfmt.Cosmo()).Open(z); err == nil {
+		t.Error("gzip of junk accepted by inner format")
+	}
+}
+
+func TestEncodeLevels(t *testing.T) {
+	_, rec := cosmoRecord(t, 16)
+	fast, err := Encode(rec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Encode(rec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best) > len(fast) {
+		t.Errorf("level 9 (%d) larger than level 1 (%d)", len(best), len(fast))
+	}
+	if _, err := Encode(rec, 42); err == nil {
+		t.Error("invalid level accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package rawfmt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"scipp/internal/codec"
+	"scipp/internal/synthetic"
+	"scipp/internal/tensor"
+)
+
+func climateBlob(t testing.TB) (*synthetic.ClimateSample, []byte) {
+	t.Helper()
+	cfg := synthetic.DefaultClimateConfig()
+	cfg.Channels = 3
+	cfg.Height = 32
+	cfg.Width = 48
+	s, err := synthetic.GenerateClimate(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := synthetic.ClimateToH5(s).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return s, buf.Bytes()
+}
+
+func TestDeepCAMBaseline(t *testing.T) {
+	s, blob := climateBlob(t)
+	cd, err := DeepCAM().Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.OutputDType() != tensor.F32 {
+		t.Error("baseline must output FP32")
+	}
+	out, err := codec.Decode(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(out, s.Data) != 0 {
+		t.Error("baseline decode is not bit-exact")
+	}
+	wl := cd.Workload()
+	if wl.Chunks != 3 {
+		t.Errorf("Chunks = %d, want 3 (channels)", wl.Chunks)
+	}
+	if wl.SerialBytes != 0 {
+		t.Error("raw decode should report no serial stage")
+	}
+}
+
+func TestDeepCAMOpenErrors(t *testing.T) {
+	if _, err := DeepCAM().Open([]byte("not-h5")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func cosmoBlob(t testing.TB) (*synthetic.CosmoSample, []byte) {
+	t.Helper()
+	cfg := synthetic.DefaultCosmoConfig()
+	cfg.Dim = 16
+	s, err := synthetic.GenerateCosmo(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, synthetic.CosmoToRecord(s)
+}
+
+func TestCosmoBaseline(t *testing.T) {
+	s, blob := cosmoBlob(t)
+	cd, err := Cosmo().Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := codec.Decode(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := s.Dim * s.Dim * s.Dim
+	for c := 0; c < 4; c++ {
+		for i := 0; i < vol; i++ {
+			want := float32(math.Log1p(float64(s.Channels[c][i])))
+			if out.F32s[c*vol+i] != want {
+				t.Fatalf("channel %d voxel %d: %g != %g", c, i, out.F32s[c*vol+i], want)
+			}
+		}
+	}
+}
+
+func TestCosmoParallelChunks(t *testing.T) {
+	_, blob := cosmoBlob(t)
+	cd, err := Cosmo().Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := codec.Decode(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := codec.DecodeParallel(cd, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Error("parallel baseline decode differs")
+	}
+}
+
+func TestParams(t *testing.T) {
+	s, blob := cosmoBlob(t)
+	p, err := Params(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != s.Params {
+		t.Errorf("params %v != %v", p, s.Params)
+	}
+	if _, err := Params([]byte("junk")); err == nil {
+		t.Error("garbage record accepted")
+	}
+}
+
+func TestChunkValidation(t *testing.T) {
+	_, blob := cosmoBlob(t)
+	cd, err := Cosmo().Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := tensor.New(tensor.F32, 4, 16, 16, 16)
+	if err := cd.DecodeChunk(4, dst); err == nil {
+		t.Error("chunk 4 accepted")
+	}
+	if err := cd.DecodeChunk(0, tensor.New(tensor.F16, 4, 16, 16, 16)); err == nil {
+		t.Error("F16 dst accepted for baseline")
+	}
+}

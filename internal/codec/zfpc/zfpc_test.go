@@ -1,0 +1,264 @@
+package zfpc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"scipp/internal/stats"
+	"scipp/internal/synthetic"
+	"scipp/internal/xrand"
+)
+
+func TestLiftInverse(t *testing.T) {
+	// zfp's lifting pair is range-contracting (the forward matrix carries a
+	// 1/16 factor), so inversion is exact only down to a few integer units
+	// of rounding — which sit far below the quantization floor in use.
+	f := func(a, b, c, d int16) bool {
+		p := [4]int32{int32(a) << 8, int32(b) << 8, int32(c) << 8, int32(d) << 8}
+		orig := p
+		fwdLift(&p)
+		invLift(&p)
+		for i := range p {
+			diff := p[i] - orig[i]
+			if diff < -8 || diff > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequencyOrder(t *testing.T) {
+	seen := map[int]bool{}
+	for _, idx := range seqOrder {
+		if idx < 0 || idx > 15 || seen[idx] {
+			t.Fatalf("seqOrder not a permutation: %v", seqOrder)
+		}
+		seen[idx] = true
+	}
+	if seqOrder[0] != 0 {
+		t.Error("DC coefficient must come first")
+	}
+	// Bands must be non-decreasing.
+	for k := 1; k < 16; k++ {
+		if seqBand[k] < seqBand[k-1] {
+			t.Error("sequency bands not ordered")
+		}
+	}
+}
+
+func TestRoundTripSmooth(t *testing.T) {
+	h, w := 32, 48
+	data := make([]float32, h*w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			data[y*w+x] = 100 + 10*float32(math.Sin(float64(x)*0.2))*float32(math.Cos(float64(y)*0.15))
+		}
+	}
+	blob, err := Encode(data, h, w, Options{Rate: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, dh, dw, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dh != h || dw != w {
+		t.Fatalf("dims %dx%d", dh, dw)
+	}
+	st := stats.RelativeErrors(data, dec, 0.01)
+	if st.MaxRel > 0.02 {
+		t.Errorf("max relative error %.4f too large for rate 10 on smooth data", st.MaxRel)
+	}
+}
+
+func TestRoundTripSpecialBlocks(t *testing.T) {
+	// All-zero plane.
+	zero := make([]float32, 16)
+	blob, err := Encode(zero, 4, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, _, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec {
+		if v != 0 {
+			t.Fatalf("zero block decoded %g at %d", v, i)
+		}
+	}
+	// Constant plane: DC-only, should be near-exact.
+	konst := make([]float32, 64)
+	for i := range konst {
+		konst[i] = -7.25
+	}
+	blob, err = Encode(konst, 8, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, _, err = Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec {
+		if math.Abs(float64(v)+7.25) > 0.01 {
+			t.Fatalf("const block decoded %g at %d", v, i)
+		}
+	}
+}
+
+func TestPartialEdgeBlocks(t *testing.T) {
+	// Dimensions not divisible by 4.
+	h, w := 7, 9
+	data := make([]float32, h*w)
+	r := xrand.New(3)
+	for i := range data {
+		data[i] = 50 + float32(r.NormFloat64())
+	}
+	blob, err := Encode(data, h, w, Options{Rate: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, dh, dw, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dh != h || dw != w || len(dec) != h*w {
+		t.Fatalf("decoded dims %dx%d", dh, dw)
+	}
+	st := stats.RelativeErrors(data, dec, 0.05)
+	if st.FracAbove > 0.02 {
+		t.Errorf("%.1f%% of edge-block values above 5%% error", 100*st.FracAbove)
+	}
+}
+
+func TestFixedRateSize(t *testing.T) {
+	h, w := 64, 64
+	data := make([]float32, h*w)
+	for i := range data {
+		data[i] = float32(i % 37)
+	}
+	for _, rate := range []int{4, 8, 12, 16} {
+		blob, err := Encode(data, h, w, Options{Rate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blob) != EncodedSize(h, w, rate) {
+			t.Errorf("rate %d: size %d, predicted %d", rate, len(blob), EncodedSize(h, w, rate))
+		}
+	}
+	// Higher rate, bigger blob, smaller error.
+	lo, _ := Encode(data, h, w, Options{Rate: 4})
+	hi, _ := Encode(data, h, w, Options{Rate: 16})
+	if len(lo) >= len(hi) {
+		t.Error("rate 4 not smaller than rate 16")
+	}
+}
+
+func TestRateQualityTradeoff(t *testing.T) {
+	cfg := synthetic.DefaultClimateConfig()
+	cfg.Channels = 1
+	cfg.Height = 64
+	cfg.Width = 96
+	s, err := synthetic.GenerateClimate(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevErr := math.Inf(1)
+	for _, rate := range []int{6, 10, 14} {
+		blob, err := Encode(s.Data.F32s, cfg.Height, cfg.Width, Options{Rate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, _, err := Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := stats.RelativeErrors(s.Data.F32s, dec, 0.10)
+		if st.MeanRel >= prevErr {
+			t.Errorf("rate %d: error %.5f did not improve on previous %.5f", rate, st.MeanRel, prevErr)
+		}
+		prevErr = st.MeanRel
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Encode(make([]float32, 5), 2, 3, Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Encode(make([]float32, 6), 2, 3, Options{Rate: 99}); err == nil {
+		t.Error("bad rate accepted")
+	}
+	bad := make([]float32, 4)
+	bad[2] = float32(math.NaN())
+	if _, err := Encode(bad, 2, 2, Options{}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, _, _, err := Decode(nil); err == nil {
+		t.Error("nil blob accepted")
+	}
+	if _, _, _, err := Decode([]byte("0123456789012")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestDecodeTruncation(t *testing.T) {
+	data := make([]float32, 64)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	blob, err := Encode(data, 8, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{13, 14, len(blob) - 1} {
+		if _, _, _, err := Decode(blob[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	cfg := synthetic.DefaultClimateConfig()
+	cfg.Channels = 1
+	cfg.Height = 192
+	cfg.Width = 288
+	s, err := synthetic.GenerateClimate(cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(s.Data.F32s) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(s.Data.F32s, cfg.Height, cfg.Width, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	cfg := synthetic.DefaultClimateConfig()
+	cfg.Channels = 1
+	cfg.Height = 192
+	cfg.Width = 288
+	s, err := synthetic.GenerateClimate(cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := Encode(s.Data.F32s, cfg.Height, cfg.Width, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(s.Data.F32s) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package dist implements ring allreduce across in-process ranks — the role
+// NCCL/Horovod play in the paper's distributed training ("NVIDIA's NCCL for
+// distributed implementation"; "TensorFlow leverages the NCCL library ...
+// through the Horovod library").
+//
+// The algorithm is the bandwidth-optimal ring: N-1 scatter-reduce steps
+// followed by N-1 allgather steps, moving 2*(N-1)/N of the buffer per rank.
+// Ranks are goroutines; links are channels. A cost model mirrors the data
+// movement for the step-time breakdowns.
+package dist
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group is a fixed-size communicator. All ranks must call collective
+// operations the same number of times in the same order.
+type Group struct {
+	n     int
+	links []chan []float32 // links[r] carries messages from rank r-1 to rank r
+	bar   *barrier
+}
+
+// NewGroup creates a communicator of n ranks.
+func NewGroup(n int) (*Group, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: invalid group size %d", n)
+	}
+	g := &Group{n: n, links: make([]chan []float32, n), bar: newBarrier(n)}
+	for i := range g.links {
+		g.links[i] = make(chan []float32, 1)
+	}
+	return g, nil
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return g.n }
+
+// AllReduceSum sums data elementwise across ranks, in place; every rank ends
+// with the identical total. Blocks until all ranks participate. data must
+// have the same length on every rank.
+func (g *Group) AllReduceSum(rank int, data []float32) {
+	if rank < 0 || rank >= g.n {
+		panic(fmt.Sprintf("dist: rank %d out of group of %d", rank, g.n))
+	}
+	if g.n == 1 {
+		return
+	}
+	n := g.n
+	// Segment boundaries: segment s covers [bounds[s], bounds[s+1]).
+	bounds := make([]int, n+1)
+	for s := 0; s <= n; s++ {
+		bounds[s] = s * len(data) / n
+	}
+	seg := func(s int) []float32 { return data[bounds[s]:bounds[s+1]] }
+	next := (rank + 1) % n
+
+	// Scatter-reduce: after step k, rank r holds the partial sum of segment
+	// (r-k) over k+1 contributions.
+	for step := 0; step < n-1; step++ {
+		sendSeg := (rank - step + n*n) % n
+		out := append([]float32(nil), seg(sendSeg)...)
+		g.links[next] <- out
+		in := <-g.links[rank]
+		recvSeg := (rank - step - 1 + n*n) % n
+		dst := seg(recvSeg)
+		for i, v := range in {
+			dst[i] += v
+		}
+	}
+	// Allgather: circulate the completed segments.
+	for step := 0; step < n-1; step++ {
+		sendSeg := (rank - step + 1 + n*n) % n
+		out := append([]float32(nil), seg(sendSeg)...)
+		g.links[next] <- out
+		in := <-g.links[rank]
+		recvSeg := (rank - step + n*n) % n
+		copy(seg(recvSeg), in)
+	}
+}
+
+// AllReduceMean is AllReduceSum followed by division by the group size.
+func (g *Group) AllReduceMean(rank int, data []float32) {
+	g.AllReduceSum(rank, data)
+	inv := 1 / float32(g.n)
+	for i := range data {
+		data[i] *= inv
+	}
+}
+
+// Barrier blocks until every rank reaches it.
+func (g *Group) Barrier() { g.bar.wait() }
+
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// RingTime models the wall time of a ring allreduce of `bytes` gradient
+// bytes across n ranks over links of linkGBs, with perStepLatency seconds of
+// software/launch latency per ring step. This is the model-synchronization
+// stage of Figs 9/12.
+func RingTime(bytes int, n int, linkGBs float64, perStepLatency float64) float64 {
+	if n <= 1 || bytes == 0 {
+		return 0
+	}
+	moved := 2 * float64(n-1) / float64(n) * float64(bytes)
+	return moved/(linkGBs*1e9) + float64(2*(n-1))*perStepLatency
+}

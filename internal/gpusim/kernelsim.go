@@ -1,0 +1,136 @@
+package gpusim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"scipp/internal/codec"
+	"scipp/internal/trace"
+)
+
+// WarpsPerSM is the resident-warp count the kernel simulator schedules per
+// SM. Decode kernels are small; a handful of resident warps per SM covers
+// their latency.
+const WarpsPerSM = 4
+
+// KernelSim simulates a decode kernel at warp granularity on a virtual
+// clock: chunks are dispatched to warp slots (list scheduling), divergent
+// chunks run with the strategy's penalty, and the result is lower-bounded
+// by the HBM streaming time. Unlike the closed-form KernelTime, the
+// simulator captures load imbalance at the kernel tail and can emit a
+// per-warp timeline.
+type KernelSim struct {
+	Device *Device
+	// Timeline, when non-nil, receives one event per executed chunk batch
+	// (resource "sm<N>.warp<M>").
+	Timeline *trace.Timeline
+}
+
+// warpSlot is one schedulable warp with its next-free time.
+type warpSlot struct {
+	sm, warp int
+	free     float64
+}
+
+type warpHeap []warpSlot
+
+func (h warpHeap) Len() int            { return len(h) }
+func (h warpHeap) Less(i, j int) bool  { return h[i].free < h[j].free }
+func (h warpHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *warpHeap) Push(x interface{}) { *h = append(*h, x.(warpSlot)) }
+func (h *warpHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates the kernel for a workload and returns its duration in
+// seconds. Chunk costs are derived from the workload: uniform chunks run at
+// the device's effective rate; divergent chunks are penalized per the
+// strategy (§VI's hierarchical assignment vs the naive mapping).
+func (k *KernelSim) Run(w codec.Workload) (float64, error) {
+	if w.Chunks < 0 || w.Divergent < 0 || w.Divergent > w.Chunks {
+		return 0, fmt.Errorf("gpusim: inconsistent workload %+v", w)
+	}
+	d := k.Device
+	if w.Chunks == 0 {
+		return KernelLaunchSec, nil
+	}
+	// Per-warp execution rate: the device's effective throughput divided
+	// across its resident warp slots.
+	slotsN := d.GPU.SMs * WarpsPerSM
+	warpRate := d.GPU.FP32TFs * 1e12 * computeEfficiency / float64(slotsN)
+	penalty := hierDivergencePenalty
+	if d.Strategy == NaiveThreadPerChunk {
+		penalty = naiveDivergencePenalty
+	}
+	opsPerChunk := float64(w.Ops) / float64(w.Chunks)
+	uniformCost := opsPerChunk / warpRate
+	divergentCost := uniformCost * penalty
+
+	// Build the warp pool.
+	slots := make(warpHeap, 0, d.GPU.SMs*WarpsPerSM)
+	for sm := 0; sm < d.GPU.SMs; sm++ {
+		for wp := 0; wp < WarpsPerSM; wp++ {
+			slots = append(slots, warpSlot{sm: sm, warp: wp})
+		}
+	}
+	heap.Init(&slots)
+
+	// Dispatch divergent chunks first — the hierarchical strategy's point
+	// is to pack divergence onto dedicated warps so uniform warps fill the
+	// remainder of the machine.
+	makespan := 0.0
+	dispatch := func(n int, cost float64, tag string) {
+		for i := 0; i < n; i++ {
+			s := heap.Pop(&slots).(warpSlot)
+			start := s.free
+			s.free = start + cost
+			if s.free > makespan {
+				makespan = s.free
+			}
+			if k.Timeline != nil {
+				k.Timeline.Add(fmt.Sprintf("sm%d.warp%d", s.sm, s.warp), tag, start, s.free)
+			}
+			heap.Push(&slots, s)
+		}
+	}
+	dispatch(w.Divergent, divergentCost, "divergent-chunk")
+	dispatch(w.Chunks-w.Divergent, uniformCost, "uniform-chunk")
+
+	// Memory-bandwidth lower bound.
+	tMem := float64(w.BytesIn+w.BytesOut) / (d.GPU.HBMTBs * 1e12 * hbmEfficiency)
+	t := makespan
+	if tMem > t {
+		t = tMem
+	}
+	return KernelLaunchSec + t, nil
+}
+
+// Occupancy reports the fraction of warp-seconds actually busy during the
+// simulated kernel, a utilization figure for the decode-strategy ablation.
+func (k *KernelSim) Occupancy(w codec.Workload) (float64, error) {
+	tl := k.Timeline
+	own := &trace.Timeline{}
+	k.Timeline = own
+	total, err := k.Run(w)
+	k.Timeline = tl
+	if err != nil {
+		return 0, err
+	}
+	busyTime := 0.0
+	for _, b := range own.Breakdown() {
+		busyTime += b
+	}
+	warpSeconds := float64(k.Device.GPU.SMs*WarpsPerSM) * (total - KernelLaunchSec)
+	if warpSeconds <= 0 {
+		return 0, nil
+	}
+	occ := busyTime / warpSeconds
+	if occ > 1 {
+		occ = 1
+	}
+	return occ, nil
+}

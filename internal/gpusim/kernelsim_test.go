@@ -1,0 +1,153 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"scipp/internal/codec"
+	"scipp/internal/platform"
+	"scipp/internal/trace"
+)
+
+func TestKernelSimZeroChunks(t *testing.T) {
+	k := &KernelSim{Device: New(platform.CoriV100().GPU)}
+	got, err := k.Run(codec.Workload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != KernelLaunchSec {
+		t.Errorf("empty kernel = %g, want launch overhead", got)
+	}
+}
+
+func TestKernelSimRejectsInconsistentWorkload(t *testing.T) {
+	k := &KernelSim{Device: New(platform.CoriV100().GPU)}
+	if _, err := k.Run(codec.Workload{Chunks: 2, Divergent: 5}); err == nil {
+		t.Error("divergent > chunks accepted")
+	}
+}
+
+func TestKernelSimMatchesListSchedule(t *testing.T) {
+	// With uniform chunks and no memory bound, makespan must equal
+	// ceil(chunks/warps) * chunkCost.
+	dev := New(platform.CoriV100().GPU) // 80 SMs x 4 warps = 320 slots
+	k := &KernelSim{Device: dev}
+	w := codec.Workload{Chunks: 650, Ops: 650 * 1 << 20} // 2+ waves
+	got, err := k.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warpRate := dev.GPU.FP32TFs * 1e12 * 0.20 / 320
+	chunkCost := float64(1<<20) / warpRate
+	want := KernelLaunchSec + 3*chunkCost // ceil(650/320) = 3 waves
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("makespan %g, want %g", got, want)
+	}
+}
+
+func TestKernelSimMemoryBound(t *testing.T) {
+	dev := New(platform.CoriV100().GPU)
+	k := &KernelSim{Device: dev}
+	// Tiny compute, huge bytes: memory bound.
+	w := codec.Workload{Chunks: 10, Ops: 10, BytesIn: 1 << 30, BytesOut: 1 << 30}
+	got, err := k.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tMem := float64(2<<30) / (0.9e12 * 0.65)
+	if got < tMem {
+		t.Errorf("kernel %g below memory bound %g", got, tMem)
+	}
+}
+
+func TestKernelSimDivergencePenalty(t *testing.T) {
+	dev := New(platform.Summit().GPU)
+	k := &KernelSim{Device: dev}
+	uniform := codec.Workload{Chunks: 320, Ops: 320 << 20}
+	divergent := uniform
+	divergent.Divergent = 320
+	tu, err := k.Run(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := k.Run(divergent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td <= tu {
+		t.Error("divergent kernel not slower")
+	}
+	// Naive strategy is slower still.
+	kn := &KernelSim{Device: &Device{GPU: dev.GPU, Strategy: NaiveThreadPerChunk}}
+	tn, err := kn.Run(divergent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn <= td {
+		t.Error("naive strategy should be slower than hierarchical on divergent work")
+	}
+}
+
+func TestKernelSimAgreesWithAnalyticModel(t *testing.T) {
+	// For saturating workloads the DES and the closed-form estimate should
+	// agree within ~2x (the DES adds tail effects; the closed form is a
+	// throughput bound).
+	dev := New(platform.CoriA100().GPU)
+	k := &KernelSim{Device: dev}
+	w := codec.Workload{Chunks: 5000, Ops: 200 << 20, BytesIn: 8 << 20, BytesOut: 32 << 20, Divergent: 500}
+	des, err := k.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := dev.KernelTime(w)
+	ratio := des / closed
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Errorf("DES/closed-form ratio %.2f out of band (%g vs %g)", ratio, des, closed)
+	}
+}
+
+func TestKernelSimTimeline(t *testing.T) {
+	dev := New(platform.CoriV100().GPU)
+	tl := &trace.Timeline{}
+	k := &KernelSim{Device: dev, Timeline: tl}
+	w := codec.Workload{Chunks: 100, Ops: 100 << 16, Divergent: 20}
+	if _, err := k.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Len() != 100 {
+		t.Errorf("timeline has %d events, want 100", tl.Len())
+	}
+	b := tl.Breakdown()
+	if b["divergent-chunk"] <= 0 || b["uniform-chunk"] <= 0 {
+		t.Errorf("missing chunk classes in breakdown: %v", b)
+	}
+	// Divergent chunks consume disproportionate warp time.
+	perDiv := b["divergent-chunk"] / 20
+	perUni := b["uniform-chunk"] / 80
+	if perDiv <= perUni {
+		t.Error("divergent chunks should cost more warp time each")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	dev := New(platform.CoriV100().GPU) // 320 warp slots
+	k := &KernelSim{Device: dev}
+	// Full waves: high occupancy.
+	full := codec.Workload{Chunks: 640, Ops: 640 << 20}
+	occF, err := k.Occupancy(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occF < 0.9 {
+		t.Errorf("full-wave occupancy %.2f, want ~1", occF)
+	}
+	// A single straggler wave: low occupancy.
+	straggler := codec.Workload{Chunks: 10, Ops: 10 << 20}
+	occS, err := k.Occupancy(straggler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occS >= occF {
+		t.Errorf("straggler occupancy %.2f should be below full %.2f", occS, occF)
+	}
+}

@@ -1,0 +1,153 @@
+package iosim
+
+import (
+	"math"
+	"testing"
+
+	"scipp/internal/platform"
+)
+
+func TestResidencySmallDatasetCaches(t *testing.T) {
+	n := Node{P: platform.CoriV100()}
+	// 1536 DeepCAM samples x 56.6 MB FP32 ~ 87 GB < 288 GB budget.
+	ds := Dataset{Samples: 1536, SampleBytes: 16 * 1152 * 768 * 4, Staged: true}
+	if got := n.ResidentLevel(ds, 0); got != NVMe {
+		t.Errorf("cold epoch from %v, want NVMe (staged)", got)
+	}
+	if got := n.ResidentLevel(ds, 1); got != HostMem {
+		t.Errorf("warm epoch from %v, want host memory", got)
+	}
+}
+
+func TestResidencyLargeDatasetDoesNotCache(t *testing.T) {
+	n := Node{P: platform.CoriV100()}
+	// 12288 samples x 56.6 MB ~ 696 GB > 288 GB budget (the paper's "bigger
+	// data set is 8x larger and less likely to fit in memory").
+	ds := Dataset{Samples: 12288, SampleBytes: 16 * 1152 * 768 * 4, Staged: true}
+	if got := n.ResidentLevel(ds, 5); got != NVMe {
+		t.Errorf("large staged dataset reads from %v, want NVMe every epoch", got)
+	}
+	ds.Staged = false
+	if got := n.ResidentLevel(ds, 5); got != SharedFS {
+		t.Errorf("large unstaged dataset reads from %v, want shared FS", got)
+	}
+}
+
+func TestCompressionEnablesCaching(t *testing.T) {
+	// The core caching claim: "reducing the input sample size, for instance
+	// through compression, enables caching more samples in the host CPU
+	// memory" (§II). The large DeepCAM set does not fit raw but fits at ~4x
+	// compression.
+	n := Node{P: platform.CoriV100()}
+	raw := Dataset{Samples: 12288, SampleBytes: 16 * 1152 * 768 * 4, Staged: true}
+	encoded := raw
+	encoded.SampleBytes = raw.SampleBytes / 4
+	if n.ResidentLevel(raw, 1) == HostMem {
+		t.Error("raw large dataset should not fit host memory")
+	}
+	if n.ResidentLevel(encoded, 1) != HostMem {
+		t.Error("encoded large dataset should fit host memory")
+	}
+}
+
+func TestBandwidthOrdering(t *testing.T) {
+	for _, p := range platform.All() {
+		n := Node{P: p}
+		fs, nvme, mem := n.BandwidthGBs(SharedFS), n.BandwidthGBs(NVMe), n.BandwidthGBs(HostMem)
+		if !(fs < nvme && nvme < mem) {
+			t.Errorf("%s: bandwidth ordering fs=%g nvme=%g mem=%g", p.Name, fs, nvme, mem)
+		}
+	}
+}
+
+func TestReadTimeSharing(t *testing.T) {
+	n := Node{P: platform.Summit()}
+	ds := Dataset{Samples: 100, SampleBytes: 32 << 20, Staged: true}
+	t1 := n.ReadTime(ds, NVMe, 1)
+	t6 := n.ReadTime(ds, NVMe, 6)
+	if math.Abs(t6-6*t1) > 1e-9 {
+		t.Errorf("6-way sharing should cost 6x: %g vs %g", t6, 6*t1)
+	}
+	if n.ReadTime(ds, NVMe, 0) != t1 {
+		t.Error("streams<1 should clamp to 1")
+	}
+}
+
+func TestFitsNVMe(t *testing.T) {
+	n := Node{P: platform.Summit()} // 1.0 TB NVMe
+	small := Dataset{Samples: 1000, SampleBytes: 100 << 20}
+	big := Dataset{Samples: 20000, SampleBytes: 100 << 20} // 2 TB
+	if !n.FitsNVMe(small) {
+		t.Error("100 GB should fit 1 TB NVMe")
+	}
+	if n.FitsNVMe(big) {
+		t.Error("2 TB should not fit 1 TB NVMe")
+	}
+}
+
+func TestStageTime(t *testing.T) {
+	n := Node{P: platform.CoriV100()}
+	ds := Dataset{Samples: 100, SampleBytes: 1 << 30, Staged: true}
+	want := float64(ds.Bytes()) / (n.P.Storage.SharedGB * 1e9)
+	if got := n.StageTime(ds); math.Abs(got-want) > 1e-9 {
+		t.Errorf("StageTime = %g, want %g", got, want)
+	}
+	ds.Staged = false
+	if n.StageTime(ds) != 0 {
+		t.Error("unstaged dataset should have zero stage time")
+	}
+}
+
+func TestEpochReadTime(t *testing.T) {
+	n := Node{P: platform.CoriV100()}
+	ds := Dataset{Samples: 128, SampleBytes: 16 << 20, Staged: true}
+	cold := n.EpochReadTime(ds, 0)
+	warm := n.EpochReadTime(ds, 1)
+	if warm >= cold {
+		t.Errorf("warm epoch (%g) should be faster than cold (%g)", warm, cold)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if SharedFS.String() != "shared-fs" || NVMe.String() != "nvme" || HostMem.String() != "host-mem" {
+		t.Error("level names")
+	}
+}
+
+func TestHitFraction(t *testing.T) {
+	n := Node{P: platform.CoriV100()}                                    // budget ~230 GB
+	small := Dataset{Samples: 1000, SampleBytes: 16 << 20, Staged: true} // 16 GB
+	if got := n.HitFraction(small, 1); got != 1 {
+		t.Errorf("small set hit fraction %g, want 1", got)
+	}
+	if got := n.HitFraction(small, 0); got != 0 {
+		t.Errorf("cold epoch hit fraction %g, want 0", got)
+	}
+	// 660 GB dataset against a ~230 GB budget: hits ~0.35.
+	big := Dataset{Samples: 12288, SampleBytes: 54 << 20, Staged: true}
+	h := n.HitFraction(big, 3)
+	if h < 0.25 || h > 0.45 {
+		t.Errorf("big set hit fraction %g outside [0.25, 0.45]", h)
+	}
+}
+
+func TestPartialReadTimeBetweenExtremes(t *testing.T) {
+	n := Node{P: platform.CoriV100()}
+	big := Dataset{Samples: 12288, SampleBytes: 54 << 20, Staged: true}
+	warm := n.PartialReadTime(big, 2, 8)
+	allNVMe := n.ReadTime(big, NVMe, 8)
+	allMem := n.ReadTime(big, HostMem, 8)
+	if warm >= allNVMe || warm <= allMem {
+		t.Errorf("partial read time %g not between mem %g and nvme %g", warm, allMem, allNVMe)
+	}
+	// Cold epoch reads entirely from storage.
+	cold := n.PartialReadTime(big, 0, 8)
+	if math.Abs(cold-allNVMe) > 1e-12 {
+		t.Errorf("cold partial read %g, want %g", cold, allNVMe)
+	}
+	// Unstaged misses hit the shared FS instead.
+	big.Staged = false
+	if got := n.PartialReadTime(big, 0, 8); math.Abs(got-n.ReadTime(big, SharedFS, 8)) > 1e-12 {
+		t.Errorf("unstaged cold read from wrong level")
+	}
+}

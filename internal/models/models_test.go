@@ -1,0 +1,141 @@
+package models
+
+import (
+	"testing"
+
+	"scipp/internal/tensor"
+	"scipp/internal/xrand"
+)
+
+func TestMiniDeepCAMShapes(t *testing.T) {
+	m, err := MiniDeepCAM(16, 32, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitHe(1)
+	x := tensor.New(tensor.F32, 2, 16, 32, 48)
+	r := xrand.New(1)
+	for i := range x.F32s {
+		x.F32s[i] = float32(r.NormFloat64())
+	}
+	out := m.Forward(x)
+	if !out.Shape.Equal(tensor.Shape{2, NumClasses, 32, 48}) {
+		t.Errorf("logits shape %v", out.Shape)
+	}
+	// Backward must return a gradient of the input shape.
+	grad := tensor.New(tensor.F32, out.Shape...)
+	grad.F32s[0] = 1
+	dx := m.Backward(grad)
+	if !dx.Shape.Equal(x.Shape) {
+		t.Errorf("input grad shape %v", dx.Shape)
+	}
+}
+
+func TestMiniDeepCAMValidation(t *testing.T) {
+	if _, err := MiniDeepCAM(0, 32, 32); err == nil {
+		t.Error("zero channels accepted")
+	}
+	if _, err := MiniDeepCAM(16, 30, 32); err == nil {
+		t.Error("H not divisible by 4 accepted")
+	}
+	if _, err := MiniDeepCAM(16, 32, 31); err == nil {
+		t.Error("W not divisible by 4 accepted")
+	}
+}
+
+func TestMiniCosmoFlowShapes(t *testing.T) {
+	m, err := MiniCosmoFlow(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitHe(2)
+	x := tensor.New(tensor.F32, 3, 4, 16, 16, 16)
+	r := xrand.New(2)
+	for i := range x.F32s {
+		x.F32s[i] = float32(r.NormFloat64())
+	}
+	out := m.Forward(x)
+	if !out.Shape.Equal(tensor.Shape{3, 4}) {
+		t.Errorf("prediction shape %v", out.Shape)
+	}
+}
+
+func TestMiniCosmoFlowValidation(t *testing.T) {
+	if _, err := MiniCosmoFlow(12); err == nil {
+		t.Error("D not divisible by 8 accepted")
+	}
+	if _, err := MiniCosmoFlow(0); err == nil {
+		t.Error("D=0 accepted")
+	}
+}
+
+func TestModelTopology(t *testing.T) {
+	// The paper's CosmoFlow is "five layers of 3D convolutional layers and
+	// three fully connected layers".
+	m, err := MiniCosmoFlow(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv3d, dense := 0, 0
+	for _, p := range m.Params() {
+		switch len(p.Shape) {
+		case 5:
+			conv3d++
+		case 2:
+			dense++
+		}
+	}
+	if conv3d != 5 {
+		t.Errorf("conv3d layers = %d, want 5", conv3d)
+	}
+	if dense != 3 {
+		t.Errorf("dense layers = %d, want 3", dense)
+	}
+}
+
+func TestParamCountsReasonable(t *testing.T) {
+	dc, err := MiniDeepCAM(16, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := dc.ParamCount(); n < 5_000 || n > 500_000 {
+		t.Errorf("MiniDeepCAM params %d outside sane range", n)
+	}
+	cf, err := MiniCosmoFlow(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := cf.ParamCount(); n < 50_000 || n > 5_000_000 {
+		t.Errorf("MiniCosmoFlow params %d outside sane range", n)
+	}
+}
+
+func TestMiniCosmoFlowDropoutVariant(t *testing.T) {
+	m, err := MiniCosmoFlowDropout(16, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must have one more layer than the plain model.
+	plain, _ := MiniCosmoFlow(16)
+	if len(m.Layers) != len(plain.Layers)+1 {
+		t.Errorf("dropout variant has %d layers, plain %d", len(m.Layers), len(plain.Layers))
+	}
+	m.InitHe(5)
+	x := tensor.New(tensor.F32, 2, 4, 16, 16, 16)
+	r := xrand.New(5)
+	for i := range x.F32s {
+		x.F32s[i] = float32(r.NormFloat64())
+	}
+	out := m.Forward(x)
+	if !out.Shape.Equal(tensor.Shape{2, 4}) {
+		t.Errorf("output shape %v", out.Shape)
+	}
+	// p = 0 returns the plain topology.
+	m0, err := MiniCosmoFlowDropout(16, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m0.Layers) != len(plain.Layers) {
+		t.Error("p=0 should not insert dropout")
+	}
+}

@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"scipp/internal/xrand"
+)
+
+func TestBatchNormGradients(t *testing.T) {
+	r := xrand.New(40)
+	bn := NewBatchNorm2D("bn", 3)
+	x := randTensor(r, 2, 3, 4, 5)
+	checkLayerGradients(t, bn, x, 3e-2)
+}
+
+func TestBatchNormNormalizes(t *testing.T) {
+	r := xrand.New(41)
+	bn := NewBatchNorm2D("bn", 2)
+	x := randTensor(r, 4, 2, 8, 8)
+	// Shift and scale the input wildly.
+	for i := range x.F32s {
+		x.F32s[i] = x.F32s[i]*37 + 100
+	}
+	out := bn.Forward(x)
+	// Per channel, output must be ~zero mean unit variance (gamma=1 beta=0).
+	n, c, plane := 4, 2, 64
+	for ci := 0; ci < c; ci++ {
+		var sum, sumSq float64
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * plane
+			for p := 0; p < plane; p++ {
+				v := float64(out.F32s[base+p])
+				sum += v
+				sumSq += v * v
+			}
+		}
+		m := float64(n * plane)
+		mean := sum / m
+		variance := sumSq/m - mean*mean
+		if math.Abs(mean) > 1e-4 {
+			t.Errorf("channel %d mean %g", ci, mean)
+		}
+		if math.Abs(variance-1) > 1e-3 {
+			t.Errorf("channel %d variance %g", ci, variance)
+		}
+	}
+}
+
+func TestBatchNormRunningStats(t *testing.T) {
+	r := xrand.New(42)
+	bn := NewBatchNorm2D("bn", 1)
+	// Feed batches with mean ~5, std ~2.
+	for step := 0; step < 200; step++ {
+		x := randTensor(r, 8, 1, 4, 4)
+		for i := range x.F32s {
+			x.F32s[i] = x.F32s[i]*2 + 5
+		}
+		bn.Forward(x)
+	}
+	if math.Abs(float64(bn.RunningMean[0])-5) > 0.3 {
+		t.Errorf("running mean %g, want ~5", bn.RunningMean[0])
+	}
+	if math.Abs(float64(bn.RunningVar[0])-4) > 0.8 {
+		t.Errorf("running var %g, want ~4", bn.RunningVar[0])
+	}
+	// Eval mode uses running stats: an input at the running mean maps near
+	// beta (= 0).
+	bn.Train = false
+	x := randTensor(r, 1, 1, 2, 2)
+	for i := range x.F32s {
+		x.F32s[i] = 5
+	}
+	out := bn.Forward(x)
+	if math.Abs(float64(out.F32s[0])) > 0.1 {
+		t.Errorf("eval output at running mean = %g, want ~0", out.F32s[0])
+	}
+}
+
+func TestBatchNormEvalBackward(t *testing.T) {
+	r := xrand.New(43)
+	bn := NewBatchNorm2D("bn", 2)
+	// Prime running stats.
+	bn.Forward(randTensor(r, 4, 2, 4, 4))
+	bn.Train = false
+	x := randTensor(r, 2, 2, 4, 4)
+	checkLayerGradients(t, bn, x, 3e-2)
+}
+
+func TestBatchNormInTrainingLoop(t *testing.T) {
+	// A conv+BN+ReLU stack must train stably on wildly scaled inputs.
+	r := xrand.New(44)
+	model := NewSequential(
+		NewConv2D("c1", 1, 4, 3, 1, 1),
+		NewBatchNorm2D("bn1", 4),
+		NewReLU(),
+		NewFlatten(),
+		NewDense("d1", 4*8*8, 2),
+	)
+	model.InitHe(45)
+	x := randTensor(r, 4, 1, 8, 8)
+	for i := range x.F32s {
+		x.F32s[i] *= 500 // would destabilize an un-normalized net at this LR
+	}
+	target := randTensor(r, 4, 2)
+	opt := NewAdam(0.01)
+	var first, last float64
+	for i := 0; i < 50; i++ {
+		model.ZeroGrad()
+		out := model.Forward(x)
+		loss, grad := MSELoss(out, target)
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	if last > first/2 {
+		t.Errorf("BN training did not reduce loss: %g -> %g", first, last)
+	}
+}
+
+func TestBatchNormValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero channels accepted")
+		}
+	}()
+	NewBatchNorm2D("bn", 0)
+}

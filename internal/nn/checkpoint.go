@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+
+	"scipp/internal/h5lite"
+	"scipp/internal/tensor"
+)
+
+// SaveWeights serializes a model's parameters into an h5lite container —
+// one dataset per parameter, keyed by parameter name — so training runs can
+// checkpoint and the examples can hand models around.
+func SaveWeights(w io.Writer, s *Sequential) error {
+	f := h5lite.NewFile()
+	f.Attrs["format"] = "scipp-weights-v1"
+	f.Attrs["params"] = fmt.Sprint(len(s.Params()))
+	seen := make(map[string]bool)
+	for _, p := range s.Params() {
+		if seen[p.Name] {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+		t := tensor.FromF32(p.W, p.Shape...)
+		f.Put(p.Name, t)
+	}
+	return f.Write(w)
+}
+
+// LoadWeights restores parameters saved by SaveWeights into a model with
+// the identical topology. Shapes must match exactly; extra or missing
+// parameters are errors.
+func LoadWeights(r io.Reader, s *Sequential) error {
+	f, err := h5lite.Read(r)
+	if err != nil {
+		return fmt.Errorf("nn: reading checkpoint: %w", err)
+	}
+	if f.Attrs["format"] != "scipp-weights-v1" {
+		return fmt.Errorf("nn: not a weights checkpoint (format %q)", f.Attrs["format"])
+	}
+	params := s.Params()
+	if fmt.Sprint(len(params)) != f.Attrs["params"] {
+		return fmt.Errorf("nn: checkpoint has %s parameters, model has %d", f.Attrs["params"], len(params))
+	}
+	for _, p := range params {
+		t, ok := f.Get(p.Name)
+		if !ok {
+			return fmt.Errorf("nn: checkpoint missing parameter %q", p.Name)
+		}
+		if t.DT != tensor.F32 || !t.Shape.Equal(p.Shape) {
+			return fmt.Errorf("nn: parameter %q has shape %v, model wants %v", p.Name, t.Shape, p.Shape)
+		}
+		copy(p.W, t.F32s)
+	}
+	return nil
+}

@@ -1,0 +1,373 @@
+package nn
+
+import (
+	"fmt"
+
+	"scipp/internal/tensor"
+)
+
+// Conv2D is a 2D convolution over [N, Cin, H, W] inputs.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	Weight, Bias              *Param
+
+	x *tensor.Tensor // cached input
+}
+
+// NewConv2D builds a KxK convolution.
+func NewConv2D(name string, inC, outC, k, stride, pad int) *Conv2D {
+	if inC <= 0 || outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: bad Conv2D config %d %d %d %d %d", inC, outC, k, stride, pad))
+	}
+	return &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		Weight: newParam(name+".w", outC, inC, k, k),
+		Bias:   newParam(name+".b", outC),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.Weight.Name[:len(c.Weight.Name)-2] }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+func (c *Conv2D) outDims(h, w int) (int, int) {
+	ho := (h+2*c.Pad-c.K)/c.Stride + 1
+	wo := (w+2*c.Pad-c.K)/c.Stride + 1
+	return ho, wo
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkF32(x, 4, "Conv2D")
+	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if cin != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects %d input channels, got %d", c.InC, cin))
+	}
+	ho, wo := c.outDims(h, w)
+	out := tensor.New(tensor.F32, n, c.OutC, ho, wo)
+	c.x = x
+	wgt, bias := c.Weight.W, c.Bias.W
+	parallelFor(n*c.OutC, func(job int) {
+		ni, co := job/c.OutC, job%c.OutC
+		xBase := ni * cin * h * w
+		oBase := (ni*c.OutC + co) * ho * wo
+		wBase := co * cin * c.K * c.K
+		for oy := 0; oy < ho; oy++ {
+			for ox := 0; ox < wo; ox++ {
+				acc := bias[co]
+				iy0 := oy*c.Stride - c.Pad
+				ix0 := ox*c.Stride - c.Pad
+				for ci := 0; ci < cin; ci++ {
+					xC := xBase + ci*h*w
+					wC := wBase + ci*c.K*c.K
+					for ky := 0; ky < c.K; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						row := xC + iy*w
+						wRow := wC + ky*c.K
+						for kx := 0; kx < c.K; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							acc += x.F32s[row+ix] * wgt[wRow+kx]
+						}
+					}
+				}
+				out.F32s[oBase+oy*wo+ox] = acc
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.x
+	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	ho, wo := c.outDims(h, w)
+	if !grad.Shape.Equal(tensor.Shape{n, c.OutC, ho, wo}) {
+		panic(fmt.Sprintf("nn: Conv2D backward grad shape %v", grad.Shape))
+	}
+	dx := tensor.New(tensor.F32, n, cin, h, w)
+
+	// dW and dB: accumulate per output channel (parallel over co, serial
+	// over batch to avoid write races on the shared accumulators).
+	parallelFor(c.OutC, func(co int) {
+		wBase := co * cin * c.K * c.K
+		var db float32
+		for ni := 0; ni < n; ni++ {
+			gBase := (ni*c.OutC + co) * ho * wo
+			xBase := ni * cin * h * w
+			for oy := 0; oy < ho; oy++ {
+				iy0 := oy*c.Stride - c.Pad
+				for ox := 0; ox < wo; ox++ {
+					g := grad.F32s[gBase+oy*wo+ox]
+					if g == 0 {
+						continue
+					}
+					db += g
+					ix0 := ox*c.Stride - c.Pad
+					for ci := 0; ci < cin; ci++ {
+						xC := xBase + ci*h*w
+						wC := wBase + ci*c.K*c.K
+						for ky := 0; ky < c.K; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							row := xC + iy*w
+							wRow := wC + ky*c.K
+							for kx := 0; kx < c.K; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								c.Weight.G[wRow+kx] += g * x.F32s[row+ix]
+							}
+						}
+					}
+				}
+			}
+		}
+		c.Bias.G[co] += db
+	})
+
+	// dX: parallel over (batch, input channel).
+	wgt := c.Weight.W
+	parallelFor(n*cin, func(job int) {
+		ni, ci := job/cin, job%cin
+		dxC := (ni*cin + ci) * h * w
+		for co := 0; co < c.OutC; co++ {
+			gBase := (ni*c.OutC + co) * ho * wo
+			wC := (co*cin + ci) * c.K * c.K
+			for oy := 0; oy < ho; oy++ {
+				iy0 := oy*c.Stride - c.Pad
+				for ox := 0; ox < wo; ox++ {
+					g := grad.F32s[gBase+oy*wo+ox]
+					if g == 0 {
+						continue
+					}
+					ix0 := ox*c.Stride - c.Pad
+					for ky := 0; ky < c.K; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						row := dxC + iy*w
+						wRow := wC + ky*c.K
+						for kx := 0; kx < c.K; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							dx.F32s[row+ix] += g * wgt[wRow+kx]
+						}
+					}
+				}
+			}
+		}
+	})
+	return dx
+}
+
+// Conv3D is a 3D convolution over [N, Cin, D, H, W] inputs, the CosmoFlow
+// building block ("five layers of 3D convolutional layers").
+type Conv3D struct {
+	InC, OutC, K, Stride, Pad int
+	Weight, Bias              *Param
+
+	x *tensor.Tensor
+}
+
+// NewConv3D builds a KxKxK convolution.
+func NewConv3D(name string, inC, outC, k, stride, pad int) *Conv3D {
+	if inC <= 0 || outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: bad Conv3D config %d %d %d %d %d", inC, outC, k, stride, pad))
+	}
+	return &Conv3D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		Weight: newParam(name+".w", outC, inC, k, k, k),
+		Bias:   newParam(name+".b", outC),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv3D) Name() string { return c.Weight.Name[:len(c.Weight.Name)-2] }
+
+// Params implements Layer.
+func (c *Conv3D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+func (c *Conv3D) outDims(d, h, w int) (int, int, int) {
+	do := (d+2*c.Pad-c.K)/c.Stride + 1
+	ho := (h+2*c.Pad-c.K)/c.Stride + 1
+	wo := (w+2*c.Pad-c.K)/c.Stride + 1
+	return do, ho, wo
+}
+
+// Forward implements Layer.
+func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkF32(x, 5, "Conv3D")
+	n, cin, d, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3], x.Shape[4]
+	if cin != c.InC {
+		panic(fmt.Sprintf("nn: Conv3D expects %d input channels, got %d", c.InC, cin))
+	}
+	do, ho, wo := c.outDims(d, h, w)
+	out := tensor.New(tensor.F32, n, c.OutC, do, ho, wo)
+	c.x = x
+	wgt, bias := c.Weight.W, c.Bias.W
+	k3 := c.K * c.K * c.K
+	parallelFor(n*c.OutC, func(job int) {
+		ni, co := job/c.OutC, job%c.OutC
+		xBase := ni * cin * d * h * w
+		oBase := (ni*c.OutC + co) * do * ho * wo
+		wBase := co * cin * k3
+		for oz := 0; oz < do; oz++ {
+			iz0 := oz*c.Stride - c.Pad
+			for oy := 0; oy < ho; oy++ {
+				iy0 := oy*c.Stride - c.Pad
+				for ox := 0; ox < wo; ox++ {
+					ix0 := ox*c.Stride - c.Pad
+					acc := bias[co]
+					for ci := 0; ci < cin; ci++ {
+						xC := xBase + ci*d*h*w
+						wC := wBase + ci*k3
+						for kz := 0; kz < c.K; kz++ {
+							iz := iz0 + kz
+							if iz < 0 || iz >= d {
+								continue
+							}
+							for ky := 0; ky < c.K; ky++ {
+								iy := iy0 + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								row := xC + (iz*h+iy)*w
+								wRow := wC + (kz*c.K+ky)*c.K
+								for kx := 0; kx < c.K; kx++ {
+									ix := ix0 + kx
+									if ix < 0 || ix >= w {
+										continue
+									}
+									acc += x.F32s[row+ix] * wgt[wRow+kx]
+								}
+							}
+						}
+					}
+					out.F32s[oBase+(oz*ho+oy)*wo+ox] = acc
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.x
+	n, cin, d, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3], x.Shape[4]
+	do, ho, wo := c.outDims(d, h, w)
+	if !grad.Shape.Equal(tensor.Shape{n, c.OutC, do, ho, wo}) {
+		panic(fmt.Sprintf("nn: Conv3D backward grad shape %v", grad.Shape))
+	}
+	dx := tensor.New(tensor.F32, n, cin, d, h, w)
+	k3 := c.K * c.K * c.K
+
+	parallelFor(c.OutC, func(co int) {
+		wBase := co * cin * k3
+		var db float32
+		for ni := 0; ni < n; ni++ {
+			gBase := (ni*c.OutC + co) * do * ho * wo
+			xBase := ni * cin * d * h * w
+			for oz := 0; oz < do; oz++ {
+				iz0 := oz*c.Stride - c.Pad
+				for oy := 0; oy < ho; oy++ {
+					iy0 := oy*c.Stride - c.Pad
+					for ox := 0; ox < wo; ox++ {
+						g := grad.F32s[gBase+(oz*ho+oy)*wo+ox]
+						if g == 0 {
+							continue
+						}
+						db += g
+						ix0 := ox*c.Stride - c.Pad
+						for ci := 0; ci < cin; ci++ {
+							xC := xBase + ci*d*h*w
+							wC := wBase + ci*k3
+							for kz := 0; kz < c.K; kz++ {
+								iz := iz0 + kz
+								if iz < 0 || iz >= d {
+									continue
+								}
+								for ky := 0; ky < c.K; ky++ {
+									iy := iy0 + ky
+									if iy < 0 || iy >= h {
+										continue
+									}
+									row := xC + (iz*h+iy)*w
+									wRow := wC + (kz*c.K+ky)*c.K
+									for kx := 0; kx < c.K; kx++ {
+										ix := ix0 + kx
+										if ix < 0 || ix >= w {
+											continue
+										}
+										c.Weight.G[wRow+kx] += g * x.F32s[row+ix]
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		c.Bias.G[co] += db
+	})
+
+	wgt := c.Weight.W
+	parallelFor(n*cin, func(job int) {
+		ni, ci := job/cin, job%cin
+		dxC := (ni*cin + ci) * d * h * w
+		for co := 0; co < c.OutC; co++ {
+			gBase := (ni*c.OutC + co) * do * ho * wo
+			wC := (co*cin + ci) * k3
+			for oz := 0; oz < do; oz++ {
+				iz0 := oz*c.Stride - c.Pad
+				for oy := 0; oy < ho; oy++ {
+					iy0 := oy*c.Stride - c.Pad
+					for ox := 0; ox < wo; ox++ {
+						g := grad.F32s[gBase+(oz*ho+oy)*wo+ox]
+						if g == 0 {
+							continue
+						}
+						ix0 := ox*c.Stride - c.Pad
+						for kz := 0; kz < c.K; kz++ {
+							iz := iz0 + kz
+							if iz < 0 || iz >= d {
+								continue
+							}
+							for ky := 0; ky < c.K; ky++ {
+								iy := iy0 + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								row := dxC + (iz*h+iy)*w
+								wRow := wC + (kz*c.K+ky)*c.K
+								for kx := 0; kx < c.K; kx++ {
+									ix := ix0 + kx
+									if ix < 0 || ix >= w {
+										continue
+									}
+									dx.F32s[row+ix] += g * wgt[wRow+kx]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return dx
+}

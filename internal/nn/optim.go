@@ -1,0 +1,121 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears nothing; callers ZeroGrad after.
+	Step(params []*Param)
+	// SetLR changes the learning rate (for warmup/decay schedules).
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+}
+
+// SGD is stochastic gradient descent with momentum.
+type SGD struct {
+	lr       float64
+	Momentum float64
+	vel      map[*Param][]float32
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{lr: lr, Momentum: momentum, vel: make(map[*Param][]float32)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v := s.vel[p]
+		if v == nil {
+			v = make([]float32, len(p.W))
+			s.vel[p] = v
+		}
+		m := float32(s.Momentum)
+		lr := float32(s.lr)
+		for i := range p.W {
+			v[i] = m*v[i] + p.G[i]
+			p.W[i] -= lr * v[i]
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }
+
+// Adam is the Adam optimizer.
+type Adam struct {
+	lr                float64
+	Beta1, Beta2, Eps float64
+	t                 int
+	m, v              map[*Param][]float32
+}
+
+// NewAdam returns an Adam optimizer with the conventional betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		lr: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float32), v: make(map[*Param][]float32),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, v := a.m[p], a.v[p]
+		if m == nil {
+			m = make([]float32, len(p.W))
+			v = make([]float32, len(p.W))
+			a.m[p], a.v[p] = m, v
+		}
+		b1, b2 := float32(a.Beta1), float32(a.Beta2)
+		for i := range p.W {
+			g := p.G[i]
+			m[i] = b1*m[i] + (1-b1)*g
+			v[i] = b2*v[i] + (1-b2)*g*g
+			mh := float64(m[i]) / bc1
+			vh := float64(v[i]) / bc2
+			p.W[i] -= float32(a.lr * mh / (math.Sqrt(vh) + a.Eps))
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.lr }
+
+// WarmupSchedule implements the reference learning schedule: linear warmup
+// to base LR over warmupSteps, then constant ("we merely used the same
+// learning schedule — warmup, learning rate change with rank count and
+// phases — for both classes of samples", §VIII-A).
+type WarmupSchedule struct {
+	Base        float64
+	WarmupSteps int
+	// DecayAt and DecayFactor optionally drop the LR at phase boundaries.
+	DecayAt     []int
+	DecayFactor float64
+}
+
+// At returns the learning rate for a (0-based) step.
+func (w WarmupSchedule) At(step int) float64 {
+	lr := w.Base
+	if w.WarmupSteps > 0 && step < w.WarmupSteps {
+		lr = w.Base * float64(step+1) / float64(w.WarmupSteps)
+	}
+	f := 1.0
+	for _, at := range w.DecayAt {
+		if step >= at {
+			f *= w.DecayFactor
+		}
+	}
+	return lr * f
+}

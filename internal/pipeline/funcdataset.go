@@ -1,0 +1,41 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"scipp/internal/tensor"
+)
+
+// FuncDataset adapts arbitrary blob/label providers — e.g. lazily read
+// files on disk (the staged-NVMe layout of Fig 1) — to the Dataset
+// interface.
+type FuncDataset struct {
+	N       int
+	BlobFn  func(i int) ([]byte, error)
+	LabelFn func(i int) (*tensor.Tensor, error)
+}
+
+// Len implements Dataset.
+func (d *FuncDataset) Len() int { return d.N }
+
+// Blob implements Dataset.
+func (d *FuncDataset) Blob(i int) ([]byte, error) {
+	if i < 0 || i >= d.N {
+		return nil, fmt.Errorf("pipeline: sample %d out of range", i)
+	}
+	if d.BlobFn == nil {
+		return nil, fmt.Errorf("pipeline: FuncDataset has no BlobFn")
+	}
+	return d.BlobFn(i)
+}
+
+// Label implements Dataset.
+func (d *FuncDataset) Label(i int) (*tensor.Tensor, error) {
+	if i < 0 || i >= d.N {
+		return nil, fmt.Errorf("pipeline: label %d out of range", i)
+	}
+	if d.LabelFn == nil {
+		return nil, fmt.Errorf("pipeline: FuncDataset has no LabelFn")
+	}
+	return d.LabelFn(i)
+}

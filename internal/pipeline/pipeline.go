@@ -1,0 +1,306 @@
+// Package pipeline implements the data-loading pipeline the paper's plugins
+// slot into — the role NVIDIA DALI plays in §VI: indexed datasets of encoded
+// samples, per-epoch shuffling, prefetched multi-worker decoding, and batch
+// assembly feeding the training loop. Decode placement is selectable per
+// §VI's two plugin variants: a CPU thread-pool decoder or the simulated-GPU
+// decoder.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"scipp/internal/codec"
+	"scipp/internal/gpusim"
+	"scipp/internal/tensor"
+	"scipp/internal/trace"
+	"scipp/internal/xrand"
+)
+
+// Dataset is indexed access to encoded sample blobs and their labels.
+type Dataset interface {
+	// Len returns the number of samples.
+	Len() int
+	// Blob returns the encoded bytes of sample i.
+	Blob(i int) ([]byte, error)
+	// Label returns the training label of sample i.
+	Label(i int) (*tensor.Tensor, error)
+}
+
+// MemDataset is an in-memory Dataset.
+type MemDataset struct {
+	Blobs  [][]byte
+	Labels []*tensor.Tensor
+}
+
+// Len implements Dataset.
+func (d *MemDataset) Len() int { return len(d.Blobs) }
+
+// Blob implements Dataset.
+func (d *MemDataset) Blob(i int) ([]byte, error) {
+	if i < 0 || i >= len(d.Blobs) {
+		return nil, fmt.Errorf("pipeline: sample %d out of range", i)
+	}
+	return d.Blobs[i], nil
+}
+
+// Label implements Dataset.
+func (d *MemDataset) Label(i int) (*tensor.Tensor, error) {
+	if i < 0 || i >= len(d.Labels) {
+		return nil, fmt.Errorf("pipeline: label %d out of range", i)
+	}
+	return d.Labels[i], nil
+}
+
+// EncodedBytes returns the dataset's total encoded footprint.
+func (d *MemDataset) EncodedBytes() int {
+	n := 0
+	for _, b := range d.Blobs {
+		n += len(b)
+	}
+	return n
+}
+
+// Plugin selects where sample decode runs (§VI: "we implemented two
+// variants for decoding ... one for the CPU and another for the GPU").
+type Plugin int
+
+// Plugin placements.
+const (
+	CPUPlugin Plugin = iota
+	GPUPlugin
+)
+
+// String names the plugin placement.
+func (p Plugin) String() string {
+	if p == GPUPlugin {
+		return "gpu"
+	}
+	return "cpu"
+}
+
+// Config configures a Loader.
+type Config struct {
+	// Format opens the dataset's blobs.
+	Format codec.Format
+	// Plugin places the decode stage.
+	Plugin Plugin
+	// Device executes GPU-plugin decodes; required iff Plugin == GPUPlugin.
+	Device *gpusim.Device
+	// CPUWorkers is the decode thread count for the CPU plugin (default 4).
+	CPUWorkers int
+	// Prefetch is the number of samples decoded ahead (default 2*Batch).
+	Prefetch int
+	// Batch is the per-iterator batch size (default 1).
+	Batch int
+	// Shuffle reshuffles sample order each epoch.
+	Shuffle bool
+	// Seed drives shuffling (per-epoch derived).
+	Seed uint64
+	// DropLast drops a trailing partial batch.
+	DropLast bool
+	// Trace, when non-nil, receives one wall-clock event per decoded sample
+	// (resource "loader", tag "decode-cpu"/"decode-gpu"), for profiling the
+	// real pipeline.
+	Trace *trace.Timeline
+}
+
+func (c Config) withDefaults() Config {
+	if c.CPUWorkers <= 0 {
+		c.CPUWorkers = 4
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.Prefetch <= 0 {
+		c.Prefetch = 2 * c.Batch
+	}
+	return c
+}
+
+// Batch is one assembled minibatch.
+type Batch struct {
+	// Data holds the decoded sample tensors, one per sample.
+	Data []*tensor.Tensor
+	// Labels holds the matching labels.
+	Labels []*tensor.Tensor
+	// Indices are the dataset indices the batch was drawn from.
+	Indices []int
+}
+
+// Size returns the number of samples in the batch.
+func (b *Batch) Size() int { return len(b.Data) }
+
+// Loader drives decoding of a Dataset.
+type Loader struct {
+	ds  Dataset
+	cfg Config
+}
+
+// New validates the configuration and returns a Loader.
+func New(ds Dataset, cfg Config) (*Loader, error) {
+	cfg = cfg.withDefaults()
+	if ds == nil {
+		return nil, errors.New("pipeline: nil dataset")
+	}
+	if cfg.Format == nil {
+		return nil, errors.New("pipeline: nil format")
+	}
+	if cfg.Plugin == GPUPlugin && cfg.Device == nil {
+		return nil, errors.New("pipeline: GPU plugin requires a device")
+	}
+	return &Loader{ds: ds, cfg: cfg}, nil
+}
+
+// Schedule returns the sample order for an epoch.
+func (l *Loader) Schedule(epoch int) []int {
+	order := make([]int, l.ds.Len())
+	for i := range order {
+		order[i] = i
+	}
+	if l.cfg.Shuffle {
+		rng := xrand.New(l.cfg.Seed ^ (uint64(epoch)+1)*0x9E3779B97F4A7C15)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	return order
+}
+
+// decoded is one prefetched sample.
+type decoded struct {
+	index int
+	data  *tensor.Tensor
+	label *tensor.Tensor
+	err   error
+}
+
+// Epoch returns an iterator over the epoch's batches. The iterator prefetches
+// and decodes samples concurrently; call Close to release its workers early.
+func (l *Loader) Epoch(epoch int) *Iterator {
+	order := l.Schedule(epoch)
+	it := &Iterator{
+		loader: l,
+		order:  order,
+		slots:  make(chan chan decoded, l.cfg.Prefetch),
+		stop:   make(chan struct{}),
+		start:  time.Now(),
+	}
+	go it.produce()
+	return it
+}
+
+// Iterator yields batches of one epoch in schedule order.
+type Iterator struct {
+	loader   *Loader
+	order    []int
+	slots    chan chan decoded
+	stop     chan struct{}
+	stopOnce sync.Once
+	start    time.Time
+	pos      int
+}
+
+// produce launches bounded prefetch: each scheduled sample gets a slot
+// channel (queued in order) and a goroutine decoding into it. The slots
+// channel's capacity bounds outstanding decodes.
+func (it *Iterator) produce() {
+	defer close(it.slots)
+	for _, idx := range it.order {
+		slot := make(chan decoded, 1)
+		select {
+		case it.slots <- slot:
+		case <-it.stop:
+			return
+		}
+		go func(i int) {
+			slot <- it.decodeOne(i)
+		}(idx)
+	}
+}
+
+func (it *Iterator) decodeOne(i int) decoded {
+	l := it.loader
+	blob, err := l.ds.Blob(i)
+	if err != nil {
+		return decoded{index: i, err: err}
+	}
+	label, err := l.ds.Label(i)
+	if err != nil {
+		return decoded{index: i, err: err}
+	}
+	cd, err := l.cfg.Format.Open(blob)
+	if err != nil {
+		return decoded{index: i, err: fmt.Errorf("pipeline: sample %d: %w", i, err)}
+	}
+	var data *tensor.Tensor
+	t0 := time.Since(it.start).Seconds()
+	switch l.cfg.Plugin {
+	case GPUPlugin:
+		data, _, err = l.cfg.Device.Execute(cd)
+	default:
+		data, err = codec.DecodeParallel(cd, l.cfg.CPUWorkers)
+	}
+	if err != nil {
+		return decoded{index: i, err: fmt.Errorf("pipeline: sample %d: %w", i, err)}
+	}
+	if l.cfg.Trace != nil {
+		l.cfg.Trace.Add("loader", "decode-"+l.cfg.Plugin.String(), t0, time.Since(it.start).Seconds())
+	}
+	return decoded{index: i, data: data, label: label}
+}
+
+// Next returns the next batch, or (nil, nil) at the end of the epoch.
+func (it *Iterator) Next() (*Batch, error) {
+	b := &Batch{}
+	want := it.loader.cfg.Batch
+	for len(b.Data) < want {
+		slot, ok := <-it.slots
+		if !ok {
+			break
+		}
+		d := <-slot
+		if d.err != nil {
+			it.Close()
+			return nil, d.err
+		}
+		b.Data = append(b.Data, d.data)
+		b.Labels = append(b.Labels, d.label)
+		b.Indices = append(b.Indices, d.index)
+		it.pos++
+	}
+	if len(b.Data) == 0 {
+		return nil, nil
+	}
+	if len(b.Data) < want && it.loader.cfg.DropLast {
+		return nil, nil
+	}
+	return b, nil
+}
+
+// Close abandons the epoch; remaining prefetched decodes are drained.
+func (it *Iterator) Close() {
+	it.stopOnce.Do(func() { close(it.stop) })
+	// Drain outstanding slots so decode goroutines can exit.
+	go func() {
+		for slot := range it.slots {
+			<-slot
+		}
+	}()
+}
+
+// Drain runs the full epoch, discarding batches, and returns the number of
+// samples decoded. Used by throughput measurements.
+func (it *Iterator) Drain() (int, error) {
+	n := 0
+	for {
+		b, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if b == nil {
+			return n, nil
+		}
+		n += b.Size()
+	}
+}

@@ -1,0 +1,316 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"scipp/internal/codec"
+	"scipp/internal/tensor"
+	"scipp/internal/trace"
+)
+
+// countFormat produces decoders that write the sample's first blob byte
+// everywhere, tracking open counts.
+type countFormat struct{ opens *atomic.Int64 }
+
+func (f countFormat) Name() string { return "count" }
+func (f countFormat) Open(blob []byte) (codec.ChunkDecoder, error) {
+	if len(blob) == 0 {
+		return nil, errors.New("empty blob")
+	}
+	if f.opens != nil {
+		f.opens.Add(1)
+	}
+	return &countDecoder{v: blob[0]}, nil
+}
+
+type countDecoder struct{ v byte }
+
+func (d *countDecoder) OutputShape() tensor.Shape { return tensor.Shape{4} }
+func (d *countDecoder) OutputDType() tensor.DType { return tensor.F32 }
+func (d *countDecoder) NumChunks() int            { return 2 }
+func (d *countDecoder) Workload() codec.Workload  { return codec.Workload{Chunks: 2} }
+func (d *countDecoder) DecodeChunk(c int, dst *tensor.Tensor) error {
+	for i := c * 2; i < (c+1)*2; i++ {
+		dst.F32s[i] = float32(d.v)
+	}
+	return nil
+}
+
+func testDataset(n int) *MemDataset {
+	ds := &MemDataset{}
+	for i := 0; i < n; i++ {
+		ds.Blobs = append(ds.Blobs, []byte{byte(i)})
+		lb := tensor.New(tensor.F32, 1)
+		lb.F32s[0] = float32(i)
+		ds.Labels = append(ds.Labels, lb)
+	}
+	return ds
+}
+
+func TestEpochDeliversAllSamplesInOrder(t *testing.T) {
+	ds := testDataset(10)
+	l, err := New(ds, Config{Format: countFormat{}, Batch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Epoch(0)
+	var indices []int
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for k, idx := range b.Indices {
+			if b.Data[k].F32s[0] != float32(idx) {
+				t.Fatalf("sample %d decoded wrong content", idx)
+			}
+			if b.Labels[k].F32s[0] != float32(idx) {
+				t.Fatalf("sample %d has wrong label", idx)
+			}
+		}
+		indices = append(indices, b.Indices...)
+	}
+	if len(indices) != 10 {
+		t.Fatalf("delivered %d samples, want 10", len(indices))
+	}
+	for i, idx := range indices {
+		if idx != i {
+			t.Errorf("unshuffled epoch out of order at %d: %d", i, idx)
+		}
+	}
+}
+
+func TestBatchSizes(t *testing.T) {
+	ds := testDataset(7)
+	l, err := New(ds, Config{Format: countFormat{}, Batch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Epoch(0)
+	var sizes []int
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		sizes = append(sizes, b.Size())
+	}
+	want := []int{3, 3, 1}
+	if fmt.Sprint(sizes) != fmt.Sprint(want) {
+		t.Errorf("batch sizes %v, want %v", sizes, want)
+	}
+}
+
+func TestDropLast(t *testing.T) {
+	ds := testDataset(7)
+	l, err := New(ds, Config{Format: countFormat{}, Batch: 3, DropLast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := l.Epoch(0).Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Errorf("DropLast delivered %d samples, want 6", n)
+	}
+}
+
+func TestShuffleDeterministicPerEpoch(t *testing.T) {
+	ds := testDataset(32)
+	l, err := New(ds, Config{Format: countFormat{}, Batch: 4, Shuffle: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0a := l.Schedule(0)
+	s0b := l.Schedule(0)
+	s1 := l.Schedule(1)
+	if fmt.Sprint(s0a) != fmt.Sprint(s0b) {
+		t.Error("same epoch schedule not deterministic")
+	}
+	if fmt.Sprint(s0a) == fmt.Sprint(s1) {
+		t.Error("different epochs have identical shuffles")
+	}
+	// Schedule must be a permutation.
+	seen := make([]bool, 32)
+	for _, idx := range s0a {
+		if seen[idx] {
+			t.Fatal("schedule repeats an index")
+		}
+		seen[idx] = true
+	}
+}
+
+func TestShuffledEpochStillDeliversEverything(t *testing.T) {
+	ds := testDataset(25)
+	l, err := New(ds, Config{Format: countFormat{}, Batch: 4, Shuffle: true, Seed: 3, Prefetch: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Epoch(2)
+	seen := make(map[int]bool)
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for k, idx := range b.Indices {
+			if seen[idx] {
+				t.Fatalf("sample %d delivered twice", idx)
+			}
+			seen[idx] = true
+			if b.Data[k].F32s[0] != float32(idx) {
+				t.Fatalf("shuffled sample %d content mismatch", idx)
+			}
+		}
+	}
+	if len(seen) != 25 {
+		t.Errorf("delivered %d distinct samples, want 25", len(seen))
+	}
+}
+
+func TestDecodeErrorPropagates(t *testing.T) {
+	ds := testDataset(5)
+	ds.Blobs[3] = nil // Open will fail
+	l, err := New(ds, Config{Format: countFormat{}, Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Epoch(0)
+	sawErr := false
+	for i := 0; i < 5; i++ {
+		b, err := it.Next()
+		if err != nil {
+			sawErr = true
+			break
+		}
+		if b == nil {
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("decode failure did not surface")
+	}
+}
+
+func TestCloseMidEpoch(t *testing.T) {
+	ds := testDataset(100)
+	l, err := New(ds, Config{Format: countFormat{}, Batch: 1, Prefetch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Epoch(0)
+	if _, err := it.Next(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close() // must not deadlock or leak
+}
+
+func TestEachSampleOpenedOncePerEpoch(t *testing.T) {
+	var opens atomic.Int64
+	ds := testDataset(20)
+	l, err := New(ds, Config{Format: countFormat{opens: &opens}, Batch: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Epoch(0).Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if opens.Load() != 20 {
+		t.Errorf("opened %d blobs, want 20", opens.Load())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nil, Config{Format: countFormat{}}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := New(testDataset(1), Config{}); err == nil {
+		t.Error("nil format accepted")
+	}
+	if _, err := New(testDataset(1), Config{Format: countFormat{}, Plugin: GPUPlugin}); err == nil {
+		t.Error("GPU plugin without device accepted")
+	}
+}
+
+func TestMemDatasetBounds(t *testing.T) {
+	ds := testDataset(2)
+	if _, err := ds.Blob(5); err == nil {
+		t.Error("out-of-range blob accepted")
+	}
+	if _, err := ds.Label(-1); err == nil {
+		t.Error("negative label index accepted")
+	}
+	if ds.EncodedBytes() != 2 {
+		t.Errorf("EncodedBytes = %d", ds.EncodedBytes())
+	}
+}
+
+func TestPluginString(t *testing.T) {
+	if CPUPlugin.String() != "cpu" || GPUPlugin.String() != "gpu" {
+		t.Error("plugin names")
+	}
+}
+
+func TestTraceInstrumentation(t *testing.T) {
+	ds := testDataset(6)
+	tl := &trace.Timeline{}
+	l, err := New(ds, Config{Format: countFormat{}, Batch: 2, Trace: tl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Epoch(0).Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Len() != 6 {
+		t.Errorf("trace has %d events, want one per sample", tl.Len())
+	}
+	b := tl.Breakdown()
+	if b["decode-cpu"] <= 0 {
+		t.Errorf("missing decode-cpu tag: %v", b)
+	}
+}
+
+func TestFuncDataset(t *testing.T) {
+	fd := &FuncDataset{
+		N:      2,
+		BlobFn: func(i int) ([]byte, error) { return []byte{byte(i)}, nil },
+		LabelFn: func(i int) (*tensor.Tensor, error) {
+			lb := tensor.New(tensor.F32, 1)
+			lb.F32s[0] = float32(i)
+			return lb, nil
+		},
+	}
+	if fd.Len() != 2 {
+		t.Error("Len")
+	}
+	if _, err := fd.Blob(2); err == nil {
+		t.Error("out-of-range blob accepted")
+	}
+	if _, err := fd.Label(-1); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	b, err := fd.Blob(1)
+	if err != nil || b[0] != 1 {
+		t.Error("BlobFn not wired")
+	}
+	empty := &FuncDataset{N: 1}
+	if _, err := empty.Blob(0); err == nil {
+		t.Error("nil BlobFn accepted")
+	}
+	if _, err := empty.Label(0); err == nil {
+		t.Error("nil LabelFn accepted")
+	}
+}

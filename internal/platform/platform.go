@@ -1,0 +1,288 @@
+// Package platform describes the three evaluation systems of the paper
+// (Table I): OLCF Summit, NERSC Cori-V100 and Cori-A100. Every number in
+// Table I is carried verbatim; quantities the paper reports in the text
+// (measured peak and pageable PCIe bandwidths, §IX-A) are carried as the
+// effective-bandwidth model; the handful of quantities the paper does not
+// state (shared-filesystem per-node bandwidth, host memory bandwidth,
+// per-core preprocessing rates) are set to publicly documented values for
+// the same machines and marked as calibration constants.
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// GPU describes one accelerator model.
+type GPU struct {
+	Name      string
+	SMs       int     // streaming multiprocessors
+	L2MB      int     // L2 cache (MB)
+	MemGB     int     // HBM capacity (GB)
+	HBMTBs    float64 // HBM bandwidth (TB/s)
+	FP32TFs   float64 // FP32 peak (TF/s)
+	TensorTFs float64 // tensor-core peak (TF/s)
+}
+
+// LinkKind is the CPU-GPU interconnect family.
+type LinkKind string
+
+// Interconnect families of Table I.
+const (
+	NVLink   LinkKind = "NVLink"
+	PCIeGen3 LinkKind = "PCIe Gen 3.0"
+	PCIeGen4 LinkKind = "PCIe Gen 4.0"
+)
+
+// Link models the CPU-GPU interconnect. The paper measures peak
+// host-to-device bandwidth and the lower *pageable* bandwidth deep-learning
+// frameworks actually see for 4-64 MB sample transfers (§IX-A: 12.4 GB/s
+// peak but 4-8 GB/s pageable on Cori-V100; 24.7 GB/s peak but 6-8 GB/s
+// pageable on Cori-A100; "deep learning frameworks typically use pageable
+// memory").
+type Link struct {
+	Kind     LinkKind
+	PeakGBs  float64 // pinned-memory peak (GB/s)
+	PageLoGB float64 // pageable bandwidth at <= PageLoBytes transfers
+	PageHiGB float64 // pageable bandwidth at >= PageHiBytes transfers
+	// ShareGroup is the number of GPUs sharing one link's bandwidth when
+	// transferring concurrently ("feeding four GPUs concurrently makes the
+	// cost for moving a byte across the PCIe bus 224x", §II).
+	ShareGroup int
+}
+
+// Transfer-size knees of the pageable-bandwidth model (§IX-A measures the
+// 4-64 MB range).
+const (
+	PageLoBytes = 4 << 20
+	PageHiBytes = 64 << 20
+)
+
+// PageableGBs returns the effective pageable host-to-device bandwidth for a
+// transfer of the given size, log-interpolated between the measured knees.
+func (l Link) PageableGBs(bytes int) float64 {
+	switch {
+	case bytes <= PageLoBytes:
+		return l.PageLoGB
+	case bytes >= PageHiBytes:
+		return l.PageHiGB
+	}
+	f := math.Log(float64(bytes)/PageLoBytes) / math.Log(float64(PageHiBytes)/PageLoBytes)
+	return l.PageLoGB + f*(l.PageHiGB-l.PageLoGB)
+}
+
+// CPU describes the host processor complex (both sockets combined). The
+// four rates are calibration constants (MB or ops of *output* per second
+// per core). Summit's P9 parses containers competitively (strong memory
+// subsystem) but runs the byte-manipulation-heavy decode plugin and the
+// framework preprocessing stack slower — §IX-A: "the ability of host
+// processor to process the software stack ... appears to be lower for
+// Summit", and "we notice the lower performance of the cpu-based plugin".
+type CPU struct {
+	Name    string
+	FreqGHz float64
+	Cores   int // physical cores per node, both sockets
+	// ParseMBs is the baseline container parse + cast + normalize rate.
+	ParseMBs float64
+	// DecodeMBs is the plugin (differential/LUT) CPU-decode rate.
+	DecodeMBs float64
+	// GunzipMBs is the gzip inflate rate.
+	GunzipMBs float64
+	// TransOpsPerSec is the per-core rate of transcendental preprocessing
+	// operations (the per-voxel log of the CosmoFlow baseline).
+	TransOpsPerSec float64
+}
+
+// Storage describes node-attached and shared storage.
+type Storage struct {
+	NVMeTB   float64 // node-local NVMe capacity (TB)
+	NVMeGBs  float64 // NVMe read bandwidth (GiB/s, Table I)
+	SharedGB float64 // shared parallel FS per-node streaming bandwidth (GB/s)
+}
+
+// Platform is one evaluated system (a single compute node's view).
+type Platform struct {
+	Name        string
+	CPU         CPU
+	HostMemGB   int
+	Link        Link
+	GPU         GPU
+	GPUsPerNode int
+	Storage     Storage
+	// CollectiveGBs is the effective per-node bandwidth of the intra-node
+	// gradient allreduce (NCCL ring over NVLink / PCIe peer paths).
+	CollectiveGBs float64
+	// InjectionGBs is the node's network injection bandwidth for inter-node
+	// collectives (Summit: "two dual-rail EDR InfiniBand"; Cori-GPU: "four
+	// dual-rail EDR InfiniBand NIC").
+	InjectionGBs float64
+	// Software is the Table II stack metadata analog.
+	Software map[string]string
+}
+
+// MemBudgetBytes returns the host-memory budget available for sample
+// caching: 60% of node memory, leaving the rest to the frameworks, OS page
+// cache, pinned staging buffers and model state. At this budget the
+// CosmoFlow large set (2048 samples/GPU) fits Summit's 512 GB but not
+// Cori-V100's 384 GB — reproducing Fig 11's observation that staging helps
+// Cori but changes Summit by under 10%.
+func (p Platform) MemBudgetBytes() int64 {
+	return int64(float64(p.HostMemGB) * 0.60 * float64(1<<30))
+}
+
+// Summit returns the OLCF Summit node model (Table I column 1).
+func Summit() Platform {
+	return Platform{
+		Name: "Summit",
+		CPU: CPU{
+			Name:           "IBM P9",
+			FreqGHz:        3.1,
+			Cores:          42, // 2 x 21 usable cores
+			ParseMBs:       400,
+			DecodeMBs:      110,
+			GunzipMBs:      95,
+			TransOpsPerSec: 12e6,
+		},
+		HostMemGB: 512,
+		Link: Link{
+			Kind:    NVLink,
+			PeakGBs: 44.0, // dual NVLink bricks per GPU, measured ceiling
+			// NVLink "roughly provides 3x the bandwidth of the PCIe 3.0"
+			// (§IX-B) — applied to the pageable range.
+			PageLoGB:   12.0,
+			PageHiGB:   22.0,
+			ShareGroup: 3, // 3 GPUs per socket share the X-bus path
+		},
+		GPU: GPU{
+			Name: "V100", SMs: 80, L2MB: 6, MemGB: 16,
+			HBMTBs: 0.9, FP32TFs: 15.7, TensorTFs: 120,
+		},
+		GPUsPerNode: 6,
+		Storage: Storage{
+			NVMeTB:  1.0,
+			NVMeGBs: 5.5,
+			// Alpine/GPFS per-node sustained read (calibration constant).
+			SharedGB: 2.5,
+		},
+		CollectiveGBs: 40, // NVLink ring
+		InjectionGBs:  45, // 2x dual-rail EDR, ~90% injection efficiency
+		Software: map[string]string{
+			"framework.cosmoflow": "TF 2.5",
+			"framework.deepcam":   "PT 1.10",
+			"python":              "3.8",
+			"horovod":             "0.21.0",
+			"cuda":                "11.0.221",
+			"cudnn":               "8.0.4",
+			"nccl":                "2.7.8",
+			"dali":                "1.9.0",
+			"gcc":                 "7.3.0",
+		},
+	}
+}
+
+// CoriV100 returns the NERSC Cori-V100 node model (Table I column 2).
+func CoriV100() Platform {
+	return Platform{
+		Name: "Cori-V100",
+		CPU: CPU{
+			Name:           "Intel Xeon Gold 6148",
+			FreqGHz:        2.4,
+			Cores:          40, // 2 x 20
+			ParseMBs:       400,
+			DecodeMBs:      280,
+			GunzipMBs:      140,
+			TransOpsPerSec: 40e6,
+		},
+		HostMemGB: 384,
+		Link: Link{
+			Kind:       PCIeGen3,
+			PeakGBs:    12.4, // measured in §IX-A
+			PageLoGB:   4.0,  // measured pageable range 4-8 GB/s
+			PageHiGB:   8.0,
+			ShareGroup: 4, // 4 GPUs per PCIe switch
+		},
+		GPU: GPU{
+			Name: "V100", SMs: 80, L2MB: 6, MemGB: 16,
+			HBMTBs: 0.9, FP32TFs: 15.7, TensorTFs: 120,
+		},
+		GPUsPerNode: 8,
+		Storage: Storage{
+			NVMeTB:   1.6,
+			NVMeGBs:  3.2,
+			SharedGB: 1.5,
+		},
+		CollectiveGBs: 8,  // PCIe Gen3 peer ring
+		InjectionGBs:  90, // 4x dual-rail EDR
+		Software: map[string]string{
+			"framework.cosmoflow": "TF 2.5",
+			"framework.deepcam":   "PT 1.8",
+			"python":              "3.8",
+			"horovod":             "0.22.1",
+			"cuda":                "11.2.2",
+			"cudnn":               "8.1.0",
+			"nccl":                "2.8.4",
+			"dali":                "1.9.0",
+			"gcc":                 "7.3.0",
+		},
+	}
+}
+
+// CoriA100 returns the NERSC Cori-A100 node model (Table I column 3).
+func CoriA100() Platform {
+	return Platform{
+		Name: "Cori-A100",
+		CPU: CPU{
+			Name:           "AMD EPYC 7742",
+			FreqGHz:        2.25,
+			Cores:          128, // 2 x 64
+			ParseMBs:       380,
+			DecodeMBs:      260,
+			GunzipMBs:      135,
+			TransOpsPerSec: 38e6,
+		},
+		HostMemGB: 1056,
+		Link: Link{
+			Kind:       PCIeGen4,
+			PeakGBs:    24.7, // measured in §IX-A
+			PageLoGB:   6.0,  // measured pageable range 6-8 GB/s
+			PageHiGB:   8.0,
+			ShareGroup: 4,
+		},
+		GPU: GPU{
+			Name: "A100", SMs: 104, L2MB: 40, MemGB: 40,
+			HBMTBs: 1.6, FP32TFs: 19.5, TensorTFs: 312,
+		},
+		GPUsPerNode: 8,
+		Storage: Storage{
+			NVMeTB:   15.4,
+			NVMeGBs:  24.3,
+			SharedGB: 1.5,
+		},
+		CollectiveGBs: 16, // PCIe Gen4 peer ring
+		InjectionGBs:  90, // 4x dual-rail EDR
+		Software: map[string]string{
+			"framework.cosmoflow": "TF 2.5",
+			"framework.deepcam":   "PT 1.9",
+			"python":              "3.8",
+			"horovod":             "0.23.0",
+			"cuda":                "11.4.0",
+			"cudnn":               "8.2.4",
+			"nccl":                "2.11.4",
+			"dali":                "1.9.0",
+			"gcc":                 "8.3.0",
+		},
+	}
+}
+
+// All returns the three evaluated platforms in Table I order.
+func All() []Platform { return []Platform{Summit(), CoriV100(), CoriA100()} }
+
+// ByName returns the platform with the given name.
+func ByName(name string) (Platform, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("platform: unknown platform %q", name)
+}

@@ -1,0 +1,139 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIValues(t *testing.T) {
+	// Every Table I number must be carried verbatim.
+	s, cv, ca := Summit(), CoriV100(), CoriA100()
+
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %v, want %v (Table I)", name, got, want)
+		}
+	}
+	check("Summit CPU freq", s.CPU.FreqGHz, 3.1)
+	check("CoriV100 CPU freq", cv.CPU.FreqGHz, 2.4)
+	check("CoriA100 CPU freq", ca.CPU.FreqGHz, 2.25)
+	check("Summit host mem", float64(s.HostMemGB), 512)
+	check("CoriV100 host mem", float64(cv.HostMemGB), 384)
+	check("CoriA100 host mem", float64(ca.HostMemGB), 1056)
+	check("Summit GPUs", float64(s.GPUsPerNode), 6)
+	check("CoriV100 GPUs", float64(cv.GPUsPerNode), 8)
+	check("CoriA100 GPUs", float64(ca.GPUsPerNode), 8)
+	check("V100 SMs", float64(s.GPU.SMs), 80)
+	check("A100 SMs", float64(ca.GPU.SMs), 104)
+	check("V100 L2", float64(s.GPU.L2MB), 6)
+	check("A100 L2", float64(ca.GPU.L2MB), 40)
+	check("V100 mem", float64(s.GPU.MemGB), 16)
+	check("A100 mem", float64(ca.GPU.MemGB), 40)
+	check("V100 HBM", s.GPU.HBMTBs, 0.9)
+	check("A100 HBM", ca.GPU.HBMTBs, 1.6)
+	check("V100 FP32", s.GPU.FP32TFs, 15.7)
+	check("A100 FP32", ca.GPU.FP32TFs, 19.5)
+	check("V100 tensor", s.GPU.TensorTFs, 120)
+	check("A100 tensor", ca.GPU.TensorTFs, 312)
+	check("Summit NVMe TB", s.Storage.NVMeTB, 1.0)
+	check("CoriV100 NVMe TB", cv.Storage.NVMeTB, 1.6)
+	check("CoriA100 NVMe TB", ca.Storage.NVMeTB, 15.4)
+	check("Summit NVMe GiB/s", s.Storage.NVMeGBs, 5.5)
+	check("CoriV100 NVMe GiB/s", cv.Storage.NVMeGBs, 3.2)
+	check("CoriA100 NVMe GiB/s", ca.Storage.NVMeGBs, 24.3)
+
+	if s.Link.Kind != NVLink || cv.Link.Kind != PCIeGen3 || ca.Link.Kind != PCIeGen4 {
+		t.Error("interconnect kinds wrong")
+	}
+	// §IX-A measured peaks.
+	check("CoriV100 PCIe peak", cv.Link.PeakGBs, 12.4)
+	check("CoriA100 PCIe peak", ca.Link.PeakGBs, 24.7)
+}
+
+func TestPageableBandwidthModel(t *testing.T) {
+	cv := CoriV100()
+	// Measured pageable range: 4-8 GB/s over 4-64 MB transfers (§IX-A).
+	if got := cv.Link.PageableGBs(1 << 20); got != 4.0 {
+		t.Errorf("small transfer = %g, want clamp at 4", got)
+	}
+	if got := cv.Link.PageableGBs(256 << 20); got != 8.0 {
+		t.Errorf("large transfer = %g, want clamp at 8", got)
+	}
+	mid := cv.Link.PageableGBs(16 << 20)
+	if mid <= 4.0 || mid >= 8.0 {
+		t.Errorf("mid transfer = %g, want inside (4, 8)", mid)
+	}
+	// Monotone non-decreasing with size.
+	prev := 0.0
+	for _, sz := range []int{1 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20, 128 << 20} {
+		bw := cv.Link.PageableGBs(sz)
+		if bw < prev {
+			t.Errorf("pageable bandwidth decreased at %d bytes", sz)
+		}
+		prev = bw
+	}
+}
+
+func TestNVLinkFasterThanPCIe3(t *testing.T) {
+	// §IX-B: NVLink provides roughly 3x the bandwidth of PCIe 3.0.
+	s, cv := Summit(), CoriV100()
+	ratio := s.Link.PageableGBs(32<<20) / cv.Link.PageableGBs(32<<20)
+	if ratio < 2 || ratio > 4 {
+		t.Errorf("NVLink/PCIe3 pageable ratio %.1f, want ~3", ratio)
+	}
+}
+
+func TestMemBudget(t *testing.T) {
+	s := Summit()
+	frac := 0.60
+	want := int64(frac * 512 * float64(1<<30))
+	if got := s.MemBudgetBytes(); math.Abs(float64(got-want)) > 1 {
+		t.Errorf("budget = %d, want %d", got, want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Summit", "Cori-V100", "Cori-A100"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("Perlmutter"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if len(All()) != 3 {
+		t.Error("All() should return 3 platforms")
+	}
+}
+
+func TestSoftwareStack(t *testing.T) {
+	// Table II spot checks.
+	s := Summit()
+	if s.Software["nccl"] != "2.7.8" || s.Software["cudnn"] != "8.0.4" {
+		t.Error("Summit software stack mismatch with Table II")
+	}
+	ca := CoriA100()
+	if ca.Software["framework.deepcam"] != "PT 1.9" || ca.Software["gcc"] != "8.3.0" {
+		t.Error("Cori-A100 software stack mismatch with Table II")
+	}
+	for _, p := range All() {
+		if p.Software["dali"] != "1.9.0" {
+			t.Errorf("%s: DALI version should be 1.9.0 on all systems", p.Name)
+		}
+	}
+}
+
+func TestSummitCPUSlower(t *testing.T) {
+	// §IX-A: the DL software stack runs slower on the Summit host CPU.
+	if Summit().CPU.DecodeMBs >= CoriV100().CPU.DecodeMBs {
+		t.Error("Summit per-core plugin decode should be below Cori-V100")
+	}
+	if Summit().CPU.TransOpsPerSec >= CoriV100().CPU.TransOpsPerSec {
+		t.Error("Summit per-core preprocessing ops should be below Cori-V100")
+	}
+}

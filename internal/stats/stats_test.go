@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"scipp/internal/xrand"
+)
+
+func TestUniqueValues(t *testing.T) {
+	data := []float32{1, 2, 2, 3, 3, 3}
+	u := UniqueValues(data)
+	if len(u) != 3 {
+		t.Fatalf("got %d uniques, want 3", len(u))
+	}
+	if u[0].Value != 3 || u[0].Count != 3 {
+		t.Errorf("rank 1 = %+v, want {3 3}", u[0])
+	}
+	if u[2].Value != 1 || u[2].Count != 1 {
+		t.Errorf("rank 3 = %+v, want {1 1}", u[2])
+	}
+}
+
+func TestUniqueValuesTieBreak(t *testing.T) {
+	u := UniqueValues([]float32{5, 4, 4, 5})
+	if u[0].Value != 4 || u[1].Value != 5 {
+		t.Errorf("ties should sort by value: %+v", u)
+	}
+}
+
+func TestUniqueInt16(t *testing.T) {
+	data := []int16{0, 0, 1, 2, 2, 2, 7}
+	if got := UniqueInt16(data); got != 4 {
+		t.Errorf("UniqueInt16 = %d, want 4", got)
+	}
+	f := UniqueInt16Freq(data)
+	if f[0].Value != 2 || f[0].Count != 3 {
+		t.Errorf("rank 1 = %+v", f[0])
+	}
+}
+
+func TestUniqueGroups(t *testing.T) {
+	ch := [4][]int16{
+		{0, 0, 1, 0},
+		{1, 1, 2, 1},
+		{2, 2, 3, 2},
+		{3, 3, 4, 3},
+	}
+	if got := UniqueGroups(ch); got != 2 {
+		t.Errorf("UniqueGroups = %d, want 2", got)
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// Exact power law count = 1000 * rank^-1.5.
+	var freqs []ValueFreq
+	for r := 1; r <= 100; r++ {
+		freqs = append(freqs, ValueFreq{Value: float32(r), Count: int(math.Round(1e6 * math.Pow(float64(r), -1.5)))})
+	}
+	fit := FitPowerLaw(freqs)
+	if math.Abs(fit.Alpha-1.5) > 0.1 {
+		t.Errorf("Alpha = %g, want ~1.5", fit.Alpha)
+	}
+	if fit.R2 < 0.98 {
+		t.Errorf("R2 = %g, want ~1", fit.R2)
+	}
+}
+
+func TestFitPowerLawZipfSamples(t *testing.T) {
+	// Sampled data from a Zipf distribution should fit back near alpha.
+	r := xrand.New(3)
+	z := xrand.NewZipf(200, 1.3)
+	counts := make(map[int]int)
+	for i := 0; i < 300000; i++ {
+		counts[z.Sample(r)]++
+	}
+	var freqs []ValueFreq
+	for k := 1; k <= 200; k++ {
+		freqs = append(freqs, ValueFreq{Value: float32(k), Count: counts[k]})
+	}
+	fit := FitPowerLaw(freqs)
+	if math.Abs(fit.Alpha-1.3) > 0.25 {
+		t.Errorf("fitted alpha %g, want ~1.3", fit.Alpha)
+	}
+}
+
+func TestFitPowerLawDegenerate(t *testing.T) {
+	if fit := FitPowerLaw(nil); fit.Alpha != 0 {
+		t.Error("empty fit should be zero")
+	}
+	if fit := FitPowerLaw([]ValueFreq{{1, 5}}); fit.Alpha != 0 {
+		t.Error("single-point fit should be zero")
+	}
+}
+
+func TestRelativeErrors(t *testing.T) {
+	ref := []float32{1, 2, 0, 10}
+	recon := []float32{1.05, 2, 0, 8} // 5%, 0%, exact-zero, 20%
+	st := RelativeErrors(ref, recon, 0.10)
+	if st.N != 4 {
+		t.Errorf("N = %d", st.N)
+	}
+	if st.CountAboveThres != 1 {
+		t.Errorf("CountAboveThres = %d, want 1", st.CountAboveThres)
+	}
+	if math.Abs(st.FracAbove-0.25) > 1e-12 {
+		t.Errorf("FracAbove = %g, want 0.25", st.FracAbove)
+	}
+	if math.Abs(st.MaxRel-0.2) > 1e-6 {
+		t.Errorf("MaxRel = %g, want 0.2", st.MaxRel)
+	}
+	if math.Abs(st.MaxAbs-2) > 1e-6 {
+		t.Errorf("MaxAbs = %g, want 2", st.MaxAbs)
+	}
+}
+
+func TestRelativeErrorsZeroRef(t *testing.T) {
+	// Nonzero reconstruction of exact zero counts as a 100% error.
+	st := RelativeErrors([]float32{0}, []float32{0.5}, 0.10)
+	if st.CountAboveThres != 1 || st.NearZeroAbove != 1 {
+		t.Errorf("zero-ref handling: %+v", st)
+	}
+	// Exact zero reconstruction of zero is no error.
+	st = RelativeErrors([]float32{0}, []float32{0}, 0.10)
+	if st.CountAboveThres != 0 || st.MaxRel != 0 {
+		t.Errorf("exact zero: %+v", st)
+	}
+}
+
+func TestRelativeErrorsEmpty(t *testing.T) {
+	st := RelativeErrors(nil, nil, 0.1)
+	if st.N != 0 || st.MeanRel != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Errorf("summary: %+v", s)
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("Std = %g, want %g", s.Std, want)
+	}
+	if e := Summarize(nil); e.N != 0 {
+		t.Error("empty summary")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	data := []float64{4, 1, 3, 2}
+	if got := Percentile(data, 0); got != 1 {
+		t.Errorf("p0 = %g", got)
+	}
+	if got := Percentile(data, 1); got != 4 {
+		t.Errorf("p100 = %g", got)
+	}
+	if got := Percentile(data, 0.5); got != 2.5 {
+		t.Errorf("p50 = %g, want 2.5", got)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 0.5, 1.5, 2.5, 10, -1}, 0, 3, 3)
+	if h[0] != 3 || h[1] != 1 || h[2] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+	if h := Histogram(nil, 0, 0, 3); h[0] != 0 {
+		t.Error("degenerate histogram")
+	}
+}

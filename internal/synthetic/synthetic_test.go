@@ -1,0 +1,406 @@
+package synthetic
+
+import (
+	"math"
+	"testing"
+
+	"scipp/internal/stats"
+	"scipp/internal/tensor"
+)
+
+func smallClimateCfg() ClimateConfig {
+	cfg := DefaultClimateConfig()
+	cfg.Channels = 4
+	cfg.Height = 96
+	cfg.Width = 144
+	return cfg
+}
+
+func TestClimateDeterministic(t *testing.T) {
+	cfg := smallClimateCfg()
+	a, err := GenerateClimate(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateClimate(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(a.Data, b.Data) != 0 {
+		t.Error("same (seed,index) produced different climate data")
+	}
+	c, _ := GenerateClimate(cfg, 8)
+	if tensor.MaxAbsDiff(a.Data, c.Data) == 0 {
+		t.Error("different index produced identical data")
+	}
+}
+
+func TestClimateShapes(t *testing.T) {
+	cfg := smallClimateCfg()
+	s, err := GenerateClimate(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Data.Shape.Equal(tensor.Shape{cfg.Channels, cfg.Height, cfg.Width}) {
+		t.Errorf("data shape %v", s.Data.Shape)
+	}
+	if !s.Labels.Shape.Equal(tensor.Shape{cfg.Height, cfg.Width}) {
+		t.Errorf("label shape %v", s.Labels.Shape)
+	}
+	if s.Data.DT != tensor.F32 || s.Labels.DT != tensor.I16 {
+		t.Error("dtypes wrong")
+	}
+}
+
+func TestClimateSmoothAlongX(t *testing.T) {
+	// The paper: "the x-direction contains the smoothest changes in values".
+	// Check the median |dx| step is a small fraction of the channel range.
+	cfg := smallClimateCfg()
+	cfg.Cyclones = 0
+	cfg.Rivers = 0
+	s, err := GenerateClimate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, w := cfg.Height, cfg.Width
+	ch := s.Data.F32s[:h*w] // channel 0
+	var lo, hi float32 = ch[0], ch[0]
+	var diffs []float64
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := ch[y*w+x]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			if x > 0 {
+				diffs = append(diffs, math.Abs(float64(v-ch[y*w+x-1])))
+			}
+		}
+	}
+	rangeV := float64(hi - lo)
+	med := stats.Percentile(diffs, 0.5)
+	if med > rangeV*0.02 {
+		t.Errorf("median x-step %g not smooth relative to range %g", med, rangeV)
+	}
+}
+
+func TestClimateAnomaliesLabeled(t *testing.T) {
+	cfg := smallClimateCfg()
+	s, err := GenerateClimate(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [3]int
+	for _, v := range s.Labels.I16s {
+		counts[v]++
+	}
+	if counts[1] == 0 {
+		t.Error("no cyclone pixels labeled")
+	}
+	if counts[2] == 0 {
+		t.Error("no river pixels labeled")
+	}
+	// Extreme weather must remain rare: anomalies are localized.
+	total := len(s.Labels.I16s)
+	if frac := float64(counts[1]+counts[2]) / float64(total); frac > 0.5 {
+		t.Errorf("anomalies cover %.0f%% of pixels; should be localized", frac*100)
+	}
+}
+
+func TestClimateAnomalyMakesAbruptChange(t *testing.T) {
+	cfg := smallClimateCfg()
+	cfg.Channels = 3 // channel 0 has strong coupling (ch%3==0)
+	cfg.Cyclones = 1
+	cfg.Rivers = 0
+	cfg.NoiseAmp = 0
+	withA, err := GenerateClimate(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Cyclones = 0
+	withoutA, err := GenerateClimate(cfg2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max |dx| step in channel 0 should be significantly larger with the
+	// cyclone present.
+	maxStep := func(s *ClimateSample) float64 {
+		h, w := cfg.Height, cfg.Width
+		ch := s.Data.F32s[:h*w]
+		var m float64
+		for y := 0; y < h; y++ {
+			for x := 1; x < w; x++ {
+				d := math.Abs(float64(ch[y*w+x] - ch[y*w+x-1]))
+				if d > m {
+					m = d
+				}
+			}
+		}
+		return m
+	}
+	if maxStep(withA) < 2*maxStep(withoutA) {
+		t.Errorf("cyclone did not create abrupt transitions: %g vs %g",
+			maxStep(withA), maxStep(withoutA))
+	}
+}
+
+func TestClimateConfigValidation(t *testing.T) {
+	bad := smallClimateCfg()
+	bad.Width = 0
+	if _, err := GenerateClimate(bad, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	bad = smallClimateCfg()
+	bad.NoiseAmp = -1
+	if _, err := GenerateClimate(bad, 0); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestClimateH5RoundTrip(t *testing.T) {
+	cfg := smallClimateCfg()
+	s, err := GenerateClimate(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ClimateToH5(s)
+	back, err := ClimateFromH5(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(s.Data, back.Data) != 0 || tensor.MaxAbsDiff(s.Labels, back.Labels) != 0 {
+		t.Error("h5 round trip changed sample")
+	}
+}
+
+func smallCosmoCfg() CosmoConfig {
+	cfg := DefaultCosmoConfig()
+	cfg.Dim = 48
+	return cfg
+}
+
+func TestCosmoDeterministic(t *testing.T) {
+	cfg := smallCosmoCfg()
+	a, err := GenerateCosmo(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCosmo(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Channels {
+		for i := range a.Channels[c] {
+			if a.Channels[c][i] != b.Channels[c][i] {
+				t.Fatalf("nondeterministic at channel %d idx %d", c, i)
+			}
+		}
+	}
+	if a.Params != b.Params {
+		t.Error("params nondeterministic")
+	}
+}
+
+func TestCosmoValueStatistics(t *testing.T) {
+	// The properties §V-B measures: few hundred unique values, power-law
+	// frequency, and unique groups far below the permutation bound.
+	cfg := smallCosmoCfg()
+	s, err := GenerateCosmo(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int16, 0, 4*len(s.Channels[0]))
+	for c := range s.Channels {
+		all = append(all, s.Channels[c]...)
+	}
+	uniq := stats.UniqueInt16(all)
+	if uniq < 20 || uniq > 2000 {
+		t.Errorf("unique values = %d, want O(100s)", uniq)
+	}
+	freqs := stats.UniqueInt16Freq(all)
+	fit := stats.FitPowerLaw(freqs)
+	if fit.Alpha < 0.5 {
+		t.Errorf("frequency distribution not power-law-like: alpha=%g r2=%g", fit.Alpha, fit.R2)
+	}
+	groups := stats.UniqueGroups(s.Channels)
+	if groups <= uniq {
+		t.Errorf("groups (%d) should exceed unique values (%d)", groups, uniq)
+	}
+	// Far below the permutation bound uniq^4.
+	bound := math.Pow(float64(uniq), 4)
+	if float64(groups) > bound/100 {
+		t.Errorf("groups %d too close to permutation bound %g — channels not coupled", groups, bound)
+	}
+}
+
+func TestCosmoChannelCoupling(t *testing.T) {
+	// Counts across redshifts at the same voxel must be strongly correlated.
+	cfg := smallCosmoCfg()
+	s, err := GenerateCosmo(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := pearson(s.Channels[0], s.Channels[3])
+	if corr < 0.6 {
+		t.Errorf("redshift channels decorrelated: r=%g", corr)
+	}
+}
+
+func pearson(a, b []int16) float64 {
+	n := float64(len(a))
+	var sa, sb, saa, sbb, sab float64
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	cov := sab/n - sa/n*sb/n
+	va := saa/n - sa/n*sa/n
+	vb := sbb/n - sb/n*sb/n
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestCosmoProgressiveClustering(t *testing.T) {
+	// Later redshifts (toward today) are more clustered: higher variance of
+	// counts relative to mean.
+	cfg := smallCosmoCfg()
+	s, err := GenerateCosmo(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := func(ch []int16) float64 {
+		var sum, sumSq float64
+		for _, v := range ch {
+			sum += float64(v)
+			sumSq += float64(v) * float64(v)
+		}
+		n := float64(len(ch))
+		mean := sum / n
+		if mean == 0 {
+			return 0
+		}
+		return (sumSq/n - mean*mean) / mean
+	}
+	if disp(s.Channels[3]) <= disp(s.Channels[0]) {
+		t.Errorf("clustering does not increase with redshift evolution: %g vs %g",
+			disp(s.Channels[0]), disp(s.Channels[3]))
+	}
+}
+
+func TestCosmoCountsInRange(t *testing.T) {
+	cfg := smallCosmoCfg()
+	cfg.MaxCount = 100
+	s, err := GenerateCosmo(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range s.Channels {
+		for _, v := range s.Channels[c] {
+			if v < 0 || int(v) > cfg.MaxCount {
+				t.Fatalf("count %d out of [0,%d]", v, cfg.MaxCount)
+			}
+		}
+	}
+}
+
+func TestCosmoRecordRoundTrip(t *testing.T) {
+	cfg := smallCosmoCfg()
+	cfg.Dim = 16
+	s, err := GenerateCosmo(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := CosmoToRecord(s)
+	if len(rec) != 24+4*16*16*16*2 {
+		t.Fatalf("record length %d", len(rec))
+	}
+	back, err := CosmoFromRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim != s.Dim || back.Params != s.Params {
+		t.Error("header round trip failed")
+	}
+	for c := range s.Channels {
+		for i := range s.Channels[c] {
+			if s.Channels[c][i] != back.Channels[c][i] {
+				t.Fatalf("payload mismatch channel %d idx %d", c, i)
+			}
+		}
+	}
+}
+
+func TestCosmoRecordErrors(t *testing.T) {
+	if _, err := CosmoFromRecord(nil); err == nil {
+		t.Error("nil record accepted")
+	}
+	if _, err := CosmoFromRecord(make([]byte, 24)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	cfg := smallCosmoCfg()
+	cfg.Dim = 8
+	s, _ := GenerateCosmo(cfg, 0)
+	rec := CosmoToRecord(s)
+	if _, err := CosmoFromRecord(rec[:len(rec)-2]); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestCosmoConfigValidation(t *testing.T) {
+	bad := smallCosmoCfg()
+	bad.Dim = 0
+	if _, err := GenerateCosmo(bad, 0); err == nil {
+		t.Error("zero dim accepted")
+	}
+	bad = smallCosmoCfg()
+	bad.MaxCount = 40000
+	if _, err := GenerateCosmo(bad, 0); err == nil {
+		t.Error("max count beyond int16 accepted")
+	}
+	bad = smallCosmoCfg()
+	bad.Waves = 0
+	if _, err := GenerateCosmo(bad, 0); err == nil {
+		t.Error("zero waves accepted")
+	}
+}
+
+func TestCosmoSizes(t *testing.T) {
+	cfg := smallCosmoCfg()
+	cfg.Dim = 8
+	s, _ := GenerateCosmo(cfg, 0)
+	if s.RawBytes() != 4*512*4 {
+		t.Errorf("RawBytes = %d", s.RawBytes())
+	}
+	if s.StoredBytes() != 4*512*2 {
+		t.Errorf("StoredBytes = %d", s.StoredBytes())
+	}
+}
+
+func BenchmarkGenerateClimate(b *testing.B) {
+	cfg := smallClimateCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateClimate(cfg, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateCosmo(b *testing.B) {
+	cfg := smallCosmoCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateCosmo(cfg, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

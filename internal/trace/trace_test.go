@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndBreakdown(t *testing.T) {
+	var tl Timeline
+	tl.Add("cpu", "read", 0, 1)
+	tl.Add("cpu", "read", 2, 2.5)
+	tl.Add("gpu0", "compute", 1, 4)
+	b := tl.Breakdown()
+	if math.Abs(b["read"]-1.5) > 1e-12 {
+		t.Errorf("read = %g", b["read"])
+	}
+	if math.Abs(b["compute"]-3) > 1e-12 {
+		t.Errorf("compute = %g", b["compute"])
+	}
+	if tl.Len() != 3 {
+		t.Errorf("Len = %d", tl.Len())
+	}
+}
+
+func TestZeroLengthDropped(t *testing.T) {
+	var tl Timeline
+	tl.Add("cpu", "noop", 1, 1)
+	tl.Add("cpu", "bad", 2, 1)
+	if tl.Len() != 0 {
+		t.Error("degenerate events not dropped")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	var tl Timeline
+	if tl.Span() != 0 {
+		t.Error("empty span")
+	}
+	tl.Add("a", "x", 1, 2)
+	tl.Add("b", "y", 0.5, 3.5)
+	if got := tl.Span(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Span = %g, want 3", got)
+	}
+}
+
+func TestResourceBreakdown(t *testing.T) {
+	var tl Timeline
+	tl.Add("cpu", "read", 0, 1)
+	tl.Add("gpu0", "read", 0, 2)
+	rb := tl.ResourceBreakdown()
+	if rb["cpu"]["read"] != 1 || rb["gpu0"]["read"] != 2 {
+		t.Errorf("resource breakdown: %+v", rb)
+	}
+}
+
+func TestBusyMergesOverlaps(t *testing.T) {
+	var tl Timeline
+	tl.Add("gpu", "a", 0, 2)
+	tl.Add("gpu", "b", 1, 3) // overlaps
+	tl.Add("gpu", "c", 5, 6) // disjoint
+	tl.Add("cpu", "d", 0, 100)
+	if got := tl.Busy("gpu"); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Busy = %g, want 4 (union of [0,3] and [5,6])", got)
+	}
+	if got := tl.Busy("none"); got != 0 {
+		t.Errorf("Busy on unknown resource = %g", got)
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	var tl Timeline
+	tl.Add("r", "b", 5, 6)
+	tl.Add("r", "a", 1, 2)
+	ev := tl.Events()
+	if len(ev) != 2 || ev[0].Tag != "a" {
+		t.Errorf("events not sorted: %+v", ev)
+	}
+	if ev[0].Duration() != 1 {
+		t.Errorf("Duration = %g", ev[0].Duration())
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	var tl Timeline
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tl.Add("cpu", "work", float64(j), float64(j)+0.5)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tl.Len() != 1600 {
+		t.Errorf("Len = %d, want 1600", tl.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var tl Timeline
+	tl.Add("r", "x", 0, 1)
+	tl.Reset()
+	if tl.Len() != 0 || tl.Span() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestFormatBreakdown(t *testing.T) {
+	s := FormatBreakdown(map[string]float64{"read": 0.010, "compute": 0.030})
+	if !strings.Contains(s, "compute") || !strings.Contains(s, "read") {
+		t.Errorf("missing tags: %q", s)
+	}
+	// compute (larger) must come first.
+	if strings.Index(s, "compute") > strings.Index(s, "read") {
+		t.Error("rows not sorted by share")
+	}
+	if !strings.Contains(s, "75.0%") {
+		t.Errorf("percent formatting wrong: %q", s)
+	}
+	if FormatBreakdown(nil) != "" {
+		t.Error("empty breakdown should be empty string")
+	}
+}

@@ -1,0 +1,347 @@
+// Package train drives the convergence experiments of §VIII (Figs 6 and 7):
+// real gradient-descent training of the mini DeepCAM and CosmoFlow models on
+// base (FP32) versus decoded (FP16 plugin) samples, with the same learning
+// schedule and seeds for both sample classes — the paper's methodology of
+// changing nothing but the data feeder.
+package train
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"scipp/internal/core"
+	"scipp/internal/dist"
+	"scipp/internal/models"
+	"scipp/internal/nn"
+	"scipp/internal/pipeline"
+	"scipp/internal/synthetic"
+	"scipp/internal/tensor"
+)
+
+// StackData concatenates per-sample tensors into one batched FP32 tensor
+// [N, sampleShape...]. FP16 samples (the decoded plugin output) are widened
+// to FP32 at ingest — exactly what autocast mixed precision does with
+// half-precision inputs.
+func StackData(samples []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("train: empty batch")
+	}
+	shape := samples[0].Shape
+	out := tensor.New(tensor.F32, append(tensor.Shape{len(samples)}, shape...)...)
+	stride := shape.Elems()
+	for i, s := range samples {
+		if !s.Shape.Equal(shape) {
+			return nil, fmt.Errorf("train: sample %d shape %v != %v", i, s.Shape, shape)
+		}
+		f := s.ToF32()
+		copy(out.F32s[i*stride:(i+1)*stride], f.F32s)
+	}
+	return out, nil
+}
+
+// StackLabels concatenates per-sample labels, preserving dtype.
+func StackLabels(labels []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("train: empty label batch")
+	}
+	shape := labels[0].Shape
+	out := tensor.New(labels[0].DT, append(tensor.Shape{len(labels)}, shape...)...)
+	stride := shape.Elems()
+	for i, l := range labels {
+		if !l.Shape.Equal(shape) || l.DT != labels[0].DT {
+			return nil, fmt.Errorf("train: label %d shape/dtype mismatch", i)
+		}
+		switch l.DT {
+		case tensor.F32:
+			copy(out.F32s[i*stride:(i+1)*stride], l.F32s)
+		case tensor.I16:
+			copy(out.I16s[i*stride:(i+1)*stride], l.I16s)
+		default:
+			return nil, fmt.Errorf("train: unsupported label dtype %v", l.DT)
+		}
+	}
+	return out, nil
+}
+
+// NormalizeChannels standardizes a batched [N, C, ...] FP32 tensor per
+// channel in place: (x - mean_c) / (std_c + eps). The DeepCAM reference
+// pipeline normalizes the 16 physical fields, whose raw magnitudes span
+// orders of magnitude (pressure ~1e5 vs humidity ~1e-2).
+func NormalizeChannels(x *tensor.Tensor) {
+	if x.DT != tensor.F32 || len(x.Shape) < 3 {
+		panic("train: NormalizeChannels needs batched FP32 [N, C, ...]")
+	}
+	n, c := x.Shape[0], x.Shape[1]
+	stride := x.Elems() / (n * c)
+	for ci := 0; ci < c; ci++ {
+		var sum, sumSq float64
+		cnt := 0
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * stride
+			for i := 0; i < stride; i++ {
+				v := float64(x.F32s[base+i])
+				sum += v
+				sumSq += v * v
+				cnt++
+			}
+		}
+		mean := sum / float64(cnt)
+		variance := sumSq/float64(cnt) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		inv := float32(1 / (math.Sqrt(variance) + 1e-6))
+		m := float32(mean)
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * stride
+			for i := 0; i < stride; i++ {
+				x.F32s[base+i] = (x.F32s[base+i] - m) * inv
+			}
+		}
+	}
+}
+
+// Config configures one convergence run.
+type Config struct {
+	// Encoded selects the decoded plugin samples (FP16) instead of the
+	// baseline FP32 samples.
+	Encoded bool
+	// Samples is the training-set size.
+	Samples int
+	// Batch is the minibatch size (the paper uses 2/step for DeepCAM).
+	Batch int
+	// Steps bounds the total optimizer steps (DeepCAM tracks per step).
+	Steps int
+	// Epochs bounds full dataset traversals (CosmoFlow tracks per epoch).
+	Epochs int
+	// Seed drives model init and shuffling; vary per repetition.
+	Seed uint64
+	// LR is the base learning rate.
+	LR float64
+	// Warmup is the warmup step count of the schedule.
+	Warmup int
+}
+
+func (c Config) encoding() core.Encoding {
+	if c.Encoded {
+		return core.Plugin
+	}
+	return core.Baseline
+}
+
+// DeepCAM runs the Fig 6 experiment: per-step training loss of the
+// segmentation model under cfg. Returns one loss value per optimizer step.
+func DeepCAM(climCfg synthetic.ClimateConfig, cfg Config) ([]float64, error) {
+	ds, err := core.BuildClimateDataset(climCfg, cfg.Samples, cfg.encoding())
+	if err != nil {
+		return nil, err
+	}
+	loader, err := pipeline.New(ds, pipeline.Config{
+		Format:  core.FormatFor(core.DeepCAM, cfg.encoding()),
+		Batch:   cfg.Batch,
+		Shuffle: true,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	model, err := models.MiniDeepCAM(climCfg.Channels, climCfg.Height, climCfg.Width)
+	if err != nil {
+		return nil, err
+	}
+	model.InitHe(cfg.Seed)
+	opt := nn.NewSGD(cfg.LR, 0.9)
+	sched := nn.WarmupSchedule{Base: cfg.LR, WarmupSteps: cfg.Warmup}
+
+	var losses []float64
+	step := 0
+	for epoch := 0; step < cfg.Steps; epoch++ {
+		it := loader.Epoch(epoch)
+		for step < cfg.Steps {
+			b, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			x, err := StackData(b.Data)
+			if err != nil {
+				return nil, err
+			}
+			NormalizeChannels(x)
+			y, err := StackLabels(b.Labels)
+			if err != nil {
+				return nil, err
+			}
+			model.ZeroGrad()
+			logits := model.Forward(x)
+			loss, grad := nn.SoftmaxCrossEntropy2D(logits, y)
+			model.Backward(grad)
+			opt.SetLR(sched.At(step))
+			opt.Step(model.Params())
+			losses = append(losses, loss)
+			step++
+		}
+		it.Close()
+	}
+	return losses, nil
+}
+
+// CosmoFlow runs one Fig 7 repetition: per-epoch mean training loss of the
+// regression model under cfg. Returns one loss value per epoch.
+func CosmoFlow(cosmoCfg synthetic.CosmoConfig, cfg Config) ([]float64, error) {
+	ds, err := core.BuildCosmoDataset(cosmoCfg, cfg.Samples, cfg.encoding())
+	if err != nil {
+		return nil, err
+	}
+	loader, err := pipeline.New(ds, pipeline.Config{
+		Format:  core.FormatFor(core.CosmoFlow, cfg.encoding()),
+		Batch:   cfg.Batch,
+		Shuffle: true,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	model, err := models.MiniCosmoFlow(cosmoCfg.Dim)
+	if err != nil {
+		return nil, err
+	}
+	model.InitHe(cfg.Seed)
+	opt := nn.NewAdam(cfg.LR)
+	sched := nn.WarmupSchedule{Base: cfg.LR, WarmupSteps: cfg.Warmup}
+
+	var epochLosses []float64
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		it := loader.Epoch(epoch)
+		var sum float64
+		var steps int
+		for {
+			b, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			x, err := StackData(b.Data)
+			if err != nil {
+				return nil, err
+			}
+			y, err := StackLabels(b.Labels)
+			if err != nil {
+				return nil, err
+			}
+			model.ZeroGrad()
+			pred := model.Forward(x)
+			loss, grad := nn.MSELoss(pred, y)
+			model.Backward(grad)
+			opt.SetLR(sched.At(step))
+			opt.Step(model.Params())
+			sum += loss
+			steps++
+			step++
+		}
+		if steps == 0 {
+			return nil, fmt.Errorf("train: empty epoch %d", epoch)
+		}
+		epochLosses = append(epochLosses, sum/float64(steps))
+	}
+	return epochLosses, nil
+}
+
+// DataParallelCosmoFlow trains with `ranks` synchronous data-parallel
+// replicas using ring-allreduced gradients (the NCCL/Horovod pattern),
+// returning per-epoch mean loss. Every replica holds an identical model;
+// each step shards the global batch across ranks.
+func DataParallelCosmoFlow(cosmoCfg synthetic.CosmoConfig, cfg Config, ranks int) ([]float64, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("train: invalid rank count %d", ranks)
+	}
+	if cfg.Batch%ranks != 0 {
+		return nil, fmt.Errorf("train: batch %d not divisible by %d ranks", cfg.Batch, ranks)
+	}
+	ds, err := core.BuildCosmoDataset(cosmoCfg, cfg.Samples, cfg.encoding())
+	if err != nil {
+		return nil, err
+	}
+	loader, err := pipeline.New(ds, pipeline.Config{
+		Format:   core.FormatFor(core.CosmoFlow, cfg.encoding()),
+		Batch:    cfg.Batch,
+		Shuffle:  true,
+		Seed:     cfg.Seed,
+		DropLast: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	group, err := dist.NewGroup(ranks)
+	if err != nil {
+		return nil, err
+	}
+	replicas := make([]*nn.Sequential, ranks)
+	opts := make([]*nn.Adam, ranks)
+	for r := 0; r < ranks; r++ {
+		m, err := models.MiniCosmoFlow(cosmoCfg.Dim)
+		if err != nil {
+			return nil, err
+		}
+		m.InitHe(cfg.Seed) // identical init on every replica
+		replicas[r] = m
+		opts[r] = nn.NewAdam(cfg.LR)
+	}
+	shard := cfg.Batch / ranks
+
+	var epochLosses []float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		it := loader.Epoch(epoch)
+		var sum float64
+		var steps int
+		for {
+			b, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			partLoss := make([]float64, ranks)
+			var wg sync.WaitGroup
+			for r := 0; r < ranks; r++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					m := replicas[rank]
+					lo, hi := rank*shard, (rank+1)*shard
+					x, _ := StackData(b.Data[lo:hi])
+					y, _ := StackLabels(b.Labels[lo:hi])
+					m.ZeroGrad()
+					pred := m.Forward(x)
+					loss, grad := nn.MSELoss(pred, y)
+					partLoss[rank] = loss
+					m.Backward(grad)
+					// Synchronize gradients: mean across replicas.
+					for _, p := range m.Params() {
+						group.AllReduceMean(rank, p.G)
+					}
+					opts[rank].Step(m.Params())
+				}(r)
+			}
+			wg.Wait()
+			var l float64
+			for _, pl := range partLoss {
+				l += pl
+			}
+			sum += l / float64(ranks)
+			steps++
+		}
+		if steps == 0 {
+			return nil, fmt.Errorf("train: empty epoch %d", epoch)
+		}
+		epochLosses = append(epochLosses, sum/float64(steps))
+	}
+	return epochLosses, nil
+}

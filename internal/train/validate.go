@@ -1,0 +1,140 @@
+package train
+
+import (
+	"fmt"
+
+	"scipp/internal/core"
+	"scipp/internal/models"
+	"scipp/internal/nn"
+	"scipp/internal/pipeline"
+	"scipp/internal/synthetic"
+)
+
+// Curves holds paired training and validation loss trajectories. §VIII-A:
+// "The same behavior is also seen in the loss function of the validation
+// samples, which is omitted for brevity" — this driver reproduces the
+// omitted measurement.
+type Curves struct {
+	// Train has one entry per optimizer step (DeepCAM) or epoch (CosmoFlow).
+	Train []float64
+	// Val has one entry per validation evaluation, aligned with Train.
+	Val []float64
+}
+
+// evalDeepCAM computes the mean segmentation loss over a held-out loader
+// without updating the model.
+func evalDeepCAM(model *nn.Sequential, loader *pipeline.Loader) (float64, error) {
+	it := loader.Epoch(0)
+	defer it.Close()
+	var sum float64
+	var steps int
+	for {
+		b, err := it.Next()
+		if err != nil {
+			return 0, err
+		}
+		if b == nil {
+			break
+		}
+		x, err := StackData(b.Data)
+		if err != nil {
+			return 0, err
+		}
+		NormalizeChannels(x)
+		y, err := StackLabels(b.Labels)
+		if err != nil {
+			return 0, err
+		}
+		logits := model.Forward(x)
+		loss, _ := nn.SoftmaxCrossEntropy2D(logits, y)
+		sum += loss
+		steps++
+	}
+	if steps == 0 {
+		return 0, fmt.Errorf("train: empty validation set")
+	}
+	return sum / float64(steps), nil
+}
+
+// DeepCAMWithValidation runs the Fig 6 experiment tracking both the
+// training loss per step and the loss on a disjoint validation set
+// (generated with sample indices after the training range), evaluated every
+// evalEvery steps.
+func DeepCAMWithValidation(climCfg synthetic.ClimateConfig, cfg Config, valSamples, evalEvery int) (*Curves, error) {
+	if valSamples <= 0 || evalEvery <= 0 {
+		return nil, fmt.Errorf("train: need positive valSamples and evalEvery")
+	}
+	enc := cfg.encoding()
+	ds, err := core.BuildClimateDataset(climCfg, cfg.Samples, enc)
+	if err != nil {
+		return nil, err
+	}
+	// Validation samples use indices beyond the training range, so the two
+	// sets are disjoint draws from the same distribution.
+	valCfg := climCfg
+	valCfg.Seed = climCfg.Seed ^ 0xDEADBEEF
+	valDS, err := core.BuildClimateDataset(valCfg, valSamples, enc)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := pipeline.New(ds, pipeline.Config{
+		Format: core.FormatFor(core.DeepCAM, enc), Batch: cfg.Batch, Shuffle: true, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	valLoader, err := pipeline.New(valDS, pipeline.Config{
+		Format: core.FormatFor(core.DeepCAM, enc), Batch: cfg.Batch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	model, err := models.MiniDeepCAM(climCfg.Channels, climCfg.Height, climCfg.Width)
+	if err != nil {
+		return nil, err
+	}
+	model.InitHe(cfg.Seed)
+	opt := nn.NewSGD(cfg.LR, 0.9)
+	sched := nn.WarmupSchedule{Base: cfg.LR, WarmupSteps: cfg.Warmup}
+
+	curves := &Curves{}
+	step := 0
+	for epoch := 0; step < cfg.Steps; epoch++ {
+		it := loader.Epoch(epoch)
+		for step < cfg.Steps {
+			b, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			x, err := StackData(b.Data)
+			if err != nil {
+				return nil, err
+			}
+			NormalizeChannels(x)
+			y, err := StackLabels(b.Labels)
+			if err != nil {
+				return nil, err
+			}
+			model.ZeroGrad()
+			logits := model.Forward(x)
+			loss, grad := nn.SoftmaxCrossEntropy2D(logits, y)
+			model.Backward(grad)
+			opt.SetLR(sched.At(step))
+			opt.Step(model.Params())
+			curves.Train = append(curves.Train, loss)
+			step++
+			if step%evalEvery == 0 || step == cfg.Steps {
+				vl, err := evalDeepCAM(model, valLoader)
+				if err != nil {
+					return nil, err
+				}
+				curves.Val = append(curves.Val, vl)
+			}
+		}
+		it.Close()
+	}
+	return curves, nil
+}

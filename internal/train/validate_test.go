@@ -1,0 +1,56 @@
+package train
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeepCAMWithValidation(t *testing.T) {
+	clim := tinyClimate()
+	cfg := Config{Samples: 8, Batch: 2, Steps: 16, Seed: 4, LR: 0.05, Warmup: 4}
+	curves, err := DeepCAMWithValidation(clim, cfg, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves.Train) != 16 {
+		t.Fatalf("train points = %d", len(curves.Train))
+	}
+	if len(curves.Val) != 4 {
+		t.Fatalf("val points = %d, want 4 (every 4 steps)", len(curves.Val))
+	}
+	// Validation loss must improve alongside training loss (same behaviour,
+	// §VIII-A).
+	if curves.Val[len(curves.Val)-1] >= curves.Val[0] {
+		t.Errorf("validation loss did not improve: %v", curves.Val)
+	}
+}
+
+func TestValidationTracksForDecodedSamples(t *testing.T) {
+	clim := tinyClimate()
+	cfg := Config{Samples: 8, Batch: 2, Steps: 12, Seed: 6, LR: 0.05, Warmup: 4}
+	base, err := DeepCAMWithValidation(clim, cfg, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Encoded = true
+	dec, err := DeepCAMWithValidation(clim, cfg, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final validation losses land in the same regime.
+	bf, df := base.Val[len(base.Val)-1], dec.Val[len(dec.Val)-1]
+	if math.Abs(bf-df) > 0.5*(math.Abs(bf)+0.05) {
+		t.Errorf("validation diverged: base %.4f vs decoded %.4f", bf, df)
+	}
+}
+
+func TestValidationInputValidation(t *testing.T) {
+	clim := tinyClimate()
+	cfg := Config{Samples: 4, Batch: 2, Steps: 4, Seed: 1, LR: 0.01}
+	if _, err := DeepCAMWithValidation(clim, cfg, 0, 2); err == nil {
+		t.Error("zero validation samples accepted")
+	}
+	if _, err := DeepCAMWithValidation(clim, cfg, 2, 0); err == nil {
+		t.Error("zero eval interval accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d identical outputs of 1000", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s1 := r.Split()
+	s2 := r.Split()
+	if s1.Uint64() == s2.Uint64() {
+		t.Error("split streams start identically")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %g", k, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean %g, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %g, want ~1", variance)
+	}
+}
+
+func TestZipfPowerLaw(t *testing.T) {
+	r := New(5)
+	const n, alpha, draws = 50, 1.5, 200000
+	z := NewZipf(n, alpha)
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		k := z.Sample(r)
+		if k < 1 || k > n {
+			t.Fatalf("Zipf sample %d out of [1,%d]", k, n)
+		}
+		counts[k]++
+	}
+	// Frequency ratio between rank 1 and rank 2 should approximate 2^alpha.
+	got := float64(counts[1]) / float64(counts[2])
+	want := math.Pow(2, alpha)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("rank1/rank2 ratio %g, want ~%g", got, want)
+	}
+	// Monotone non-increasing counts (statistically) for low ranks.
+	for k := 1; k < 5; k++ {
+		if counts[k] < counts[k+1] {
+			t.Errorf("power law not decreasing: count[%d]=%d < count[%d]=%d",
+				k, counts[k], k+1, counts[k+1])
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	p := make([]int, 100)
+	r.Perm(p)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	// Shuffled: should not be identity.
+	identity := true
+	for i, v := range p {
+		if i != v {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Error("Perm returned identity permutation (astronomically unlikely)")
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal returned non-positive %g", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	r := New(1)
+	z := NewZipf(500, 1.8)
+	for i := 0; i < b.N; i++ {
+		z.Sample(r)
+	}
+}

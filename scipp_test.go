@@ -1,0 +1,123 @@
+package scipp
+
+import (
+	"testing"
+
+	"scipp/internal/tensor"
+)
+
+func TestPublicEncodeDecodeDeepCAM(t *testing.T) {
+	cfg := DefaultClimateConfig()
+	cfg.Channels = 4
+	cfg.Height = 32
+	cfg.Width = 64
+	s, err := GenerateClimate(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := EncodeDeepCAM(s.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) >= s.Data.Bytes() {
+		t.Error("encoding did not compress")
+	}
+	f := FormatFor(DeepCAM, PluginEncoding)
+	out, err := DecodeFull(f, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape.Equal(tensor.Shape{4, 32, 64}) {
+		t.Errorf("decoded shape %v", out.Shape)
+	}
+	if out.DT != tensor.F16 {
+		t.Error("plugin decode should emit FP16")
+	}
+}
+
+func TestPublicEncodeDecodeCosmo(t *testing.T) {
+	cfg := DefaultCosmoConfig()
+	cfg.Dim = 16
+	s, err := GenerateCosmo(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := EncodeCosmoFlow(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Platforms() {
+		out, simT, err := DecodeOnDevice(FormatFor(CosmoFlow, PluginEncoding), blob, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if simT <= 0 {
+			t.Errorf("%s: non-positive kernel time", p.Name)
+		}
+		if out.Elems() != 4*16*16*16 {
+			t.Errorf("%s: decoded elems %d", p.Name, out.Elems())
+		}
+	}
+}
+
+func TestPublicLoaderRoundTrip(t *testing.T) {
+	cfg := DefaultCosmoConfig()
+	cfg.Dim = 16
+	ds, err := BuildCosmoDataset(cfg, 4, PluginEncoding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PlatformByName("Summit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(ds, LoaderConfig{
+		App: CosmoFlow, Encoding: PluginEncoding, Plugin: GPUPlugin,
+		Platform: p, Batch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := l.Epoch(0).Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("delivered %d samples", n)
+	}
+}
+
+func TestPublicSimulateAndCalibrate(t *testing.T) {
+	m, err := Calibrate(DeepCAM, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := PlatformByName("Cori-A100")
+	r, err := Simulate(Scenario{
+		Platform: p, Model: m, Enc: PluginEncoding, Plugin: GPUPlugin,
+		SamplesPerNode: 1536, Staged: true, Batch: 4, Epoch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Node <= 0 {
+		t.Error("non-positive throughput")
+	}
+}
+
+func TestPublicFormatLookup(t *testing.T) {
+	for _, name := range []string{"deltafp", "cosmo-lut", "raw-cosmo", "gzip+raw-deepcam"} {
+		if _, err := OpenFormat(name); err != nil {
+			t.Errorf("OpenFormat(%q): %v", name, err)
+		}
+	}
+	if _, err := OpenFormat("nope"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestPublicTables(t *testing.T) {
+	if len(TableI()) == 0 || len(TableII()) == 0 {
+		t.Error("empty tables")
+	}
+}
