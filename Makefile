@@ -1,0 +1,26 @@
+# Development targets. CI runs `make verify`.
+
+GO ?= go
+
+.PHONY: build test race lint vet verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent subsystems (prefetcher, ring
+# allreduce, data-parallel trainer).
+race:
+	$(GO) test -race ./internal/pipeline/... ./internal/dist/... ./internal/train/...
+
+# scipplint is the repo's own stdlib-only static analyzer (internal/analysis);
+# it must exit 0 on the whole module.
+lint:
+	$(GO) run ./cmd/scipplint ./...
+
+vet:
+	$(GO) vet ./...
+
+verify: build vet lint test race

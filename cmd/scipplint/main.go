@@ -1,0 +1,114 @@
+// Command scipplint runs the repository's static-analysis pass
+// (internal/analysis) over the module and reports violations of the
+// determinism, codec-contract, panic, concurrency, and error-handling
+// invariants. It exits 0 when clean, 1 on findings, 2 on load failure.
+//
+// Usage:
+//
+//	scipplint [-root dir] [-v] [patterns...]
+//
+// The only supported patterns are "./..." (the whole module, the default)
+// and module-relative package directories such as ./internal/pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scipp/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root (directory containing go.mod)")
+	verbose := flag.Bool("v", false, "list analyzers and package count")
+	flag.Parse()
+
+	modRoot, err := findModuleRoot(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scipplint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scipplint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*analysis.Package
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scipplint:", err)
+				os.Exit(2)
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			dir := filepath.Join(modRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+			rel, err := filepath.Rel(modRoot, dir)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				fmt.Fprintf(os.Stderr, "scipplint: pattern %q escapes the module\n", pat)
+				os.Exit(2)
+			}
+			path := loader.ModulePath
+			if rel != "." {
+				path = loader.ModulePath + "/" + filepath.ToSlash(rel)
+			}
+			pkg, err := loader.LoadDir(dir, path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scipplint:", err)
+				os.Exit(2)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	analyzers := analysis.All()
+	if *verbose {
+		fmt.Printf("scipplint: %d packages, %d analyzers:\n", len(pkgs), len(analyzers))
+		for _, a := range analyzers {
+			fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	diags := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		// Report module-relative paths for stable, clickable output.
+		if rel, err := filepath.Rel(modRoot, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "scipplint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Println("scipplint: clean")
+	}
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CodecContract enforces the codec plugin contract (codec package doc;
+// paper §V–VI): every format package under internal/codec/ must register its
+// Format(s) with the codec registry, and no caller anywhere may silently
+// discard the error result of an Encode/Decode/Open call — a swallowed codec
+// error is exactly the silent data-path corruption the robustness tests
+// guard against.
+var CodecContract = &Analyzer{
+	Name: "codeccontract",
+	Doc:  "codec packages must codec.Register their formats; Encode/Decode/Open errors must not be blanked",
+	Run:  runCodecContract,
+}
+
+const codecPkgPath = "scipp/internal/codec"
+
+func runCodecContract(pass *Pass) {
+	if strings.HasPrefix(pass.Path, codecPkgPath+"/") {
+		checkRegisters(pass)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 {
+				return true
+			}
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok || !isCodecVerbCall(call) {
+				return true
+			}
+			results := callResults(pass.Info, call)
+			if results == nil || results.Len() != len(assign.Lhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if ok && id.Name == "_" && isErrorType(results.At(i).Type()) {
+					pass.Reportf(Error, id.Pos(),
+						"error result of %s discarded: codec errors must be propagated or handled",
+						exprString(pass.Fset, call.Fun))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCodecVerbCall matches calls whose callee name is an encode/decode/open
+// verb, the operations the codec contract covers.
+func isCodecVerbCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return name == "Open" || hasPrefixAny(name, "Encode", "Decode")
+}
+
+// checkRegisters requires at least one codec.Register call somewhere in the
+// package (conventionally in init).
+func checkRegisters(pass *Pass) {
+	for _, f := range pass.Files {
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && pkgFunc(pass.Info, call, codecPkgPath, "Register") {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return
+		}
+	}
+	pass.Reportf(Error, pass.Files[0].Name.Pos(),
+		"codec package %s never calls codec.Register: formats must be discoverable through the registry", pass.Path)
+}

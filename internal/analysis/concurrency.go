@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Concurrency enforces goroutine hygiene on the repository's hot paths:
+// no goroutines capturing loop variables (per-iteration semantics are a
+// go1.22 accident waiting for a toolchain downgrade), no lock values copied
+// through parameters, receivers, or range clauses, and no channel sends in
+// select-less loops inside the pipeline/dist/train packages, where an
+// unpaired send deadlocks the training step.
+var Concurrency = &Analyzer{
+	Name: "concurrency",
+	Doc:  "flag loop-variable capture in goroutines, lock copies, and unguarded channel sends in hot loops",
+	Run:  runConcurrency,
+}
+
+// sendScopedPkgs are the packages whose loops are training-step hot paths.
+var sendScopedPkgs = map[string]bool{
+	"scipp/internal/pipeline": true,
+	"scipp/internal/dist":     true,
+	"scipp/internal/train":    true,
+}
+
+func runConcurrency(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockParams(pass, fd)
+			if fd.Body != nil {
+				walkConcurrency(pass, fd.Body)
+			}
+		}
+	}
+}
+
+// checkLockParams flags receivers and parameters that copy a lock by value.
+func checkLockParams(pass *Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if name := lockTypeName(tv.Type); name != "" {
+				pass.Reportf(Error, field.Pos(),
+					"%s of %s passes %s by value: locks must be passed by pointer", kind, fd.Name.Name, name)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	if fd.Type != nil {
+		check(fd.Type.Params, "parameter")
+	}
+}
+
+// walkConcurrency traverses a function body with an explicit ancestor stack
+// (ast.Inspect signals subtree exit with a nil node), tracking loop
+// variables and loop/select nesting.
+func walkConcurrency(pass *Pass, body *ast.BlockStmt) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkLoopCapture(pass, stack, lit)
+			}
+		case *ast.SendStmt:
+			checkHotLoopSend(pass, stack, n)
+		case *ast.RangeStmt:
+			checkRangeLockCopy(pass, n)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// checkLoopCapture reports loop variables referenced inside a go func
+// literal rather than passed as arguments.
+func checkLoopCapture(pass *Pass, stack []ast.Node, lit *ast.FuncLit) {
+	loopVars := make(map[types.Object]bool)
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Info.Uses[id]; obj != nil && loopVars[obj] {
+			pass.Reportf(Warning, id.Pos(),
+				"goroutine captures loop variable %s: pass it as an argument (capture semantics depend on the language version)",
+				id.Name)
+		}
+		return true
+	})
+}
+
+// checkHotLoopSend reports channel sends inside a loop with no enclosing
+// select, within the hot-path packages. The innermost function literal
+// bounds the search: a send in a goroutine body is judged by that body's own
+// loops only.
+func checkHotLoopSend(pass *Pass, stack []ast.Node, send *ast.SendStmt) {
+	if !sendScopedPkgs[pass.Path] {
+		return
+	}
+	inLoop := false
+scan:
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit:
+			break scan // function boundary
+		case *ast.ForStmt, *ast.RangeStmt:
+			inLoop = true
+			break scan
+		case *ast.SelectStmt:
+			return // send already guarded by a select
+		}
+	}
+	if inLoop {
+		pass.Reportf(Error, send.Pos(),
+			"channel send in a select-less hot loop: pair it with a cancellation case (select { case ch <- v: case <-stop: })")
+	}
+}
+
+// checkRangeLockCopy reports range clauses whose value variable copies a
+// lock-bearing element.
+func checkRangeLockCopy(pass *Pass, rng *ast.RangeStmt) {
+	if rng.Tok != token.DEFINE {
+		return
+	}
+	if id, ok := rng.Value.(*ast.Ident); ok && id.Name != "_" {
+		if obj := pass.Info.Defs[id]; obj != nil {
+			if name := lockTypeName(obj.Type()); name != "" {
+				pass.Reportf(Error, id.Pos(),
+					"range value %s copies %s: iterate by index or over pointers", id.Name, name)
+			}
+		}
+	}
+}

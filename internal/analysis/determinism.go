@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Determinism enforces the repository's reproducibility contract (ROADMAP
+// tier-1; paper §VII convergence results): library code must draw randomness
+// from internal/xrand and time from internal/trace's clocks, and must not
+// emit output whose order depends on map iteration.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid math/rand, wall-clock time, and map-iteration-order-dependent output in library code",
+	Run:  runDeterminism,
+}
+
+// nondeterministicTimeFuncs are the time package entry points that make an
+// execution depend on the wall clock or scheduler timing.
+var nondeterministicTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runDeterminism(pass *Pass) {
+	internal := pass.InternalPath()
+	for _, f := range pass.Files {
+		if internal {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(Error, imp.Pos(),
+						"import of %s in library code: use scipp/internal/xrand (seeded, reproducible)", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !internal {
+					return true
+				}
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !nondeterministicTimeFuncs[sel.Sel.Name] {
+					return true
+				}
+				if pn := usesPackage(pass.Info, sel.X); pn != nil && pn.Imported().Path() == "time" {
+					pass.Reportf(Error, n.Pos(),
+						"wall-clock time.%s in library code: thread a trace.Clock (virtual time) instead", sel.Sel.Name)
+				}
+			case *ast.RangeStmt:
+				checkMapRangeOutput(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRangeOutput flags writes to streams and channel sends performed
+// directly inside a range over a map: Go's map iteration order is
+// randomized, so any emitted sequence is nondeterministic. Collecting into a
+// slice and sorting before output is the sanctioned pattern.
+func checkMapRangeOutput(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(Error, n.Pos(),
+				"channel send inside range over map: receive order depends on map iteration order; collect and sort keys first")
+		case *ast.CallExpr:
+			if isOrderedOutputCall(pass, n) {
+				pass.Reportf(Error, n.Pos(),
+					"%s inside range over map: output order depends on map iteration order; collect and sort keys first",
+					exprString(pass.Fset, n.Fun))
+			}
+		}
+		return true
+	})
+}
+
+// isOrderedOutputCall matches calls that append to an ordered output stream.
+func isOrderedOutputCall(pass *Pass, call *ast.CallExpr) bool {
+	for _, name := range []string{"Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln"} {
+		if pkgFunc(pass.Info, call, "fmt", name) {
+			return true
+		}
+	}
+	if pkgFunc(pass.Info, call, "io", "WriteString") {
+		return true
+	}
+	// Writer-shaped methods (strings.Builder, bufio.Writer, os.File, ...).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				return true
+			}
+		}
+	}
+	return false
+}

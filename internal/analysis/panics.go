@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Panics polices panic discipline in library code: a panic in internal/
+// must be a documented programmer-invariant check — the enclosing function's
+// doc comment says "panics" — or carry a //lint:ignore annotation. Anything
+// reachable from data decode paths on malformed input must return an error
+// instead (a corrupt sample must fail the sample, not the training run).
+var Panics = &Analyzer{
+	Name: "panics",
+	Doc:  "flag panic() in non-test library code unless the enclosing function documents the invariant",
+	Run:  runPanics,
+}
+
+func runPanics(pass *Pass) {
+	if !pass.InternalPath() {
+		return
+	}
+	docs := funcDocs(pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.Contains(strings.ToLower(docs[fd.Body]), "panic") {
+				continue // documented invariant ("It panics if ...")
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				pass.Reportf(Error, call.Pos(),
+					"panic in library code: return an error, or document the invariant (\"panics if ...\") in %s's doc comment",
+					fd.Name.Name)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Package fixconc is a lint fixture for concurrency hygiene. The analysis
+// tests load it under a hot-path import path so the select-less-send rule
+// applies.
+package fixconc
+
+import "sync"
+
+// Broadcast sends into ch from a bare loop with no cancellation case.
+func Broadcast(ch chan int, vals []int) {
+	for _, v := range vals {
+		ch <- v
+	}
+}
+
+// Locker copies its mutex parameter by value.
+func Locker(mu sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Spawn starts goroutines that capture the loop variable.
+func Spawn(vals []int, f func(int)) {
+	for i := range vals {
+		go func() {
+			f(i)
+		}()
+	}
+}

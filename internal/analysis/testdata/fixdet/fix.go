@@ -1,0 +1,23 @@
+// Package fixdet deliberately violates the determinism contract. It is a
+// lint fixture: never built into the module, only loaded by the analysis
+// tests.
+package fixdet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Emit prints per-key lines straight out of a map range, so its output order
+// changes run to run.
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Jitter mixes the wall clock with the global math/rand source.
+func Jitter() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(3))
+}

@@ -1,0 +1,18 @@
+// Package fixdir is a lint fixture for suppression directives: one valid
+// reasoned suppression and one malformed directive missing its reason.
+package fixdir
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+// Quiet discards an error under an explicit, reasoned suppression.
+func Quiet() {
+	//lint:ignore uncheckederr fixture: the error is intentionally dropped
+	_ = work()
+}
+
+//lint:ignore badformat
+func alsoQuiet() {
+	_ = work()
+}

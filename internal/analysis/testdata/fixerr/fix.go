@@ -1,0 +1,22 @@
+// Package fixerr is a lint fixture for discarded errors, including the
+// sanctioned exemptions (fmt printers, in-memory writers).
+package fixerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+// Drop discards errors both ways and exercises the exemptions.
+func Drop() string {
+	work()
+	_ = work()
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok")
+	b.WriteString("!")
+	fmt.Println("done")
+	return b.String()
+}

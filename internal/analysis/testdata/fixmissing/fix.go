@@ -1,0 +1,19 @@
+// Package fixmissing is a lint fixture: a codec package that forgets to
+// register its format with the codec registry and blanks a decode error.
+package fixmissing
+
+import "errors"
+
+// Decode pretends to decode b.
+func Decode(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, errors.New("empty")
+	}
+	return b, nil
+}
+
+// Use calls Decode and drops the error on the floor.
+func Use(b []byte) []byte {
+	out, _ := Decode(b)
+	return out
+}

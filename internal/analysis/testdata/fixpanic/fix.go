@@ -1,0 +1,19 @@
+// Package fixpanic is a lint fixture for panic discipline in library code.
+package fixpanic
+
+// Documented rejects negative input. It panics if n < 0 (programmer
+// invariant documented here, so the analyzer stays quiet).
+func Documented(n int) int {
+	if n < 0 {
+		panic("fixpanic: negative")
+	}
+	return n
+}
+
+// Undocumented states no contract about failing on bad input.
+func Undocumented(n int) int {
+	if n < 0 {
+		panic("fixpanic: negative")
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedError flags discarded error returns: bare call statements whose
+// result tuple contains an error, and assignments that blank every result of
+// an error-returning call. Fire-and-forget errors on the data path are how a
+// truncated shard trains silently on partial data.
+var UncheckedError = &Analyzer{
+	Name: "uncheckederr",
+	Doc:  "flag call statements and blank assignments that discard an error result",
+	Run:  runUncheckedError,
+}
+
+func runUncheckedError(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// defer f.Close() / go worker() are established idioms;
+				// their errors are out of reach by construction.
+				return false
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if tupleHasError(callResults(pass.Info, call)) && !errExempt(pass, call) {
+					pass.Reportf(Error, call.Pos(),
+						"result of %s contains an unchecked error: handle it, or assign to _ with a //lint:ignore reason",
+						exprString(pass.Fset, call.Fun))
+				}
+			case *ast.AssignStmt:
+				checkBlankedCall(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankedCall flags `_ = f()` / `_, _ = f()` where f returns an error.
+func checkBlankedCall(pass *Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	for _, lhs := range assign.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return
+		}
+	}
+	if tupleHasError(callResults(pass.Info, call)) && !errExempt(pass, call) {
+		pass.Reportf(Error, assign.Pos(),
+			"error from %s discarded with _: handle it, or keep the blank with a //lint:ignore reason",
+			exprString(pass.Fset, call.Fun))
+	}
+}
+
+// errExempt lists calls whose error results are unfailing or conventionally
+// ignored: fmt printers to the process's own stdout/stderr, and the
+// never-failing in-memory writers.
+func errExempt(pass *Pass, call *ast.CallExpr) bool {
+	for _, name := range []string{"Print", "Printf", "Println"} {
+		if pkgFunc(pass.Info, call, "fmt", name) {
+			return true
+		}
+	}
+	for _, name := range []string{"Fprint", "Fprintf", "Fprintln"} {
+		if pkgFunc(pass.Info, call, "fmt", name) && len(call.Args) > 0 &&
+			(isStdStream(pass, call.Args[0]) || isMemWriter(pass, call.Args[0])) {
+			return true
+		}
+	}
+	// Methods on types documented never to return a write error.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if named, ok := derefType(s.Recv()).(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil {
+					switch obj.Pkg().Path() + "." + obj.Name() {
+					case "strings.Builder", "bytes.Buffer", "hash/crc32.digest":
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isMemWriter matches expressions whose static type is one of the
+// never-failing in-memory writers.
+func isMemWriter(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := derefType(tv.Type).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// isStdStream matches os.Stdout / os.Stderr.
+func isStdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	pn := usesPackage(pass.Info, sel.X)
+	return pn != nil && pn.Imported().Path() == "os"
+}
+
+// derefType unwraps one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

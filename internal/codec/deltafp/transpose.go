@@ -18,6 +18,11 @@ import (
 // destinations while reconstructing them.
 func FormatHWC() codec.Format { return formatHWC{} }
 
+func init() {
+	codec.Register(Format())
+	codec.Register(FormatHWC())
+}
+
 type formatHWC struct{}
 
 func (formatHWC) Name() string { return "deltafp-hwc" }

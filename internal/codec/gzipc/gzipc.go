@@ -15,7 +15,15 @@ import (
 	"io"
 
 	"scipp/internal/codec"
+	"scipp/internal/codec/rawfmt"
 )
+
+// The gzip-wrapped baseline container formats of §IX-B are formats in their
+// own right and register alongside the codecs they wrap.
+func init() {
+	codec.Register(Wrap(rawfmt.DeepCAM()))
+	codec.Register(Wrap(rawfmt.Cosmo()))
+}
 
 // Encode gzip-compresses an inner-format blob at the given level
 // (gzip.DefaultCompression if level is 0).

@@ -44,7 +44,9 @@ const (
 )
 
 // Apply evaluates the operator in FP32 (the precision the baseline CPU
-// preprocessing uses before casting).
+// preprocessing uses before casting). It panics on an unknown operator
+// (programmer invariant: Open rejects formats with operators outside the
+// package's constants before any decode runs).
 func (op Op) Apply(count int16) float32 {
 	switch op {
 	case OpLog1p:
@@ -161,6 +163,11 @@ type format struct {
 // Format returns the default codec.Format: log1p fused into the table.
 func Format() codec.Format { return format{op: OpLog1p, fused: true} }
 
+func init() {
+	codec.Register(Format())
+	codec.Register(FormatWithOp(OpLog1p, false))
+}
+
 // FormatWithOp returns a Format applying the given operator. fused selects
 // the table-level application (the paper's optimization); fused=false
 // applies the op per voxel, for the ablation benchmark.
@@ -197,6 +204,9 @@ type Decoder struct {
 }
 
 func (f format) Open(blob []byte) (codec.ChunkDecoder, error) {
+	if f.op != OpLog1p && f.op != OpIdentity {
+		return nil, fmt.Errorf("lut: unknown op %d", f.op)
+	}
 	if len(blob) < 12 {
 		return nil, errors.New("lut: blob too short")
 	}

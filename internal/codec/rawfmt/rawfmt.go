@@ -22,6 +22,11 @@ import (
 	"scipp/internal/tensor"
 )
 
+func init() {
+	codec.Register(DeepCAM())
+	codec.Register(Cosmo())
+}
+
 // DeepCAM returns the baseline format for CAM5-style h5lite blobs.
 func DeepCAM() codec.Format { return deepcamFormat{} }
 

@@ -15,6 +15,10 @@ import (
 	"scipp/internal/codec/gzipc"
 	"scipp/internal/codec/lut"
 	"scipp/internal/codec/rawfmt"
+	// Formats self-register with the codec registry in their package inits;
+	// zfpc is linked here purely so its comparator formats are loadable by
+	// name through the public OpenFormat.
+	_ "scipp/internal/codec/zfpc"
 	"scipp/internal/gpusim"
 	"scipp/internal/pipeline"
 	"scipp/internal/platform"
@@ -63,16 +67,6 @@ func (e Encoding) String() string {
 		return "plugin"
 	}
 	return "base"
-}
-
-func init() {
-	codec.Register(deltafp.Format())
-	codec.Register(lut.Format())
-	codec.Register(lut.FormatWithOp(lut.OpLog1p, false))
-	codec.Register(rawfmt.DeepCAM())
-	codec.Register(rawfmt.Cosmo())
-	codec.Register(gzipc.Wrap(rawfmt.DeepCAM()))
-	codec.Register(gzipc.Wrap(rawfmt.Cosmo()))
 }
 
 // FormatFor returns the decode format matching (app, enc).
@@ -213,11 +207,13 @@ func WriteCosmoTFRecord(path string, ds *pipeline.MemDataset, gz bool) error {
 	}
 	for _, blob := range ds.Blobs {
 		if err := w.Write(blob); err != nil {
+			//lint:ignore uncheckederr best-effort cleanup; the write error already propagates
 			f.Close()
 			return err
 		}
 	}
 	if err := w.Close(); err != nil {
+		//lint:ignore uncheckederr best-effort cleanup; the writer error already propagates
 		f.Close()
 		return err
 	}

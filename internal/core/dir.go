@@ -117,6 +117,7 @@ func WriteCosmoIndex(recordPath, idxPath string) error {
 		return err
 	}
 	if _, err := ix.WriteTo(out); err != nil {
+		//lint:ignore uncheckederr best-effort cleanup; the write error already propagates
 		out.Close()
 		return err
 	}

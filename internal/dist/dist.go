@@ -39,7 +39,8 @@ func (g *Group) Size() int { return g.n }
 
 // AllReduceSum sums data elementwise across ranks, in place; every rank ends
 // with the identical total. Blocks until all ranks participate. data must
-// have the same length on every rank.
+// have the same length on every rank. It panics if rank is outside the
+// group (programmer invariant: rank assignment is the launcher's wiring).
 func (g *Group) AllReduceSum(rank int, data []float32) {
 	if rank < 0 || rank >= g.n {
 		panic(fmt.Sprintf("dist: rank %d out of group of %d", rank, g.n))
@@ -61,6 +62,7 @@ func (g *Group) AllReduceSum(rank int, data []float32) {
 	for step := 0; step < n-1; step++ {
 		sendSeg := (rank - step + n*n) % n
 		out := append([]float32(nil), seg(sendSeg)...)
+		//lint:ignore concurrency ring send is paired with the neighbor's receive in the same step; every rank sends then receives, so the ring drains and cannot deadlock
 		g.links[next] <- out
 		in := <-g.links[rank]
 		recvSeg := (rank - step - 1 + n*n) % n
@@ -73,6 +75,7 @@ func (g *Group) AllReduceSum(rank int, data []float32) {
 	for step := 0; step < n-1; step++ {
 		sendSeg := (rank - step + 1 + n*n) % n
 		out := append([]float32(nil), seg(sendSeg)...)
+		//lint:ignore concurrency allgather send mirrors the scatter-reduce pairing; buffered links of capacity 1 absorb the send before the matching receive
 		g.links[next] <- out
 		in := <-g.links[rank]
 		recvSeg := (rank - step + n*n) % n

@@ -329,6 +329,7 @@ func WriteFile(path string, f *File) error {
 		return err
 	}
 	if err := f.Write(out); err != nil {
+		//lint:ignore uncheckederr best-effort cleanup; the write error already propagates
 		out.Close()
 		return err
 	}

@@ -26,7 +26,8 @@ type BatchNorm2D struct {
 	inSh   tensor.Shape
 }
 
-// NewBatchNorm2D builds a batch-norm layer for c channels.
+// NewBatchNorm2D builds a batch-norm layer for c channels. It panics if
+// c <= 0 (programmer invariant: layer wiring is static).
 func NewBatchNorm2D(name string, c int) *BatchNorm2D {
 	if c <= 0 {
 		panic(fmt.Sprintf("nn: bad BatchNorm2D channels %d", c))
@@ -51,7 +52,8 @@ func (bn *BatchNorm2D) Name() string { return bn.Gamma.Name[:len(bn.Gamma.Name)-
 // Params implements Layer.
 func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
 
-// Forward implements Layer.
+// Forward implements Layer. It panics unless x is FP32 [N, C, H, W] with
+// the layer's channel count (programmer invariant: model wiring is static).
 func (bn *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	checkF32(x, 4, "BatchNorm2D")
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
@@ -117,7 +119,8 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. It panics unless grad matches the forward
+// input shape (programmer invariant).
 func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := bn.inSh[0], bn.inSh[1], bn.inSh[2], bn.inSh[3]
 	if !grad.Shape.Equal(bn.inSh) {

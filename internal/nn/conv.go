@@ -14,7 +14,8 @@ type Conv2D struct {
 	x *tensor.Tensor // cached input
 }
 
-// NewConv2D builds a KxK convolution.
+// NewConv2D builds a KxK convolution. It panics on a non-positive config
+// (programmer invariant: layer wiring is static).
 func NewConv2D(name string, inC, outC, k, stride, pad int) *Conv2D {
 	if inC <= 0 || outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
 		panic(fmt.Sprintf("nn: bad Conv2D config %d %d %d %d %d", inC, outC, k, stride, pad))
@@ -38,7 +39,8 @@ func (c *Conv2D) outDims(h, w int) (int, int) {
 	return ho, wo
 }
 
-// Forward implements Layer.
+// Forward implements Layer. It panics unless x is FP32 [N, InC, H, W]
+// (programmer invariant: model wiring is static).
 func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	checkF32(x, 4, "Conv2D")
 	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
@@ -85,7 +87,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. It panics unless grad matches the forward
+// output shape (programmer invariant).
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.x
 	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
@@ -184,7 +187,8 @@ type Conv3D struct {
 	x *tensor.Tensor
 }
 
-// NewConv3D builds a KxKxK convolution.
+// NewConv3D builds a KxKxK convolution. It panics on a non-positive config
+// (programmer invariant: layer wiring is static).
 func NewConv3D(name string, inC, outC, k, stride, pad int) *Conv3D {
 	if inC <= 0 || outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
 		panic(fmt.Sprintf("nn: bad Conv3D config %d %d %d %d %d", inC, outC, k, stride, pad))
@@ -209,7 +213,8 @@ func (c *Conv3D) outDims(d, h, w int) (int, int, int) {
 	return do, ho, wo
 }
 
-// Forward implements Layer.
+// Forward implements Layer. It panics unless x is FP32 [N, InC, D, H, W]
+// (programmer invariant: model wiring is static).
 func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	checkF32(x, 5, "Conv3D")
 	n, cin, d, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3], x.Shape[4]
@@ -266,7 +271,8 @@ func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. It panics unless grad matches the forward
+// output shape (programmer invariant).
 func (c *Conv3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.x
 	n, cin, d, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3], x.Shape[4]

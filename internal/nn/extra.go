@@ -19,7 +19,9 @@ type DilatedConv2D struct {
 	x *tensor.Tensor
 }
 
-// NewDilatedConv2D builds a KxK convolution with the given dilation.
+// NewDilatedConv2D builds a KxK convolution with the given dilation. It
+// panics on a non-positive config (programmer invariant: layer wiring is
+// static).
 func NewDilatedConv2D(name string, inC, outC, k, stride, pad, dilation int) *DilatedConv2D {
 	if inC <= 0 || outC <= 0 || k <= 0 || stride <= 0 || pad < 0 || dilation <= 0 {
 		panic(fmt.Sprintf("nn: bad DilatedConv2D config %d %d %d %d %d %d", inC, outC, k, stride, pad, dilation))
@@ -44,7 +46,8 @@ func (c *DilatedConv2D) outDims(h, w int) (int, int) {
 	return ho, wo
 }
 
-// Forward implements Layer.
+// Forward implements Layer. It panics unless x is FP32 [N, InC, H, W]
+// large enough for a non-empty output (programmer invariant).
 func (c *DilatedConv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	checkF32(x, 4, "DilatedConv2D")
 	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
@@ -95,7 +98,8 @@ func (c *DilatedConv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. It panics unless grad matches the forward
+// output shape (programmer invariant).
 func (c *DilatedConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.x
 	n, cin, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
@@ -197,7 +201,8 @@ type Dropout struct {
 	mask []float32
 }
 
-// NewDropout builds a dropout layer seeded deterministically.
+// NewDropout builds a dropout layer seeded deterministically. It panics if
+// p is outside [0, 1) (programmer invariant).
 func NewDropout(p float64, seed uint64) *Dropout {
 	if p < 0 || p >= 1 {
 		panic(fmt.Sprintf("nn: dropout probability %g out of [0,1)", p))
@@ -255,7 +260,8 @@ type LeakyReLU struct {
 	x     []float32
 }
 
-// NewLeakyReLU builds the activation with the given negative slope.
+// NewLeakyReLU builds the activation with the given negative slope. It
+// panics if alpha is outside [0, 1) (programmer invariant).
 func NewLeakyReLU(alpha float32) *LeakyReLU {
 	if alpha < 0 || alpha >= 1 {
 		panic(fmt.Sprintf("nn: LeakyReLU alpha %g out of [0,1)", alpha))

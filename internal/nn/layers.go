@@ -15,7 +15,8 @@ type Dense struct {
 	x *tensor.Tensor
 }
 
-// NewDense builds a fully connected layer.
+// NewDense builds a fully connected layer. It panics on a non-positive
+// config (programmer invariant: layer wiring is static).
 func NewDense(name string, in, out int) *Dense {
 	if in <= 0 || out <= 0 {
 		panic(fmt.Sprintf("nn: bad Dense config %d %d", in, out))
@@ -33,7 +34,8 @@ func (d *Dense) Name() string { return d.Weight.Name[:len(d.Weight.Name)-2] }
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
 
-// Forward implements Layer.
+// Forward implements Layer. It panics unless x is FP32 [N, In]
+// (programmer invariant: model wiring is static).
 func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 	checkF32(x, 2, "Dense")
 	n := x.Shape[0]
@@ -184,7 +186,8 @@ type MaxPool2D struct {
 	inSh tensor.Shape
 }
 
-// NewMaxPool2D returns a KxK/stride-K max-pool layer.
+// NewMaxPool2D returns a KxK/stride-K max-pool layer. It panics if k <= 0
+// (programmer invariant).
 func NewMaxPool2D(k int) *MaxPool2D {
 	if k <= 0 {
 		panic("nn: bad MaxPool2D k")
@@ -250,7 +253,8 @@ type MaxPool3D struct {
 	inSh tensor.Shape
 }
 
-// NewMaxPool3D returns a KxKxK/stride-K max-pool layer.
+// NewMaxPool3D returns a KxKxK/stride-K max-pool layer. It panics if k <= 0
+// (programmer invariant).
 func NewMaxPool3D(k int) *MaxPool3D {
 	if k <= 0 {
 		panic("nn: bad MaxPool3D k")
@@ -320,7 +324,8 @@ type Upsample2D struct {
 	inSh tensor.Shape
 }
 
-// NewUpsample2D returns an xK nearest-neighbor upsampler.
+// NewUpsample2D returns an xK nearest-neighbor upsampler. It panics if
+// k <= 0 (programmer invariant).
 func NewUpsample2D(k int) *Upsample2D {
 	if k <= 0 {
 		panic("nn: bad Upsample2D k")

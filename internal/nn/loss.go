@@ -8,7 +8,8 @@ import (
 )
 
 // MSELoss returns the mean squared error between pred [N, M] and target
-// [N, M] plus the gradient dL/dpred.
+// [N, M] plus the gradient dL/dpred. It panics on a shape mismatch
+// (programmer invariant: both come from the same static model wiring).
 func MSELoss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	checkF32(pred, 2, "MSELoss")
 	if !pred.Shape.Equal(target.Shape) {
@@ -28,7 +29,9 @@ func MSELoss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 
 // SoftmaxCrossEntropy2D computes the per-pixel multi-class segmentation loss
 // of DeepCAM: logits [N, K, H, W], labels I16 [N, H, W] with class ids in
-// [0, K). Returns mean loss over pixels and dL/dlogits.
+// [0, K). Returns mean loss over pixels and dL/dlogits. It panics on a
+// label shape/dtype mismatch or an out-of-range class id (programmer
+// invariant: labels are produced by the repo's own generators).
 func SoftmaxCrossEntropy2D(logits *tensor.Tensor, labels *tensor.Tensor) (float64, *tensor.Tensor) {
 	checkF32(logits, 4, "SoftmaxCrossEntropy2D")
 	n, k, h, w := logits.Shape[0], logits.Shape[1], logits.Shape[2], logits.Shape[3]

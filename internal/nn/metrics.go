@@ -10,7 +10,8 @@ import (
 // IoU2D computes per-class intersection-over-union for a segmentation
 // prediction: logits [N, K, H, W] against I16 labels [N, H, W]. Classes
 // absent from both prediction and labels report IoU = NaN (undefined).
-// DeepCAM's quality target is mean IoU.
+// DeepCAM's quality target is mean IoU. It panics on a label shape/dtype
+// mismatch (programmer invariant).
 func IoU2D(logits, labels *tensor.Tensor) []float64 {
 	checkF32(logits, 4, "IoU2D")
 	n, k, h, w := logits.Shape[0], logits.Shape[1], logits.Shape[2], logits.Shape[3]
@@ -68,7 +69,8 @@ func MeanIoU(ious []float64) float64 {
 
 // MAE computes the mean absolute error between pred [N, M] and target
 // [N, M] — CosmoFlow's quality target is the mean absolute error of the
-// predicted cosmological parameters.
+// predicted cosmological parameters. It panics on a shape mismatch
+// (programmer invariant).
 func MAE(pred, target *tensor.Tensor) float64 {
 	checkF32(pred, 2, "MAE")
 	if !pred.Shape.Equal(target.Shape) {

@@ -10,7 +10,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"scipp/internal/codec"
 	"scipp/internal/gpusim"
@@ -101,10 +100,13 @@ type Config struct {
 	Seed uint64
 	// DropLast drops a trailing partial batch.
 	DropLast bool
-	// Trace, when non-nil, receives one wall-clock event per decoded sample
-	// (resource "loader", tag "decode-cpu"/"decode-gpu"), for profiling the
-	// real pipeline.
+	// Trace, when non-nil, receives one event per decoded sample (resource
+	// "loader", tag "decode-cpu"/"decode-gpu"), for profiling the real
+	// pipeline.
 	Trace *trace.Timeline
+	// Clock timestamps Trace events. Defaults to a wall clock anchored at
+	// iterator creation; supply a trace.VirtualClock for reproducible traces.
+	Clock trace.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -179,26 +181,33 @@ type decoded struct {
 // and decodes samples concurrently; call Close to release its workers early.
 func (l *Loader) Epoch(epoch int) *Iterator {
 	order := l.Schedule(epoch)
+	clock := l.cfg.Clock
+	if clock == nil {
+		clock = trace.NewWallClock()
+	}
 	it := &Iterator{
 		loader: l,
 		order:  order,
 		slots:  make(chan chan decoded, l.cfg.Prefetch),
 		stop:   make(chan struct{}),
-		start:  time.Now(),
+		clock:  clock,
 	}
 	go it.produce()
 	return it
 }
 
-// Iterator yields batches of one epoch in schedule order.
+// Iterator yields batches of one epoch in schedule order. Next is safe for
+// concurrent callers; each call returns a distinct batch.
 type Iterator struct {
 	loader   *Loader
 	order    []int
 	slots    chan chan decoded
 	stop     chan struct{}
 	stopOnce sync.Once
-	start    time.Time
-	pos      int
+	clock    trace.Clock
+
+	mu  sync.Mutex // serializes batch assembly and pos
+	pos int
 }
 
 // produce launches bounded prefetch: each scheduled sample gets a slot
@@ -234,7 +243,7 @@ func (it *Iterator) decodeOne(i int) decoded {
 		return decoded{index: i, err: fmt.Errorf("pipeline: sample %d: %w", i, err)}
 	}
 	var data *tensor.Tensor
-	t0 := time.Since(it.start).Seconds()
+	t0 := it.clock.Now()
 	switch l.cfg.Plugin {
 	case GPUPlugin:
 		data, _, err = l.cfg.Device.Execute(cd)
@@ -245,13 +254,15 @@ func (it *Iterator) decodeOne(i int) decoded {
 		return decoded{index: i, err: fmt.Errorf("pipeline: sample %d: %w", i, err)}
 	}
 	if l.cfg.Trace != nil {
-		l.cfg.Trace.Add("loader", "decode-"+l.cfg.Plugin.String(), t0, time.Since(it.start).Seconds())
+		l.cfg.Trace.Add("loader", "decode-"+l.cfg.Plugin.String(), t0, it.clock.Now())
 	}
 	return decoded{index: i, data: data, label: label}
 }
 
 // Next returns the next batch, or (nil, nil) at the end of the epoch.
 func (it *Iterator) Next() (*Batch, error) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
 	b := &Batch{}
 	want := it.loader.cfg.Batch
 	for len(b.Data) < want {

@@ -146,7 +146,8 @@ type ErrorStats struct {
 // RelativeErrors compares recon against ref, using threshold for the
 // "fraction above" statistic (the paper uses 10%). Values with |ref| == 0 use
 // absolute error against the smallest-normal FP16 scale so zeros do not
-// produce infinite relative errors.
+// produce infinite relative errors. It panics if the slices differ in
+// length (programmer invariant: both sides come from one round-trip).
 func RelativeErrors(ref, recon []float32, threshold float64) ErrorStats {
 	if len(ref) != len(recon) {
 		panic("stats: length mismatch")

@@ -26,7 +26,8 @@ const (
 	I16
 )
 
-// Size returns the element size in bytes.
+// Size returns the element size in bytes. It panics on an unknown dtype
+// (programmer invariant: DType values are the package's own constants).
 func (d DType) Size() int {
 	switch d {
 	case F32:
@@ -53,7 +54,8 @@ func (d DType) String() string {
 // Shape is a tensor shape, outermost dimension first.
 type Shape []int
 
-// Elems returns the total number of elements.
+// Elems returns the total number of elements. It panics on a negative
+// dimension (programmer invariant: decoders validate shapes at Open).
 func (s Shape) Elems() int {
 	n := 1
 	for _, d := range s {
@@ -94,7 +96,9 @@ type Tensor struct {
 	I16s  []int16
 }
 
-// New allocates a zeroed tensor of the given dtype and shape.
+// New allocates a zeroed tensor of the given dtype and shape. It panics on
+// an unknown dtype or negative dimension (programmer invariant: callers on
+// decode paths validate blob headers before allocating).
 func New(dt DType, shape ...int) *Tensor {
 	t := &Tensor{DT: dt, Shape: Shape(shape).Clone()}
 	n := t.Shape.Elems()
@@ -111,7 +115,8 @@ func New(dt DType, shape ...int) *Tensor {
 	return t
 }
 
-// FromF32 wraps data (not copied) as an F32 tensor of the given shape.
+// FromF32 wraps data (not copied) as an F32 tensor of the given shape. It
+// panics if the shape does not match len(data) (programmer invariant).
 func FromF32(data []float32, shape ...int) *Tensor {
 	s := Shape(shape)
 	if s.Elems() != len(data) {
@@ -120,7 +125,8 @@ func FromF32(data []float32, shape ...int) *Tensor {
 	return &Tensor{DT: F32, Shape: s.Clone(), F32s: data}
 }
 
-// FromI16 wraps data (not copied) as an I16 tensor of the given shape.
+// FromI16 wraps data (not copied) as an I16 tensor of the given shape. It
+// panics if the shape does not match len(data) (programmer invariant).
 func FromI16(data []int16, shape ...int) *Tensor {
 	s := Shape(shape)
 	if s.Elems() != len(data) {
@@ -129,7 +135,8 @@ func FromI16(data []int16, shape ...int) *Tensor {
 	return &Tensor{DT: I16, Shape: s.Clone(), I16s: data}
 }
 
-// FromF16 wraps data (not copied) as an F16 tensor of the given shape.
+// FromF16 wraps data (not copied) as an F16 tensor of the given shape. It
+// panics if the shape does not match len(data) (programmer invariant).
 func FromF16(data []fp16.Bits, shape ...int) *Tensor {
 	s := Shape(shape)
 	if s.Elems() != len(data) {
@@ -158,7 +165,8 @@ func (t *Tensor) Clone() *Tensor {
 	return c
 }
 
-// At32 returns element i as float32, converting from the stored dtype.
+// At32 returns element i as float32, converting from the stored dtype. It
+// panics on an unknown dtype (programmer invariant).
 func (t *Tensor) At32(i int) float32 {
 	switch t.DT {
 	case F32:
@@ -171,7 +179,8 @@ func (t *Tensor) At32(i int) float32 {
 	panic("tensor: unknown dtype")
 }
 
-// Set32 stores v at element i, converting to the stored dtype.
+// Set32 stores v at element i, converting to the stored dtype. It panics on
+// an unknown dtype (programmer invariant).
 func (t *Tensor) Set32(i int, v float32) {
 	switch t.DT {
 	case F32:
@@ -240,7 +249,8 @@ func (t *Tensor) Apply(f func(float32) float32) {
 }
 
 // MaxAbsDiff returns the maximum absolute elementwise difference between two
-// tensors of the same shape, comparing in FP32 space.
+// tensors of the same shape, comparing in FP32 space. It panics on a shape
+// mismatch (programmer invariant: both sides come from one round-trip).
 func MaxAbsDiff(a, b *Tensor) float32 {
 	if !a.Shape.Equal(b.Shape) {
 		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.Shape, b.Shape))
@@ -261,7 +271,8 @@ func MaxAbsDiff(a, b *Tensor) float32 {
 // TransposeCHWtoHWC converts a [C, H, W] FP32/FP16 tensor to [H, W, C]
 // layout. The GPU decoder fuses this transform with decompression; the CPU
 // baseline performs it as a separate pass (which is part of the preprocessing
-// cost the paper's plugin removes).
+// cost the paper's plugin removes). It panics unless t is rank-3
+// (programmer invariant).
 func TransposeCHWtoHWC(t *Tensor) *Tensor {
 	if len(t.Shape) != 3 {
 		panic("tensor: TransposeCHWtoHWC needs a rank-3 tensor")

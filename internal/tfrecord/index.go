@@ -123,8 +123,10 @@ func OpenIndexed(path, idxPath string) (*IndexedFile, error) {
 	if idxPath != "" {
 		if idxF, err := os.Open(idxPath); err == nil {
 			ix, err = ReadIndex(idxF)
+			//lint:ignore uncheckederr the index file is read-only; a close error cannot lose data
 			idxF.Close()
 			if err != nil {
+				//lint:ignore uncheckederr best-effort cleanup; the index read error already propagates
 				f.Close()
 				return nil, err
 			}
@@ -133,6 +135,7 @@ func OpenIndexed(path, idxPath string) (*IndexedFile, error) {
 	if ix == nil {
 		ix, err = BuildIndex(f)
 		if err != nil {
+			//lint:ignore uncheckederr best-effort cleanup; the index build error already propagates
 			f.Close()
 			return nil, err
 		}

@@ -1,0 +1,71 @@
+// Clock abstraction: everything in the repository that timestamps real
+// work does so through a Clock, so library code never reads the wall clock
+// directly (the determinism analyzer enforces this). Simulated paths use
+// virtual clocks; the real-pipeline profiling paths use a WallClock, which
+// is the single sanctioned wall-time source.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies a Timeline's notion of "now", in seconds from an arbitrary
+// epoch. Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time in seconds.
+	Now() float64
+}
+
+// wallClock reads real elapsed time, anchored at construction.
+type wallClock struct {
+	t0 time.Time
+}
+
+// NewWallClock returns a Clock measuring real elapsed seconds since the
+// call. It is the one place library code may touch the wall clock: profiling
+// a real pipeline run (cmd/realbench, pipeline.Config.Trace) is inherently a
+// wall-time measurement.
+func NewWallClock() Clock {
+	//lint:ignore determinism the sanctioned wall-time source for real-pipeline profiling
+	return wallClock{t0: time.Now()}
+}
+
+// Now implements Clock.
+func (w wallClock) Now() float64 {
+	//lint:ignore determinism the sanctioned wall-time source for real-pipeline profiling
+	return time.Since(w.t0).Seconds()
+}
+
+// VirtualClock is a manually advanced Clock for simulations and tests: time
+// moves only when Advance is called, so traces are reproducible bit-for-bit.
+type VirtualClock struct {
+	mu sync.Mutex
+	t  float64
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d seconds; negative d is ignored.
+func (c *VirtualClock) Advance(d float64) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.t += d
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to t seconds if that is forward motion.
+func (c *VirtualClock) Set(t float64) {
+	c.mu.Lock()
+	if t > c.t {
+		c.t = t
+	}
+	c.mu.Unlock()
+}

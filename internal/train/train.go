@@ -67,7 +67,9 @@ func StackLabels(labels []*tensor.Tensor) (*tensor.Tensor, error) {
 // NormalizeChannels standardizes a batched [N, C, ...] FP32 tensor per
 // channel in place: (x - mean_c) / (std_c + eps). The DeepCAM reference
 // pipeline normalizes the 16 physical fields, whose raw magnitudes span
-// orders of magnitude (pressure ~1e5 vs humidity ~1e-2).
+// orders of magnitude (pressure ~1e5 vs humidity ~1e-2). It panics unless x
+// is batched FP32 (programmer invariant: batches come from the repo's own
+// loaders, whose decoders validate shapes at Open).
 func NormalizeChannels(x *tensor.Tensor) {
 	if x.DT != tensor.F32 || len(x.Shape) < 3 {
 		panic("train: NormalizeChannels needs batched FP32 [N, C, ...]")

@@ -112,7 +112,8 @@ type Zipf struct {
 	cdf []float64
 }
 
-// NewZipf builds a sampler for P(k) ∝ k^-alpha, k in [1, n].
+// NewZipf builds a sampler for P(k) ∝ k^-alpha, k in [1, n]. It panics if
+// n < 1 (programmer invariant, matching Intn's contract).
 func NewZipf(n int, alpha float64) *Zipf {
 	if n < 1 {
 		panic("xrand: Zipf with n < 1")
