@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet verify
+.PHONY: build test race lint vet fault verify
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,14 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent subsystems (prefetcher, ring
-# allreduce, data-parallel trainer).
+# allreduce, data-parallel trainer, fault injector).
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/dist/... ./internal/train/...
+	$(GO) test -race ./internal/pipeline/... ./internal/dist/... ./internal/train/... ./internal/fault/...
+
+# Fault-injection and resilience suite: injector determinism, retry/backoff,
+# skip quotas, and the end-to-end faulted DeepCAM acceptance run.
+fault:
+	$(GO) test -race -run 'Fault|Resilien|Retr|Backoff|Quota|SampleError|Transient|SameSeed|SameSample|Kind|FormatInjector|Summary' ./internal/fault/... ./internal/pipeline/... ./internal/train/...
 
 # scipplint is the repo's own stdlib-only static analyzer (internal/analysis);
 # it must exit 0 on the whole module.

@@ -225,5 +225,6 @@ func All() []*Analyzer {
 		Panics,
 		Concurrency,
 		UncheckedError,
+		Retry,
 	}
 }

@@ -24,6 +24,7 @@ var fixtures = []struct {
 	{"fixconc", "scipp/internal/dist"}, // hot-path scope for the send rule
 	{"fixerr", "scipp/internal/fixerr"},
 	{"fixdir", "scipp/internal/fixdir"},
+	{"fixretry", "scipp/internal/fixretry"},
 }
 
 func moduleRoot(t *testing.T) string {

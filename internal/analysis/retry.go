@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Retry keeps the resilience idiom safe by construction: a retry loop —
+// a condition-less `for` that `continue`s on an error path — must be bounded
+// by an attempt cap or carry a stop/context check, or a persistent failure
+// spins it forever. The sanctioned shapes are
+//
+//	for attempt := 0; attempt < max; attempt++ { ... }          // cap in the header
+//	for { select { case <-stop: return; default: } ... }        // cancellation check
+//	for { attempt++; if attempt > max { return err } ... }      // counted in the body
+//
+// The analyzer applies to library code (internal/); success-driven rejection
+// loops (no error in sight) are not retry loops and are left alone.
+var Retry = &Analyzer{
+	Name: "retry",
+	Doc:  "flag unbounded retry loops: an error-path continue in a condition-less for with no attempt cap or stop/context check",
+	Run:  runRetry,
+}
+
+func runRetry(pass *Pass) {
+	if !pass.InternalPath() {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			if !retriesOnError(pass, loop.Body) {
+				return true
+			}
+			if hasRetryGuard(pass, loop.Body) {
+				return true
+			}
+			pass.Reportf(Error, loop.Pos(),
+				"unbounded retry loop: continues on an error path with no attempt cap or stop/context check; bound it (for attempt := 0; attempt < max; attempt++) or add a cancellation case")
+			return true
+		})
+	}
+}
+
+// retriesOnError reports whether the loop body directly (not through a
+// nested loop or function literal) continues from an if whose condition
+// involves an error-typed value — the signature of "failed, go around
+// again".
+func retriesOnError(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	var onErrPath []bool // if-condition stack: true where the condition mentions an error
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false // inner loops and closures judge their own retries
+		case *ast.IfStmt:
+			onErrPath = append(onErrPath, mentionsError(pass.Info, n.Cond))
+			if n.Init != nil {
+				ast.Inspect(n.Init, walk)
+			}
+			ast.Inspect(n.Body, walk)
+			if n.Else != nil {
+				ast.Inspect(n.Else, walk)
+			}
+			onErrPath = onErrPath[:len(onErrPath)-1]
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.CONTINUE && n.Label == nil {
+				for _, onErr := range onErrPath {
+					if onErr {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return found
+}
+
+// mentionsError reports whether cond references an error-typed operand or an
+// errors.Is/As classification call.
+func mentionsError(info *types.Info, cond ast.Expr) bool {
+	mentions := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isErrorType(obj.Type()) {
+				mentions = true
+			}
+		case *ast.CallExpr:
+			if pkgFunc(info, n, "errors", "Is") || pkgFunc(info, n, "errors", "As") {
+				mentions = true
+			}
+		}
+		return !mentions
+	})
+	return mentions
+}
+
+// hasRetryGuard reports whether the loop body carries a recognized bound:
+// a select statement (cancellation case), a channel receive (<-stop,
+// <-ctx.Done()), or an integer comparison (attempt-cap shape). Function
+// literals are skipped — a guard inside a spawned closure guards nothing.
+func hasRetryGuard(pass *Pass, body *ast.BlockStmt) bool {
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			guarded = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				guarded = true // receive from a stop/done channel
+			}
+		case *ast.BinaryExpr:
+			if isIntComparison(pass.Info, n) {
+				guarded = true
+			}
+		}
+		return !guarded
+	})
+	return guarded
+}
+
+// isIntComparison matches an ordered comparison between integer-typed
+// operands — the shape of an in-body attempt cap.
+func isIntComparison(info *types.Info, b *ast.BinaryExpr) bool {
+	switch b.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	isInt := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && basic.Info()&types.IsInteger != 0
+	}
+	return isInt(b.X) && isInt(b.Y)
+}

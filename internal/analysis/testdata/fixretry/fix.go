@@ -1,0 +1,83 @@
+// Package fixretry exercises the retry analyzer: unbounded error-path retry
+// loops are errors; loops bounded by an attempt cap, a stop channel, or an
+// in-body counter are the sanctioned shapes.
+package fixretry
+
+import "errors"
+
+var errFlaky = errors.New("flaky")
+
+func read(i int) ([]byte, error) {
+	if i%7 == 3 {
+		return nil, errFlaky
+	}
+	return []byte{byte(i)}, nil
+}
+
+// Fetch retries forever on error: no attempt cap, no cancellation check.
+func Fetch(i int) []byte {
+	for { // want: unbounded retry loop
+		b, err := read(i)
+		if err != nil {
+			continue
+		}
+		return b
+	}
+}
+
+// FetchBounded caps the attempts in the loop header — the preferred shape.
+func FetchBounded(i int) ([]byte, error) {
+	var last error
+	for attempt := 0; attempt < 5; attempt++ {
+		b, err := read(i)
+		if err != nil {
+			last = err
+			continue
+		}
+		return b, nil
+	}
+	return nil, last
+}
+
+// FetchStop retries until a stop channel fires — cancellation bounds it.
+func FetchStop(i int, stop chan struct{}) []byte {
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		b, err := read(i)
+		if err != nil {
+			continue
+		}
+		return b
+	}
+}
+
+// FetchCounted bounds the retry with an in-body attempt counter.
+func FetchCounted(i int) ([]byte, error) {
+	attempt := 0
+	for {
+		b, err := read(i)
+		if err != nil {
+			attempt++
+			if attempt > 4 {
+				return nil, err
+			}
+			continue
+		}
+		return b, nil
+	}
+}
+
+// Reroll rejects by value, not by error — not a retry loop, not flagged.
+func Reroll(next func() int) int {
+	for {
+		v := next()
+		if v%2 == 1 {
+			continue
+		}
+		return v
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"scipp/internal/codec/gzipc"
 	"scipp/internal/codec/lut"
 	"scipp/internal/codec/rawfmt"
+	"scipp/internal/codec/zfpc"
 	"scipp/internal/core"
 	"scipp/internal/synthetic"
 	"scipp/internal/xrand"
@@ -66,6 +67,24 @@ func validBlobs(t *testing.T) map[string][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// zfpc comparator blobs: a smooth 2D field and a small 3D volume.
+	r := xrand.New(4242)
+	field := make([]float32, 16*48)
+	for i := range field {
+		field[i] = float32(r.NormFloat64())
+	}
+	z2d, err := zfpc.Encode(field, 16, 48, zfpc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := make([]float32, 8*8*8)
+	for i := range vol {
+		vol[i] = float32(r.NormFloat64())
+	}
+	z3d, err := zfpc.Encode3D(vol, 8, zfpc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string][]byte{
 		"deltafp":          clim.Blobs[0],
 		"raw-deepcam":      climRaw.Blobs[0],
@@ -73,6 +92,8 @@ func validBlobs(t *testing.T) map[string][]byte {
 		"cosmo-lut":        cosmo.Blobs[0],
 		"raw-cosmo":        cosmoRaw.Blobs[0],
 		"gzip+raw-cosmo":   cosmoGz.Blobs[0],
+		"zfpc2d":           z2d,
+		"zfpc3d":           z3d,
 	}
 }
 
@@ -91,6 +112,13 @@ func formatFor(t *testing.T, name string) codec.Format {
 		return rawfmt.Cosmo()
 	case "gzip+raw-cosmo":
 		return gzipc.Wrap(rawfmt.Cosmo())
+	case "zfpc2d", "zfpc3d":
+		// zfpc registers through the codec registry (package init).
+		f, err := codec.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
 	}
 	t.Fatalf("unknown format %s", name)
 	return nil

@@ -1,0 +1,308 @@
+package fault_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"scipp/internal/codec"
+	"scipp/internal/fault"
+	"scipp/internal/tensor"
+	"scipp/internal/trace"
+)
+
+// memDS is the minimal Dataset: sample i's blob is 64 bytes of i.
+type memDS struct{ n int }
+
+func (d memDS) Len() int { return d.n }
+
+func (d memDS) Blob(i int) ([]byte, error) {
+	return bytes.Repeat([]byte{byte(i)}, 64), nil
+}
+
+func (d memDS) Label(i int) (*tensor.Tensor, error) {
+	lb := tensor.New(tensor.F32, 1)
+	lb.F32s[0] = float32(i)
+	return lb, nil
+}
+
+func TestMarkTransient(t *testing.T) {
+	if fault.MarkTransient(nil) != nil {
+		t.Error("MarkTransient(nil) != nil")
+	}
+	base := errors.New("stage-in missing")
+	err := fault.MarkTransient(base)
+	if !errors.Is(err, fault.Transient) {
+		t.Error("marked error does not satisfy errors.Is(err, Transient)")
+	}
+	if !errors.Is(err, base) {
+		t.Error("marking hides the original error from errors.Is")
+	}
+	if err.Error() != base.Error() {
+		t.Errorf("message changed: %q != %q", err.Error(), base.Error())
+	}
+	if errors.Is(base, fault.Transient) {
+		t.Error("unmarked error satisfies errors.Is(err, Transient)")
+	}
+}
+
+// TestSameSeedSameLog is the determinism contract: the injection log is a
+// pure function of (seed, access multiset), whatever the access order or
+// concurrency.
+func TestSameSeedSameLog(t *testing.T) {
+	cfgs := []struct {
+		name string
+		cfg  fault.Config
+	}{
+		{"corrupt-only", fault.Config{Seed: 7, Corrupt: 0.3}},
+		{"mixed", fault.Config{Seed: 7, Corrupt: 0.1, Truncate: 0.1, Transient: 0.1, Lost: 0.1, Latency: 0.1}},
+		{"transient-heavy", fault.Config{Seed: 99, Transient: 0.5, TransientFailures: 3}},
+	}
+	const n, rounds = 100, 3
+	for _, tc := range cfgs {
+		t.Run(tc.name, func(t *testing.T) {
+			forward := fault.Wrap(memDS{n: n}, tc.cfg)
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < n; i++ {
+					_, _ = forward.Blob(i)
+				}
+			}
+			// Same accesses in reverse order, concurrently.
+			concurrent := fault.Wrap(memDS{n: n}, tc.cfg)
+			var wg sync.WaitGroup
+			for r := 0; r < rounds; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := n - 1; i >= 0; i-- {
+						_, _ = concurrent.Blob(i)
+					}
+				}()
+			}
+			wg.Wait()
+			a, b := forward.Log(), concurrent.Log()
+			if len(a) == 0 {
+				t.Fatal("no injections at all — probabilities too low for the corpus")
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("same seed, different logs:\n%v\nvs\n%v", a, b)
+			}
+			other := fault.Wrap(memDS{n: n}, func() fault.Config { c := tc.cfg; c.Seed++; return c }())
+			for i := 0; i < n; i++ {
+				_, _ = other.Blob(i)
+			}
+			if reflect.DeepEqual(a, other.Log()) {
+				t.Error("different seeds produced identical logs")
+			}
+		})
+	}
+}
+
+// TestSameSampleSameDamage pins that corruption/truncation is per-sample
+// deterministic: every access to a damaged sample yields identical bytes.
+func TestSameSampleSameDamage(t *testing.T) {
+	inj := fault.Wrap(memDS{n: 50}, fault.Config{Seed: 3, Corrupt: 0.5, Truncate: 0.5})
+	for i := 0; i < 50; i++ {
+		a, err1 := inj.Blob(i)
+		b, err2 := inj.Blob(i)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("sample %d: unexpected errors %v / %v", i, err1, err2)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("sample %d: damage differs between accesses", i)
+		}
+	}
+}
+
+func TestKindBehavior(t *testing.T) {
+	orig, _ := memDS{n: 1}.Blob(0)
+	t.Run("lost", func(t *testing.T) {
+		inj := fault.Wrap(memDS{n: 1}, fault.Config{Seed: 1, Lost: 1})
+		for access := 0; access < 3; access++ {
+			_, err := inj.Blob(0)
+			if err == nil {
+				t.Fatal("lost sample delivered")
+			}
+			if errors.Is(err, fault.Transient) {
+				t.Error("permanent loss classified transient")
+			}
+		}
+		s := inj.Summary()
+		if ev, sm := s.Of(fault.Lost); ev != 3 || sm != 1 {
+			t.Errorf("lost summary = %d events / %d samples, want 3 / 1", ev, sm)
+		}
+	})
+	t.Run("transient", func(t *testing.T) {
+		inj := fault.Wrap(memDS{n: 1}, fault.Config{Seed: 1, Transient: 1, TransientFailures: 2})
+		for access := 1; access <= 2; access++ {
+			_, err := inj.Blob(0)
+			if err == nil || !errors.Is(err, fault.Transient) {
+				t.Fatalf("access %d: want transient error, got %v", access, err)
+			}
+		}
+		got, err := inj.Blob(0)
+		if err != nil || !bytes.Equal(got, orig) {
+			t.Fatalf("post-recovery access: got %v, err %v", got, err)
+		}
+		if ev, _ := inj.Summary().Of(fault.TransientIO); ev != 2 {
+			t.Errorf("transient events = %d, want 2", ev)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		inj := fault.Wrap(memDS{n: 1}, fault.Config{Seed: 1, Truncate: 1})
+		got, err := inj.Blob(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) >= len(orig) {
+			t.Errorf("truncated blob is %d bytes, original %d", len(got), len(orig))
+		}
+		if !bytes.Equal(got, orig[:len(got)]) {
+			t.Error("truncation is not a prefix of the original")
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		inj := fault.Wrap(memDS{n: 1}, fault.Config{Seed: 1, Corrupt: 1})
+		got, err := inj.Blob(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(orig) {
+			t.Errorf("corruption changed length %d -> %d", len(orig), len(got))
+		}
+		if bytes.Equal(got, orig) {
+			t.Error("corrupt blob identical to original")
+		}
+	})
+	t.Run("latency", func(t *testing.T) {
+		clock := &trace.VirtualClock{}
+		inj := fault.Wrap(memDS{n: 1}, fault.Config{Seed: 1, Latency: 1, LatencySeconds: 0.25, Clock: clock})
+		got, err := inj.Blob(0)
+		if err != nil || !bytes.Equal(got, orig) {
+			t.Fatalf("latency fault altered delivery: %v, %v", got, err)
+		}
+		if now := clock.Now(); now != 0.25 {
+			t.Errorf("clock advanced %v s, want 0.25", now)
+		}
+	})
+	t.Run("none", func(t *testing.T) {
+		inj := fault.Wrap(memDS{n: 5}, fault.Config{Seed: 1})
+		for i := 0; i < 5; i++ {
+			want, _ := memDS{n: 5}.Blob(i)
+			got, err := inj.Blob(i)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("fault-free config perturbed sample %d", i)
+			}
+		}
+		if log := inj.Log(); len(log) != 0 {
+			t.Errorf("fault-free config logged %d injections", len(log))
+		}
+	})
+}
+
+// exactFormat accepts only its expected blob — a checksum-style detector for
+// the format-level injector tests.
+type exactFormat struct{ want []byte }
+
+func (f exactFormat) Name() string { return "exact" }
+
+func (f exactFormat) Open(blob []byte) (codec.ChunkDecoder, error) {
+	if !bytes.Equal(blob, f.want) {
+		return nil, fmt.Errorf("exact: blob mismatch (%d bytes)", len(blob))
+	}
+	return nil, nil
+}
+
+func TestFormatInjector(t *testing.T) {
+	blob := bytes.Repeat([]byte{0xAB}, 128)
+	f := exactFormat{want: blob}
+	t.Run("passthrough", func(t *testing.T) {
+		fi := fault.WrapFormat(f, fault.Config{Seed: 5})
+		if _, err := fi.Open(blob); err != nil {
+			t.Fatalf("clean config failed Open: %v", err)
+		}
+		if fi.Name() != "exact+fault" {
+			t.Errorf("Name = %q", fi.Name())
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		fi := fault.WrapFormat(f, fault.Config{Seed: 5, Corrupt: 1})
+		if _, err := fi.Open(blob); err == nil {
+			t.Fatal("corrupted blob opened clean")
+		}
+		if ev, sm := fi.Summary().Of(fault.Corrupt); ev != 1 || sm != 1 {
+			t.Errorf("corrupt summary = %d events / %d blobs, want 1 / 1", ev, sm)
+		}
+	})
+	t.Run("transient-then-recovers", func(t *testing.T) {
+		fi := fault.WrapFormat(f, fault.Config{Seed: 5, Transient: 1, TransientFailures: 2})
+		for access := 1; access <= 2; access++ {
+			_, err := fi.Open(blob)
+			if err == nil || !errors.Is(err, fault.Transient) {
+				t.Fatalf("access %d: want transient, got %v", access, err)
+			}
+		}
+		if _, err := fi.Open(blob); err != nil {
+			t.Fatalf("open after recovery: %v", err)
+		}
+	})
+	t.Run("deterministic-per-blob", func(t *testing.T) {
+		cfg := fault.Config{Seed: 5, Corrupt: 0.5}
+		a := fault.WrapFormat(f, cfg)
+		b := fault.WrapFormat(f, cfg)
+		_, errA := a.Open(blob)
+		_, errB := b.Open(blob)
+		if (errA == nil) != (errB == nil) {
+			t.Errorf("same blob, same seed, different outcomes: %v vs %v", errA, errB)
+		}
+		if !reflect.DeepEqual(a.Log(), b.Log()) {
+			t.Error("same blob, same seed, different logs")
+		}
+	})
+}
+
+func TestSummaryAggregation(t *testing.T) {
+	cfg := fault.Config{Seed: 11, Corrupt: 0.15, Lost: 0.1}
+	const n = 200
+	inj := fault.Wrap(memDS{n: n}, cfg)
+	for round := 0; round < 2; round++ {
+		for i := 0; i < n; i++ {
+			_, _ = inj.Blob(i)
+		}
+	}
+	s := inj.Summary()
+	log := inj.Log()
+	total := 0
+	for _, k := range []fault.Kind{fault.Corrupt, fault.Truncate, fault.TransientIO, fault.Lost, fault.Latency} {
+		ev, sm := s.Of(k)
+		total += ev
+		if k == fault.Corrupt || k == fault.Lost {
+			if ev != 2*sm {
+				t.Errorf("%v: %d events for %d samples over 2 rounds, want exactly 2x", k, ev, sm)
+			}
+			if sm == 0 {
+				t.Errorf("%v: no samples faulted at these rates over %d samples", k, n)
+			}
+		} else if ev != 0 {
+			t.Errorf("%v: %d events with zero probability", k, ev)
+		}
+	}
+	if total != len(log) {
+		t.Errorf("summary events %d != log length %d", total, len(log))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[fault.Kind]string{
+		fault.Corrupt: "corrupt", fault.Truncate: "truncate",
+		fault.TransientIO: "transient", fault.Lost: "lost", fault.Latency: "latency",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

@@ -100,6 +100,10 @@ type Config struct {
 	Seed uint64
 	// DropLast drops a trailing partial batch.
 	DropLast bool
+	// Resilience is the degraded-mode policy: retry budget for transient
+	// errors and the per-epoch bad-sample skip quota. The zero value keeps
+	// strict semantics (first bad sample fails the epoch).
+	Resilience Resilience
 	// Trace, when non-nil, receives one event per decoded sample (resource
 	// "loader", tag "decode-cpu"/"decode-gpu"), for profiling the real
 	// pipeline.
@@ -208,6 +212,9 @@ type Iterator struct {
 
 	mu  sync.Mutex // serializes batch assembly and pos
 	pos int
+
+	statsMu sync.Mutex // guards stats (written by decode goroutines and Next)
+	stats   Stats
 }
 
 // produce launches bounded prefetch: each scheduled sample gets a slot
@@ -223,7 +230,7 @@ func (it *Iterator) produce() {
 			return
 		}
 		go func(i int) {
-			slot <- it.decodeOne(i)
+			slot <- it.retryDecode(i)
 		}(idx)
 	}
 }
@@ -240,7 +247,7 @@ func (it *Iterator) decodeOne(i int) decoded {
 	}
 	cd, err := l.cfg.Format.Open(blob)
 	if err != nil {
-		return decoded{index: i, err: fmt.Errorf("pipeline: sample %d: %w", i, err)}
+		return decoded{index: i, err: err}
 	}
 	var data *tensor.Tensor
 	t0 := it.clock.Now()
@@ -251,7 +258,7 @@ func (it *Iterator) decodeOne(i int) decoded {
 		data, err = codec.DecodeParallel(cd, l.cfg.CPUWorkers)
 	}
 	if err != nil {
-		return decoded{index: i, err: fmt.Errorf("pipeline: sample %d: %w", i, err)}
+		return decoded{index: i, err: err}
 	}
 	if l.cfg.Trace != nil {
 		l.cfg.Trace.Add("loader", "decode-"+l.cfg.Plugin.String(), t0, it.clock.Now())
@@ -260,10 +267,18 @@ func (it *Iterator) decodeOne(i int) decoded {
 }
 
 // Next returns the next batch, or (nil, nil) at the end of the epoch.
+//
+// Sample failures surface as typed errors: with the zero Resilience policy
+// the first failed sample ends the epoch with a *SampleError carrying its
+// dataset index; with MaxBadSamples > 0 failed samples are skipped and
+// accounted in Stats until the quota is exceeded, at which point Next
+// returns an *EpochError naming every bad sample. Either way the iterator
+// is closed, and Close/Drain remain safe to call afterwards.
 func (it *Iterator) Next() (*Batch, error) {
 	it.mu.Lock()
 	defer it.mu.Unlock()
 	b := &Batch{}
+	pol := it.loader.cfg.Resilience
 	want := it.loader.cfg.Batch
 	for len(b.Data) < want {
 		slot, ok := <-it.slots
@@ -272,12 +287,21 @@ func (it *Iterator) Next() (*Batch, error) {
 		}
 		d := <-slot
 		if d.err != nil {
+			se := asSampleError(d.err, d.index)
+			if it.recordBad(se, pol.MaxBadSamples) {
+				continue // skipped within quota: the batch draws the next sample
+			}
 			it.Close()
-			return nil, d.err
+			if pol.MaxBadSamples > 0 {
+				st := it.Stats()
+				return nil, &EpochError{Quota: pol.MaxBadSamples, Indices: st.BadSamples, Errors: st.Errors}
+			}
+			return nil, se
 		}
 		b.Data = append(b.Data, d.data)
 		b.Labels = append(b.Labels, d.label)
 		b.Indices = append(b.Indices, d.index)
+		it.noteDecoded()
 		it.pos++
 	}
 	if len(b.Data) == 0 {

@@ -37,6 +37,25 @@ func (w wallClock) Now() float64 {
 	return time.Since(w.t0).Seconds()
 }
 
+// Sleeper is implemented by clocks through which time can be made to pass.
+// Code that must wait (retry backoff in the loader's resilience policy) does
+// so through the clock it was handed rather than time.Sleep, so simulated
+// runs wait in virtual time and tests never block on the wall clock.
+type Sleeper interface {
+	// Sleep passes d seconds of the clock's time.
+	Sleep(d float64)
+}
+
+// Sleep implements Sleeper by really sleeping: wall-clock runs pay their
+// backoff delays in wall time.
+func (w wallClock) Sleep(d float64) {
+	if d <= 0 {
+		return
+	}
+	//lint:ignore determinism the sanctioned wall-time source for real-pipeline profiling
+	time.Sleep(time.Duration(d * float64(time.Second)))
+}
+
 // VirtualClock is a manually advanced Clock for simulations and tests: time
 // moves only when Advance is called, so traces are reproducible bit-for-bit.
 type VirtualClock struct {
@@ -60,6 +79,9 @@ func (c *VirtualClock) Advance(d float64) {
 	c.t += d
 	c.mu.Unlock()
 }
+
+// Sleep implements Sleeper by advancing the clock: virtual waits are free.
+func (c *VirtualClock) Sleep(d float64) { c.Advance(d) }
 
 // Set jumps the clock to t seconds if that is forward motion.
 func (c *VirtualClock) Set(t float64) {

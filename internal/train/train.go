@@ -12,6 +12,7 @@ import (
 
 	"scipp/internal/core"
 	"scipp/internal/dist"
+	"scipp/internal/fault"
 	"scipp/internal/models"
 	"scipp/internal/nn"
 	"scipp/internal/pipeline"
@@ -123,6 +124,58 @@ type Config struct {
 	LR float64
 	// Warmup is the warmup step count of the schedule.
 	Warmup int
+	// Resilience is the loader's degraded-mode policy (transient-error
+	// retries, bad-sample skip quota). The zero value keeps strict
+	// semantics: the first undecodable sample fails the run.
+	Resilience pipeline.Resilience
+	// Faults, when non-nil, wraps the training dataset in a seeded fault
+	// injector — the harness of the robustness experiments (cmd/faultbench).
+	Faults *fault.Config
+}
+
+// EpochStats is one epoch's loader error accounting within a run.
+type EpochStats struct {
+	// Decoded, Retried, Skipped mirror pipeline.Stats for the epoch.
+	Decoded, Retried, Skipped int
+}
+
+// Result couples a run's loss curve with its resilience accounting, so
+// robustness experiments can assert on sample-loss budgets next to
+// convergence.
+type Result struct {
+	// Losses is the loss curve (per step for DeepCAM, per epoch for
+	// CosmoFlow).
+	Losses []float64
+	// Epochs is the per-epoch loader accounting, in epoch order.
+	Epochs []EpochStats
+	// Injections is the fault injector's log (nil unless Config.Faults
+	// was set).
+	Injections []fault.Injection
+}
+
+// Skipped totals the skipped-sample count across the run's epochs.
+func (r *Result) Skipped() int {
+	n := 0
+	for _, e := range r.Epochs {
+		n += e.Skipped
+	}
+	return n
+}
+
+// withFaults wraps ds per cfg.Faults, returning the loader-facing dataset
+// and the injector (nil when fault injection is off).
+func withFaults(ds pipeline.Dataset, cfg Config) (pipeline.Dataset, *fault.Injector) {
+	if cfg.Faults == nil {
+		return ds, nil
+	}
+	inj := fault.Wrap(ds, *cfg.Faults)
+	return inj, inj
+}
+
+// epochStats converts an iterator's accounting into an EpochStats entry.
+func epochStats(it *pipeline.Iterator) EpochStats {
+	st := it.Stats()
+	return EpochStats{Decoded: st.Decoded, Retried: st.Retried, Skipped: st.Skipped}
 }
 
 func (c Config) encoding() core.Encoding {
@@ -135,15 +188,27 @@ func (c Config) encoding() core.Encoding {
 // DeepCAM runs the Fig 6 experiment: per-step training loss of the
 // segmentation model under cfg. Returns one loss value per optimizer step.
 func DeepCAM(climCfg synthetic.ClimateConfig, cfg Config) ([]float64, error) {
-	ds, err := core.BuildClimateDataset(climCfg, cfg.Samples, cfg.encoding())
+	res, err := DeepCAMRun(climCfg, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return res.Losses, nil
+}
+
+// DeepCAMRun is DeepCAM with full resilience accounting: the Result carries
+// per-epoch decoded/retried/skipped counts and the fault injector's log.
+func DeepCAMRun(climCfg synthetic.ClimateConfig, cfg Config) (*Result, error) {
+	built, err := core.BuildClimateDataset(climCfg, cfg.Samples, cfg.encoding())
+	if err != nil {
+		return nil, err
+	}
+	ds, inj := withFaults(built, cfg)
 	loader, err := pipeline.New(ds, pipeline.Config{
-		Format:  core.FormatFor(core.DeepCAM, cfg.encoding()),
-		Batch:   cfg.Batch,
-		Shuffle: true,
-		Seed:    cfg.Seed,
+		Format:     core.FormatFor(core.DeepCAM, cfg.encoding()),
+		Batch:      cfg.Batch,
+		Shuffle:    true,
+		Seed:       cfg.Seed,
+		Resilience: cfg.Resilience,
 	})
 	if err != nil {
 		return nil, err
@@ -156,13 +221,15 @@ func DeepCAM(climCfg synthetic.ClimateConfig, cfg Config) ([]float64, error) {
 	opt := nn.NewSGD(cfg.LR, 0.9)
 	sched := nn.WarmupSchedule{Base: cfg.LR, WarmupSteps: cfg.Warmup}
 
-	var losses []float64
+	res := &Result{}
 	step := 0
 	for epoch := 0; step < cfg.Steps; epoch++ {
 		it := loader.Epoch(epoch)
+		epochStart := step
 		for step < cfg.Steps {
 			b, err := it.Next()
 			if err != nil {
+				it.Close()
 				return nil, err
 			}
 			if b == nil {
@@ -170,11 +237,13 @@ func DeepCAM(climCfg synthetic.ClimateConfig, cfg Config) ([]float64, error) {
 			}
 			x, err := StackData(b.Data)
 			if err != nil {
+				it.Close()
 				return nil, err
 			}
 			NormalizeChannels(x)
 			y, err := StackLabels(b.Labels)
 			if err != nil {
+				it.Close()
 				return nil, err
 			}
 			model.ZeroGrad()
@@ -183,26 +252,48 @@ func DeepCAM(climCfg synthetic.ClimateConfig, cfg Config) ([]float64, error) {
 			model.Backward(grad)
 			opt.SetLR(sched.At(step))
 			opt.Step(model.Params())
-			losses = append(losses, loss)
+			res.Losses = append(res.Losses, loss)
 			step++
 		}
+		res.Epochs = append(res.Epochs, epochStats(it))
 		it.Close()
+		if step == epochStart {
+			// Every sample skipped (or the dataset is empty): without this
+			// guard a fully degraded epoch would loop forever.
+			return nil, fmt.Errorf("train: epoch %d produced no batches", epoch)
+		}
 	}
-	return losses, nil
+	if inj != nil {
+		res.Injections = inj.Log()
+	}
+	return res, nil
 }
 
 // CosmoFlow runs one Fig 7 repetition: per-epoch mean training loss of the
 // regression model under cfg. Returns one loss value per epoch.
 func CosmoFlow(cosmoCfg synthetic.CosmoConfig, cfg Config) ([]float64, error) {
-	ds, err := core.BuildCosmoDataset(cosmoCfg, cfg.Samples, cfg.encoding())
+	res, err := CosmoFlowRun(cosmoCfg, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return res.Losses, nil
+}
+
+// CosmoFlowRun is CosmoFlow with full resilience accounting: the Result
+// carries per-epoch decoded/retried/skipped counts and the fault injector's
+// log.
+func CosmoFlowRun(cosmoCfg synthetic.CosmoConfig, cfg Config) (*Result, error) {
+	built, err := core.BuildCosmoDataset(cosmoCfg, cfg.Samples, cfg.encoding())
+	if err != nil {
+		return nil, err
+	}
+	ds, inj := withFaults(built, cfg)
 	loader, err := pipeline.New(ds, pipeline.Config{
-		Format:  core.FormatFor(core.CosmoFlow, cfg.encoding()),
-		Batch:   cfg.Batch,
-		Shuffle: true,
-		Seed:    cfg.Seed,
+		Format:     core.FormatFor(core.CosmoFlow, cfg.encoding()),
+		Batch:      cfg.Batch,
+		Shuffle:    true,
+		Seed:       cfg.Seed,
+		Resilience: cfg.Resilience,
 	})
 	if err != nil {
 		return nil, err
@@ -215,7 +306,7 @@ func CosmoFlow(cosmoCfg synthetic.CosmoConfig, cfg Config) ([]float64, error) {
 	opt := nn.NewAdam(cfg.LR)
 	sched := nn.WarmupSchedule{Base: cfg.LR, WarmupSteps: cfg.Warmup}
 
-	var epochLosses []float64
+	res := &Result{}
 	step := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		it := loader.Epoch(epoch)
@@ -224,6 +315,7 @@ func CosmoFlow(cosmoCfg synthetic.CosmoConfig, cfg Config) ([]float64, error) {
 		for {
 			b, err := it.Next()
 			if err != nil {
+				it.Close()
 				return nil, err
 			}
 			if b == nil {
@@ -231,10 +323,12 @@ func CosmoFlow(cosmoCfg synthetic.CosmoConfig, cfg Config) ([]float64, error) {
 			}
 			x, err := StackData(b.Data)
 			if err != nil {
+				it.Close()
 				return nil, err
 			}
 			y, err := StackLabels(b.Labels)
 			if err != nil {
+				it.Close()
 				return nil, err
 			}
 			model.ZeroGrad()
@@ -247,12 +341,17 @@ func CosmoFlow(cosmoCfg synthetic.CosmoConfig, cfg Config) ([]float64, error) {
 			steps++
 			step++
 		}
+		res.Epochs = append(res.Epochs, epochStats(it))
+		it.Close()
 		if steps == 0 {
 			return nil, fmt.Errorf("train: empty epoch %d", epoch)
 		}
-		epochLosses = append(epochLosses, sum/float64(steps))
+		res.Losses = append(res.Losses, sum/float64(steps))
 	}
-	return epochLosses, nil
+	if inj != nil {
+		res.Injections = inj.Log()
+	}
+	return res, nil
 }
 
 // DataParallelCosmoFlow trains with `ranks` synchronous data-parallel
@@ -266,16 +365,18 @@ func DataParallelCosmoFlow(cosmoCfg synthetic.CosmoConfig, cfg Config, ranks int
 	if cfg.Batch%ranks != 0 {
 		return nil, fmt.Errorf("train: batch %d not divisible by %d ranks", cfg.Batch, ranks)
 	}
-	ds, err := core.BuildCosmoDataset(cosmoCfg, cfg.Samples, cfg.encoding())
+	built, err := core.BuildCosmoDataset(cosmoCfg, cfg.Samples, cfg.encoding())
 	if err != nil {
 		return nil, err
 	}
+	ds, _ := withFaults(built, cfg)
 	loader, err := pipeline.New(ds, pipeline.Config{
-		Format:   core.FormatFor(core.CosmoFlow, cfg.encoding()),
-		Batch:    cfg.Batch,
-		Shuffle:  true,
-		Seed:     cfg.Seed,
-		DropLast: true,
+		Format:     core.FormatFor(core.CosmoFlow, cfg.encoding()),
+		Batch:      cfg.Batch,
+		Shuffle:    true,
+		Seed:       cfg.Seed,
+		DropLast:   true,
+		Resilience: cfg.Resilience,
 	})
 	if err != nil {
 		return nil, err
