@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet fault verify
+.PHONY: build test race lint vet fault cover fuzz verify
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,9 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent subsystems (prefetcher, ring
-# allreduce, data-parallel trainer, fault injector).
+# allreduce, data-parallel trainer, fault injector, metrics registry).
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/dist/... ./internal/train/... ./internal/fault/...
+	$(GO) test -race ./internal/pipeline/... ./internal/dist/... ./internal/train/... ./internal/fault/... ./internal/obs/...
 
 # Fault-injection and resilience suite: injector determinism, retry/backoff,
 # skip quotas, and the end-to-end faulted DeepCAM acceptance run.
@@ -28,4 +28,18 @@ lint:
 vet:
 	$(GO) vet ./...
 
-verify: build vet lint test race
+# Coverage ratchet over the packages the observability layer locks down
+# (floors live in scripts/coverage_baseline.txt).
+cover:
+	./scripts/coverage.sh
+
+# Short fuzz smoke over every codec fuzz target: seeds plus a few seconds
+# of exploration each. `go test -fuzz` takes one target at a time, so loop.
+FUZZ_TARGETS = FuzzFormatsOpenDecode FuzzDeltaFPRoundTrip FuzzLUTRoundTrip \
+	FuzzRawCosmoRoundTrip FuzzRawDeepCAMRoundTrip FuzzZfpcRoundTrip
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		$(GO) test -run=NONE -fuzz="^$$t$$" -fuzztime=10s ./internal/codec/ || exit 1; \
+	done
+
+verify: build vet lint test race cover

@@ -6,16 +6,24 @@
 // Each row is one pipeline variant's per-sample stage profile: storage
 // read, host CPU preprocessing, host-to-device transfer, on-device decode,
 // model compute, and gradient allreduce.
+//
+// The table is rendered from the observability layer: the simulated stage
+// profiles are replayed as obs spans on a virtual clock and the printed
+// durations are read back from the registry snapshot, so the figure and the
+// metrics cannot drift apart.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"sort"
+	"os"
+	"strings"
 
 	"scipp/internal/bench"
 	"scipp/internal/core"
+	"scipp/internal/obs"
 	"scipp/internal/pipeline"
 	"scipp/internal/platform"
 )
@@ -26,44 +34,65 @@ func main() {
 	app := flag.String("app", "deepcam", "deepcam (Fig 9) or cosmoflow (Fig 12)")
 	scale := flag.Float64("scale", 0.5, "calibration fraction of paper-scale sample dims")
 	des := flag.Bool("des", false, "also run the discrete-event node simulation and print per-resource busy fractions")
+	metrics := flag.Bool("metrics", false, "also dump the replayed obs registry snapshot")
 	flag.Parse()
 
+	if err := run(os.Stdout, *app, *scale, *des, *metrics); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run produces the full figure output on w. It is the whole command behind
+// the flag parsing, so the golden test drives it directly.
+func run(w io.Writer, app string, scale float64, des, metrics bool) error {
 	var rows []bench.BreakdownRow
 	var err error
 	var title string
-	switch *app {
+	switch app {
 	case "deepcam":
-		rows, err = bench.Fig9(*scale)
+		rows, err = bench.Fig9(scale)
 		title = "FIG 9: DeepCAM per-sample time breakdown, Cori V100/A100, small set, batch 4"
 	case "cosmoflow":
-		rows, err = bench.Fig12(*scale)
+		rows, err = bench.Fig12(scale)
 		title = "FIG 12: CosmoFlow per-sample time breakdown, Summit + Cori-V100, small set, batch 4"
 	default:
-		log.Fatalf("unknown -app %q", *app)
+		return fmt.Errorf("unknown -app %q", app)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(bench.FormatBreakdown(title, rows))
-	if *des {
-		printDES(*app, *scale)
+	reg := obs.NewRegistry()
+	bench.ReplayBreakdown(reg, rows)
+	if _, err := io.WriteString(w, bench.RenderBreakdown(title, rows, reg.Snapshot())); err != nil {
+		return err
 	}
+	if metrics {
+		if _, err := io.WriteString(w, "\n"+reg.Snapshot().Text()); err != nil {
+			return err
+		}
+	}
+	if des {
+		if err := printDES(w, app, scale); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // printDES runs the queueing simulation for the baseline and GPU-plugin
 // pipelines and prints resource utilizations — the emergent version of the
 // paper's "the base version underutilizes the GPU" observation.
-func printDES(app string, scale float64) {
+func printDES(w io.Writer, app string, scale float64) error {
 	coreApp := core.DeepCAM
 	if app == "cosmoflow" {
 		coreApp = core.CosmoFlow
 	}
 	m, err := bench.Calibrate(coreApp, scale)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println()
-	fmt.Println("DISCRETE-EVENT NODE SIMULATION (30 steps, batch 4, small staged set)")
+	var sb strings.Builder
+	sb.WriteString("\nDISCRETE-EVENT NODE SIMULATION (30 steps, batch 4, small staged set)\n")
 	for _, p := range platform.All() {
 		samples := bench.DeepCAMSmallPerNode
 		if coreApp == core.CosmoFlow {
@@ -82,18 +111,15 @@ func printDES(app string, scale float64) {
 				SamplesPerNode: samples, Staged: true, Batch: 4, Epoch: 1,
 			}, 30, nil)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			keys := make([]string, 0, len(res.Busy))
-			for k := range res.Busy {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			fmt.Printf("  %-10s %-11s node=%6.0f/s busy:", p.Name, v.name, res.Node)
+			fmt.Fprintf(&sb, "  %-10s %-11s node=%6.0f/s busy:", p.Name, v.name, res.Node)
 			for _, k := range []string{"storage", "cpu0", "link0", "gpu0"} {
-				fmt.Printf(" %s=%3.0f%%", k, 100*res.Busy[k])
+				fmt.Fprintf(&sb, " %s=%3.0f%%", k, 100*res.Busy[k])
 			}
-			fmt.Println()
+			sb.WriteByte('\n')
 		}
 	}
+	_, err = io.WriteString(w, sb.String())
+	return err
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata golden files")
+
+// TestGoldenBreakdown locks the figure tables byte-for-byte: the stage
+// profiles are analytic (fixed calibration scale, no wall clock, no
+// randomness), replayed through the obs registry on a virtual clock, so the
+// rendered output must be identical on every run and platform.
+func TestGoldenBreakdown(t *testing.T) {
+	for _, app := range []string{"deepcam", "cosmoflow"} {
+		t.Run(app, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, app, 0.5, false, true); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", app+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("output drifted from %s:\n got:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestRunUnknownApp checks the error path surfaces instead of printing.
+func TestRunUnknownApp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", 0.5, false, false); err == nil {
+		t.Fatal("no error for unknown app")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("unexpected output: %q", buf.String())
+	}
+}

@@ -4,7 +4,8 @@
 //     work-assignment strategies (§VI's hierarchical warp assignment vs the
 //     naive thread-per-line mapping), with makespan and warp occupancy.
 //   - A real wall-clock profile of the loading pipeline on this host:
-//     decode activity recorded per sample through the trace instrumentation.
+//     stage spans and codec metrics recorded through the obs registry, with
+//     the per-sample decode activity mirrored onto the trace timeline.
 //
 // Usage:
 //
@@ -18,6 +19,7 @@ import (
 
 	"scipp/internal/bench"
 	"scipp/internal/core"
+	"scipp/internal/obs"
 	"scipp/internal/pipeline"
 	"scipp/internal/platform"
 	"scipp/internal/synthetic"
@@ -52,7 +54,9 @@ func main() {
 			rows[1].KernelMs/rows[0].KernelMs)
 	}
 
-	// Part 2: real pipeline wall-clock profile on this host.
+	// Part 2: real pipeline wall-clock profile on this host, observed
+	// through the metrics layer end to end: iterator stage spans, codec
+	// open/decode metering, and the legacy timeline all off one wall clock.
 	cfg := synthetic.DefaultClimateConfig()
 	cfg.Channels = 8
 	cfg.Height = 96
@@ -61,11 +65,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg := obs.NewRegistry()
+	clock := trace.NewWallClock()
 	tl := &trace.Timeline{}
 	loader, err := pipeline.New(ds, pipeline.Config{
-		Format: core.FormatFor(core.DeepCAM, core.Plugin),
+		Format: obs.InstrumentFormat(core.FormatFor(core.DeepCAM, core.Plugin), reg, clock),
 		Batch:  2,
 		Trace:  tl,
+		Clock:  clock,
+		Obs:    reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -79,4 +87,23 @@ func main() {
 	fmt.Print(trace.FormatBreakdown(tl.Breakdown()))
 	fmt.Printf("  wall span %.1f ms, loader busy %.1f ms (overlap from prefetch)\n",
 		1e3*tl.Span(), 1e3*tl.Busy("loader"))
+
+	s := reg.Snapshot()
+	fmt.Println()
+	fmt.Println("STAGE SPANS (obs registry, wall clock)")
+	for _, stage := range []string{"pipeline.read", "pipeline.decode.cpu", "pipeline.prefetch_wait"} {
+		hv, ok := s.Histogram(stage + ".seconds")
+		if !ok || hv.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-26s %4d spans  total %8.2f ms  mean %8.3f ms\n",
+			stage, hv.Count, 1e3*hv.Sum, 1e3*hv.Mean())
+	}
+	name := core.FormatFor(core.DeepCAM, core.Plugin).Name()
+	fmt.Printf("CODEC %s: opened %d blobs, %d -> %d bytes, %d chunks decoded\n",
+		name,
+		s.Counter("codec."+name+".open.spans"),
+		s.Counter("codec."+name+".bytes_in"),
+		s.Counter("codec."+name+".bytes_out"),
+		s.Counter("codec."+name+".decode.chunks"))
 }

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"scipp/internal/obs"
+	"scipp/internal/trace"
+)
+
+// BreakdownStages lists the stage metric suffixes of a replayed breakdown
+// row, in pipeline order. Each maps 1:1 onto a StageTimes field.
+var BreakdownStages = []string{"read", "cpu", "h2d", "gpu_decode", "gpu_compute", "allreduce"}
+
+// stageSeconds flattens s into BreakdownStages order.
+func stageSeconds(s StageTimes) []float64 {
+	return []float64{s.Read, s.CPU, s.H2D, s.GPUDecode, s.GPUCompute, s.AllReduce}
+}
+
+// ReplayBreakdown replays simulated per-sample stage profiles into reg as
+// stage spans on a virtual clock, bridging the analytic pipeline model to the
+// obs layer. Each row becomes one span per stage under
+//
+//	breakdown.<platform>.<variant>.<stage>.{seconds,spans}
+//
+// plus a breakdown.<platform>.<variant>.node_rate gauge (samples/s). The
+// replay is single-threaded pure float math on the returned clock, so the
+// resulting snapshot is bit-reproducible for a given row set.
+func ReplayBreakdown(reg *obs.Registry, rows []BreakdownRow) *trace.VirtualClock {
+	clock := &trace.VirtualClock{}
+	tr := obs.NewTracer(reg, clock)
+	for _, r := range rows {
+		prefix := "breakdown." + r.Platform + "." + r.Variant + "."
+		for i, stage := range BreakdownStages {
+			sp := tr.Start(prefix + stage)
+			clock.Advance(stageSeconds(r.Stages)[i])
+			sp.End()
+		}
+		reg.Gauge(prefix + "node_rate").Set(r.Node)
+	}
+	return clock
+}
+
+// RenderBreakdown formats breakdown rows as the Fig 9/12 table, reading every
+// duration back from the snapshot rather than the rows: the table is a view
+// over the metrics layer, so any drift between the two is visible. Rows only
+// supply the (platform, variant) presentation order.
+func RenderBreakdown(title string, rows []BreakdownRow, s obs.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s %-11s %8s %8s %8s %9s %9s %9s %9s\n",
+		"platform", "variant", "read", "cpu", "h2d", "gpu-dec", "gpu-comp", "allred", "node/s")
+	for _, r := range rows {
+		prefix := "breakdown." + r.Platform + "." + r.Variant + "."
+		fmt.Fprintf(&b, "%-10s %-11s", r.Platform, r.Variant)
+		for i, stage := range BreakdownStages {
+			sum := 0.0
+			if hv, ok := s.Histogram(prefix + stage + ".seconds"); ok {
+				sum = hv.Sum
+			}
+			format := " %7.2fm"
+			if i >= 3 {
+				format = " %8.2fm"
+			}
+			fmt.Fprintf(&b, format, 1e3*sum)
+		}
+		fmt.Fprintf(&b, " %9.0f\n", s.Gauge(prefix+"node_rate").Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"scipp/internal/obs"
+)
+
+func replayRows() []BreakdownRow {
+	return []BreakdownRow{
+		{
+			Platform: "Summit", Variant: "base",
+			Stages: StageTimes{Read: 0.010, CPU: 0.020, H2D: 0.003, GPUCompute: 0.005, AllReduce: 0.001},
+			Node:   120,
+		},
+		{
+			Platform: "Summit", Variant: "gpu-plugin",
+			Stages: StageTimes{Read: 0.002, H2D: 0.001, GPUDecode: 0.004, GPUCompute: 0.005, AllReduce: 0.001},
+			Node:   480,
+		},
+	}
+}
+
+// TestReplayBreakdown checks the replayed spans land under the documented
+// names with exact durations, and that the virtual clock ends at the total
+// stage time.
+func TestReplayBreakdown(t *testing.T) {
+	rows := replayRows()
+	reg := obs.NewRegistry()
+	clock := ReplayBreakdown(reg, rows)
+
+	total := 0.0
+	for _, r := range rows {
+		for _, v := range stageSeconds(r.Stages) {
+			total += v
+		}
+	}
+	// Span durations are clock subtractions, so allow float rounding.
+	const eps = 1e-12
+	if got := clock.Now(); math.Abs(got-total) > eps {
+		t.Fatalf("clock = %v, want %v", got, total)
+	}
+
+	s := reg.Snapshot()
+	hv, ok := s.Histogram("breakdown.Summit.base.cpu.seconds")
+	if !ok || hv.Count != 1 || math.Abs(hv.Sum-0.020) > eps {
+		t.Fatalf("base cpu span = %+v, want count 1 sum 0.020", hv)
+	}
+	if v := s.Counter("breakdown.Summit.gpu-plugin.gpu_decode.spans"); v != 1 {
+		t.Fatalf("gpu_decode spans = %d, want 1", v)
+	}
+	if gv := s.Gauge("breakdown.Summit.gpu-plugin.node_rate"); gv.Value != 480 {
+		t.Fatalf("node_rate = %v, want 480", gv.Value)
+	}
+}
+
+// TestRenderBreakdownMatchesFormat pins the metrics-backed renderer to the
+// original direct formatter: the table is a view over the registry, and the
+// two paths must agree byte for byte.
+func TestRenderBreakdownMatchesFormat(t *testing.T) {
+	rows := replayRows()
+	reg := obs.NewRegistry()
+	ReplayBreakdown(reg, rows)
+
+	want := FormatBreakdown("TITLE", rows)
+	got := RenderBreakdown("TITLE", rows, reg.Snapshot())
+	if got != want {
+		t.Fatalf("render mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

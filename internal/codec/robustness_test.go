@@ -35,37 +35,40 @@ func tryOpenDecode(f codec.Format, blob []byte) (err error) {
 	return err
 }
 
-func validBlobs(t *testing.T) map[string][]byte {
-	t.Helper()
+// buildValidBlobs returns one valid encoded blob per registered format
+// name. It deliberately avoids *testing.T so the fuzz targets can reuse it
+// as their seed corpus; the same blob serves every format that shares an
+// encoding (deltafp/deltafp-hwc, cosmo-lut/cosmo-lut-unfused).
+func buildValidBlobs() (map[string][]byte, error) {
 	climCfg := synthetic.DefaultClimateConfig()
 	climCfg.Channels = 2
 	climCfg.Height = 16
 	climCfg.Width = 48
 	clim, err := core.BuildClimateDataset(climCfg, 1, core.Plugin)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	climRaw, err := core.BuildClimateDataset(climCfg, 1, core.Baseline)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	climGz, err := core.BuildClimateDataset(climCfg, 1, core.Gzip)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	cosmoCfg := synthetic.DefaultCosmoConfig()
 	cosmoCfg.Dim = 16
 	cosmo, err := core.BuildCosmoDataset(cosmoCfg, 1, core.Plugin)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	cosmoRaw, err := core.BuildCosmoDataset(cosmoCfg, 1, core.Baseline)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	cosmoGz, err := core.BuildCosmoDataset(cosmoCfg, 1, core.Gzip)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	// zfpc comparator blobs: a smooth 2D field and a small 3D volume.
 	r := xrand.New(4242)
@@ -75,7 +78,7 @@ func validBlobs(t *testing.T) map[string][]byte {
 	}
 	z2d, err := zfpc.Encode(field, 16, 48, zfpc.Options{})
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	vol := make([]float32, 8*8*8)
 	for i := range vol {
@@ -83,45 +86,65 @@ func validBlobs(t *testing.T) map[string][]byte {
 	}
 	z3d, err := zfpc.Encode3D(vol, 8, zfpc.Options{})
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	return map[string][]byte{
-		"deltafp":          clim.Blobs[0],
-		"raw-deepcam":      climRaw.Blobs[0],
-		"gzip+raw-deepcam": climGz.Blobs[0],
-		"cosmo-lut":        cosmo.Blobs[0],
-		"raw-cosmo":        cosmoRaw.Blobs[0],
-		"gzip+raw-cosmo":   cosmoGz.Blobs[0],
-		"zfpc2d":           z2d,
-		"zfpc3d":           z3d,
+		"deltafp":           clim.Blobs[0],
+		"deltafp-hwc":       clim.Blobs[0],
+		"raw-deepcam":       climRaw.Blobs[0],
+		"gzip+raw-deepcam":  climGz.Blobs[0],
+		"cosmo-lut":         cosmo.Blobs[0],
+		"cosmo-lut-unfused": cosmo.Blobs[0],
+		"raw-cosmo":         cosmoRaw.Blobs[0],
+		"gzip+raw-cosmo":    cosmoGz.Blobs[0],
+		"zfpc2d":            z2d,
+		"zfpc3d":            z3d,
+	}, nil
+}
+
+func validBlobs(t *testing.T) map[string][]byte {
+	t.Helper()
+	m, err := buildValidBlobs()
+	if err != nil {
+		t.Fatal(err)
 	}
+	return m
+}
+
+// formatByName resolves a format through its public constructor where one
+// exists (exercising the constructors as well as the registry) and falls
+// back to the registry for the rest. Shared with the fuzz targets, so no
+// *testing.T.
+func formatByName(name string) (codec.Format, error) {
+	switch name {
+	case "deltafp":
+		return deltafp.Format(), nil
+	case "deltafp-hwc":
+		return deltafp.FormatHWC(), nil
+	case "raw-deepcam":
+		return rawfmt.DeepCAM(), nil
+	case "gzip+raw-deepcam":
+		return gzipc.Wrap(rawfmt.DeepCAM()), nil
+	case "cosmo-lut":
+		return lut.Format(), nil
+	case "cosmo-lut-unfused":
+		return lut.FormatWithOp(lut.OpLog1p, false), nil
+	case "raw-cosmo":
+		return rawfmt.Cosmo(), nil
+	case "gzip+raw-cosmo":
+		return gzipc.Wrap(rawfmt.Cosmo()), nil
+	}
+	// zfpc registers through the codec registry (package init).
+	return codec.Lookup(name)
 }
 
 func formatFor(t *testing.T, name string) codec.Format {
 	t.Helper()
-	switch name {
-	case "deltafp":
-		return deltafp.Format()
-	case "raw-deepcam":
-		return rawfmt.DeepCAM()
-	case "gzip+raw-deepcam":
-		return gzipc.Wrap(rawfmt.DeepCAM())
-	case "cosmo-lut":
-		return lut.Format()
-	case "raw-cosmo":
-		return rawfmt.Cosmo()
-	case "gzip+raw-cosmo":
-		return gzipc.Wrap(rawfmt.Cosmo())
-	case "zfpc2d", "zfpc3d":
-		// zfpc registers through the codec registry (package init).
-		f, err := codec.Lookup(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return f
+	f, err := formatByName(name)
+	if err != nil {
+		t.Fatal(err)
 	}
-	t.Fatalf("unknown format %s", name)
-	return nil
+	return f
 }
 
 func TestValidBlobsDecode(t *testing.T) {

@@ -1,0 +1,52 @@
+package obs_test
+
+import (
+	"testing"
+
+	"scipp/internal/obs"
+)
+
+// BenchmarkNoopRegistry guards the disabled-path contract: with no registry
+// configured, an instrument call must cost a single nil check (budget
+// 2 ns/op per call). This is what lets the pipeline keep its instrumentation
+// call sites unconditional.
+func BenchmarkNoopRegistry(b *testing.B) {
+	var r *obs.Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", nil)
+	tr := obs.NewTracer(r, nil)
+	b.Run("counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("gauge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Set(1)
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(1)
+		}
+	})
+	b.Run("span", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Start("stage").End()
+		}
+	})
+}
+
+// BenchmarkEnabledCounter is the enabled-path reference point: one atomic add.
+func BenchmarkEnabledCounter(b *testing.B) {
+	c := obs.NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Text renders the snapshot as aligned, deterministic rows — counters,
+// gauges, then histograms, each sorted by name. The layout is stable and
+// golden-testable: same snapshot, same bytes.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("COUNTERS\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "  %-44s %12d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("GAUGES\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "  %-44s %12.3f  max %.3f\n", g.Name, g.Value, g.Max)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("HISTOGRAMS\n")
+		for _, h := range s.Histograms {
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Fprintf(&b, "  %-44s count %8d  sum %12.6f  mean %12.6f\n",
+				h.Name, h.Count, h.Sum, mean)
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON. Field order follows the struct
+// definitions and every section is name-sorted, so the bytes are
+// deterministic.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

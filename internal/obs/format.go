@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"errors"
+
+	"scipp/internal/codec"
+	"scipp/internal/fault"
+	"scipp/internal/tensor"
+	"scipp/internal/trace"
+)
+
+// ErrorKind classifies an error for metrics: transient errors (retryable,
+// errors.Is(err, fault.Transient)) versus permanent ones. The split mirrors
+// the loader's resilience policy, so retry metrics reconcile against error
+// metrics exactly.
+func ErrorKind(err error) string {
+	if errors.Is(err, fault.Transient) {
+		return "transient"
+	}
+	return "permanent"
+}
+
+// InstrumentFormat wraps f so that every Open and chunk decode is metered
+// into reg on clock, under the metric prefix "codec.<name>.":
+//
+//	codec.<name>.open.seconds      histogram  Open latency
+//	codec.<name>.open.spans        counter    Open calls
+//	codec.<name>.bytes_in          counter    encoded bytes opened
+//	codec.<name>.bytes_out         counter    decoded bytes (Workload.BytesOut)
+//	codec.<name>.decode.seconds    histogram  per-chunk decode latency
+//	codec.<name>.decode.chunks     counter    chunks decoded
+//	codec.<name>.errors.open.*     counter    Open failures by ErrorKind
+//	codec.<name>.errors.decode.*   counter    DecodeChunk failures by ErrorKind
+//
+// Name() passes through unchanged, so the wrapper drops into any Format
+// site without altering behavior. With a nil reg or clock, f is returned
+// untouched — the disabled path adds zero wrapping.
+func InstrumentFormat(f codec.Format, reg *Registry, clock trace.Clock) codec.Format {
+	if f == nil || reg == nil || clock == nil {
+		return f
+	}
+	prefix := "codec." + f.Name() + "."
+	return &instrumentedFormat{
+		inner:       f,
+		clock:       clock,
+		reg:         reg,
+		openSecs:    reg.Histogram(prefix+"open.seconds", DurationBuckets()),
+		openSpans:   reg.Counter(prefix + "open.spans"),
+		bytesIn:     reg.Counter(prefix + "bytes_in"),
+		bytesOut:    reg.Counter(prefix + "bytes_out"),
+		decodeSecs:  reg.Histogram(prefix+"decode.seconds", DurationBuckets()),
+		chunks:      reg.Counter(prefix + "decode.chunks"),
+		errOpenPerm: reg.Counter(prefix + "errors.open.permanent"),
+		errOpenTran: reg.Counter(prefix + "errors.open.transient"),
+		errDecPerm:  reg.Counter(prefix + "errors.decode.permanent"),
+		errDecTran:  reg.Counter(prefix + "errors.decode.transient"),
+	}
+}
+
+type instrumentedFormat struct {
+	inner codec.Format
+	clock trace.Clock
+	reg   *Registry
+
+	openSecs   *Histogram
+	openSpans  *Counter
+	bytesIn    *Counter
+	bytesOut   *Counter
+	decodeSecs *Histogram
+	chunks     *Counter
+
+	errOpenPerm, errOpenTran *Counter
+	errDecPerm, errDecTran   *Counter
+}
+
+// Name implements codec.Format, passing the inner name through.
+func (f *instrumentedFormat) Name() string { return f.inner.Name() }
+
+// Open implements codec.Format.
+func (f *instrumentedFormat) Open(blob []byte) (codec.ChunkDecoder, error) {
+	t0 := f.clock.Now()
+	cd, err := f.inner.Open(blob)
+	f.openSecs.Observe(f.clock.Now() - t0)
+	f.openSpans.Inc()
+	f.bytesIn.Add(int64(len(blob)))
+	if err != nil {
+		if ErrorKind(err) == "transient" {
+			f.errOpenTran.Inc()
+		} else {
+			f.errOpenPerm.Inc()
+		}
+		return nil, err
+	}
+	f.bytesOut.Add(int64(cd.Workload().BytesOut))
+	return &instrumentedDecoder{ChunkDecoder: cd, f: f}, nil
+}
+
+// instrumentedDecoder meters per-chunk decode latency and errors, delegating
+// everything else to the wrapped decoder.
+type instrumentedDecoder struct {
+	codec.ChunkDecoder
+	f *instrumentedFormat
+}
+
+// DecodeChunk implements codec.ChunkDecoder.
+func (d *instrumentedDecoder) DecodeChunk(chunk int, dst *tensor.Tensor) error {
+	t0 := d.f.clock.Now()
+	err := d.ChunkDecoder.DecodeChunk(chunk, dst)
+	d.f.decodeSecs.Observe(d.f.clock.Now() - t0)
+	d.f.chunks.Inc()
+	if err != nil {
+		if ErrorKind(err) == "transient" {
+			d.f.errDecTran.Inc()
+		} else {
+			d.f.errDecPerm.Inc()
+		}
+	}
+	return err
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"scipp/internal/trace"
+)
+
+// Tracer emits per-stage spans: each completed span records one observation
+// into the stage's duration histogram ("<stage>.seconds") and bumps the
+// stage's span counter ("<stage>.spans") in the backing registry. Durations
+// come from the tracer's trace.Clock, so a trace.VirtualClock makes every
+// recorded duration exact. A nil *Tracer (the disabled path) starts and ends
+// spans for the cost of a nil check.
+type Tracer struct {
+	reg      *Registry
+	clock    trace.Clock
+	timeline *trace.Timeline
+	resource string
+}
+
+// NewTracer returns a tracer recording into reg on clock. A nil reg or nil
+// clock yields a nil (disabled) tracer.
+func NewTracer(reg *Registry, clock trace.Clock) *Tracer {
+	if reg == nil || clock == nil {
+		return nil
+	}
+	return &Tracer{reg: reg, clock: clock}
+}
+
+// WithTimeline returns a copy of the tracer that also mirrors every span
+// onto tl as a trace.Event on the given resource, bridging the metrics layer
+// to the existing timeline breakdowns. No-op on a nil receiver.
+func (t *Tracer) WithTimeline(tl *trace.Timeline, resource string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	c.timeline = tl
+	c.resource = resource
+	return &c
+}
+
+// Clock returns the tracer's clock, or nil on a nil receiver.
+func (t *Tracer) Clock() trace.Clock {
+	if t == nil {
+		return nil
+	}
+	return t.clock
+}
+
+// Span is one in-flight stage activity. The zero Span (from a nil tracer)
+// ends as a no-op.
+type Span struct {
+	t     *Tracer
+	stage string
+	start float64
+}
+
+// Start opens a span for the named stage. On a nil tracer it returns the
+// zero Span without touching any clock.
+func (t *Tracer) Start(stage string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, stage: stage, start: t.clock.Now()}
+}
+
+// End closes the span, recording its duration. Safe on the zero Span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := s.t.clock.Now()
+	s.t.reg.Histogram(s.stage+".seconds", DurationBuckets()).Observe(end - s.start)
+	s.t.reg.Counter(s.stage + ".spans").Inc()
+	if s.t.timeline != nil {
+		s.t.timeline.Add(s.t.resource, s.stage, s.start, end)
+	}
+}

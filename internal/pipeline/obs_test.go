@@ -1,0 +1,242 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"scipp/internal/fault"
+	"scipp/internal/obs"
+	"scipp/internal/tensor"
+	"scipp/internal/trace"
+)
+
+// TestObsInstrumentedEpoch runs one clean epoch with a registry attached and
+// checks the stage spans and sample accounting line up with the schedule.
+func TestObsInstrumentedEpoch(t *testing.T) {
+	const n = 6
+	reg := obs.NewRegistry()
+	clock := &trace.VirtualClock{}
+	augmented := 0
+	var mu sync.Mutex
+	l, err := New(testDataset(n), Config{
+		Format: countFormat{},
+		Batch:  2,
+		Clock:  clock,
+		Obs:    reg,
+		Augment: func(x *tensor.Tensor) (*tensor.Tensor, error) {
+			mu.Lock()
+			augmented++
+			mu.Unlock()
+			return x, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Epoch(0)
+	defer it.Close()
+	got, err := it.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("drained %d samples, want %d", got, n)
+	}
+	if augmented != n {
+		t.Fatalf("augment ran %d times, want %d", augmented, n)
+	}
+
+	s := reg.Snapshot()
+	if v := s.Counter("pipeline.samples.decoded"); v != n {
+		t.Fatalf("samples.decoded = %d, want %d", v, n)
+	}
+	if v := s.Counter("pipeline.batches"); v != n/2 {
+		t.Fatalf("batches = %d, want %d", v, n/2)
+	}
+	for _, stage := range []string{"pipeline.read", "pipeline.decode.cpu", "pipeline.augment"} {
+		if v := s.Counter(stage + ".spans"); v != n {
+			t.Fatalf("%s.spans = %d, want %d", stage, v, n)
+		}
+		if hv, ok := s.Histogram(stage + ".seconds"); !ok || hv.Count != n {
+			t.Fatalf("%s.seconds count = %d, want %d", stage, hv.Count, n)
+		}
+	}
+	// One prefetch wait per consumed slot, plus at least the final wait that
+	// observes the closed slot channel.
+	if v := s.Counter("pipeline.prefetch_wait.spans"); v < n {
+		t.Fatalf("prefetch_wait.spans = %d, want >= %d", v, n)
+	}
+	if gv := s.Gauge("pipeline.queue_depth"); gv.Max > float64(l.cfg.withDefaults().Prefetch) {
+		t.Fatalf("queue_depth max %v exceeds prefetch bound", gv.Max)
+	}
+	// No faults were injected: error counters must not exist or be zero.
+	if s.Counter("pipeline.errors.transient")+s.Counter("pipeline.errors.permanent") != 0 {
+		t.Fatalf("error counters non-zero on a clean epoch: %s", s.Text())
+	}
+}
+
+// TestObsDisabledEpochUnchanged runs the same epoch with no registry: the
+// zero-value path must deliver identical batches and record nothing.
+func TestObsDisabledEpochUnchanged(t *testing.T) {
+	l, err := New(testDataset(5), Config{Format: countFormat{}, Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Epoch(0)
+	defer it.Close()
+	if got, err := it.Drain(); err != nil || got != 5 {
+		t.Fatalf("drain = %d, %v; want 5, nil", got, err)
+	}
+}
+
+// TestObsConcurrentNext hammers one instrumented iterator from many callers
+// while the prefetch workers write the same registry. Run under -race. The
+// totals must still be exact.
+func TestObsConcurrentNext(t *testing.T) {
+	const samples = 64
+	reg := obs.NewRegistry()
+	clock := &trace.VirtualClock{}
+	l, err := New(testDataset(samples), Config{
+		Format:   countFormat{},
+		Batch:    3,
+		Prefetch: 4,
+		Clock:    clock,
+		Obs:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Epoch(0)
+	defer it.Close()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	var delivered sync.Map
+	errs := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b, err := it.Next()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if b == nil {
+					return
+				}
+				for _, i := range b.Indices {
+					delivered.Store(i, true)
+				}
+				// Snapshots race against the prefetch writers.
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	if v := s.Counter("pipeline.samples.decoded"); v != samples {
+		t.Fatalf("samples.decoded = %d, want %d", v, samples)
+	}
+	if v := s.Counter("pipeline.read.spans"); v != samples {
+		t.Fatalf("read.spans = %d, want %d", v, samples)
+	}
+	count := 0
+	delivered.Range(func(_, _ any) bool { count++; return true })
+	if count != samples {
+		t.Fatalf("delivered %d distinct samples, want %d", count, samples)
+	}
+}
+
+// TestObsReconciliation drives a seeded fault mix through an instrumented
+// iterator on a virtual clock and requires three independent accountings to
+// agree exactly: the obs registry, Iterator.Stats, and the fault injector's
+// log. Transient faults recover within the retry budget, Lost samples are
+// skipped under quota, and Latency stalls advance only the virtual clock.
+func TestObsReconciliation(t *testing.T) {
+	const (
+		n          = 40
+		seed       = 11
+		latencySec = 0.25
+	)
+	clock := &trace.VirtualClock{}
+	inj := fault.Wrap(testDataset(n), fault.Config{
+		Seed:              seed,
+		Transient:         0.15,
+		Lost:              0.10,
+		Latency:           0.15,
+		TransientFailures: 2,
+		LatencySeconds:    latencySec,
+		Clock:             clock,
+	})
+	reg := obs.NewRegistry()
+	l, err := New(inj, Config{
+		Format: countFormat{},
+		Batch:  4,
+		Clock:  clock,
+		Obs:    reg,
+		Resilience: Resilience{
+			MaxRetries:    2, // == TransientFailures: transients always recover
+			MaxBadSamples: n, // quota never exceeded: Lost samples all skip
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Epoch(0)
+	defer it.Close()
+	decoded, err := it.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sum := inj.Summary()
+	transientEvents, transientSamples := sum.Of(fault.TransientIO)
+	lostEvents, lostSamples := sum.Of(fault.Lost)
+	latencyEvents, _ := sum.Of(fault.Latency)
+	// The seed must actually exercise every mode under test.
+	if transientEvents == 0 || lostEvents == 0 || latencyEvents == 0 {
+		t.Fatalf("seed %d produced no faults of some kind: %+v", seed, sum)
+	}
+	// A transient sample fails exactly TransientFailures accesses before
+	// recovering, so events = 2 * samples; a lost sample fails its single
+	// (unretried) access, so events = samples.
+	if transientEvents != 2*transientSamples {
+		t.Fatalf("transient events %d != 2 * %d samples", transientEvents, transientSamples)
+	}
+	if lostEvents != lostSamples {
+		t.Fatalf("lost events %d != %d samples", lostEvents, lostSamples)
+	}
+
+	st := it.Stats()
+	s := reg.Snapshot()
+	check := func(what string, got, want int64) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %d, want %d\n%s", what, got, want, s.Text())
+		}
+	}
+	// Registry vs. Stats vs. injector log, all exact.
+	check("drained", int64(decoded), int64(n-lostSamples))
+	check("stats.Decoded", int64(st.Decoded), int64(decoded))
+	check("samples.decoded", s.Counter("pipeline.samples.decoded"), int64(st.Decoded))
+	check("stats.Retried", int64(st.Retried), int64(transientEvents))
+	check("pipeline.retries", s.Counter("pipeline.retries"), int64(st.Retried))
+	check("errors.transient", s.Counter("pipeline.errors.transient"), int64(transientEvents))
+	check("stats.Skipped", int64(st.Skipped), int64(lostSamples))
+	check("samples.skipped", s.Counter("pipeline.samples.skipped"), int64(st.Skipped))
+	check("samples.bad", s.Counter("pipeline.samples.bad"), int64(len(st.BadSamples)))
+	check("errors.permanent", s.Counter("pipeline.errors.permanent"), int64(lostEvents))
+	check("batches", s.Counter("pipeline.batches"), int64((decoded+3)/4))
+	// Latency stalls are the only thing that advances the virtual clock
+	// (backoff is zero), so total virtual time is exact.
+	if got, want := clock.Now(), float64(latencyEvents)*latencySec; got != want {
+		t.Errorf("virtual clock = %v, want %v (%d latency stalls)", got, want, latencyEvents)
+	}
+}

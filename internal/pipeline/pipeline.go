@@ -13,6 +13,7 @@ import (
 
 	"scipp/internal/codec"
 	"scipp/internal/gpusim"
+	"scipp/internal/obs"
 	"scipp/internal/tensor"
 	"scipp/internal/trace"
 	"scipp/internal/xrand"
@@ -104,13 +105,27 @@ type Config struct {
 	// errors and the per-epoch bad-sample skip quota. The zero value keeps
 	// strict semantics (first bad sample fails the epoch).
 	Resilience Resilience
+	// Augment, when non-nil, runs on every decoded sample tensor before
+	// batch assembly — the per-sample augmentation stage of the reference
+	// pipelines. It executes on the prefetch workers, overlapped like
+	// decode. Errors fail the sample exactly like decode errors.
+	Augment func(*tensor.Tensor) (*tensor.Tensor, error)
 	// Trace, when non-nil, receives one event per decoded sample (resource
 	// "loader", tag "decode-cpu"/"decode-gpu"), for profiling the real
 	// pipeline.
 	Trace *trace.Timeline
-	// Clock timestamps Trace events. Defaults to a wall clock anchored at
-	// iterator creation; supply a trace.VirtualClock for reproducible traces.
+	// Clock timestamps Trace events and observability spans. Defaults to a
+	// wall clock anchored at iterator creation; supply a trace.VirtualClock
+	// for reproducible traces.
 	Clock trace.Clock
+	// Obs, when non-nil, receives the iterator's stage spans and metrics:
+	// per-stage duration histograms (pipeline.read / pipeline.decode.cpu /
+	// pipeline.decode.gpu / pipeline.augment / pipeline.prefetch_wait, all
+	// ".seconds"), sample accounting counters (pipeline.samples.*,
+	// pipeline.retries, pipeline.batches, pipeline.errors.*) and the
+	// pipeline.queue_depth gauge. Nil keeps the hot path uninstrumented at
+	// the cost of one nil check per site.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -195,9 +210,53 @@ func (l *Loader) Epoch(epoch int) *Iterator {
 		slots:  make(chan chan decoded, l.cfg.Prefetch),
 		stop:   make(chan struct{}),
 		clock:  clock,
+		ob:     newIterObs(l.cfg.Obs, clock),
 	}
 	go it.produce()
 	return it
+}
+
+// iterObs bundles the iterator's observability handles. The zero value (no
+// registry) leaves every handle nil, so each instrumentation site costs one
+// nil check.
+type iterObs struct {
+	tr                         *obs.Tracer
+	decoded, skipped, bad      *obs.Counter
+	retried, batches           *obs.Counter
+	errTransient, errPermanent *obs.Counter
+	queueDepth                 *obs.Gauge
+}
+
+func newIterObs(reg *obs.Registry, clock trace.Clock) iterObs {
+	if reg == nil {
+		return iterObs{}
+	}
+	return iterObs{
+		tr:           obs.NewTracer(reg, clock),
+		decoded:      reg.Counter("pipeline.samples.decoded"),
+		skipped:      reg.Counter("pipeline.samples.skipped"),
+		bad:          reg.Counter("pipeline.samples.bad"),
+		retried:      reg.Counter("pipeline.retries"),
+		batches:      reg.Counter("pipeline.batches"),
+		errTransient: reg.Counter("pipeline.errors.transient"),
+		errPermanent: reg.Counter("pipeline.errors.permanent"),
+		queueDepth:   reg.Gauge("pipeline.queue_depth"),
+	}
+}
+
+// noteError classifies one failed sample attempt into the error-kind
+// counters. Each attempt counts once, so under a retry policy the transient
+// count equals the number of retryable failures observed, reconciling
+// exactly with the fault injector's log.
+func (ob iterObs) noteError(err error) {
+	if ob.tr == nil {
+		return
+	}
+	if obs.ErrorKind(err) == "transient" {
+		ob.errTransient.Inc()
+	} else {
+		ob.errPermanent.Inc()
+	}
 }
 
 // Iterator yields batches of one epoch in schedule order. Next is safe for
@@ -209,6 +268,7 @@ type Iterator struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	clock    trace.Clock
+	ob       iterObs
 
 	mu  sync.Mutex // serializes batch assembly and pos
 	pos int
@@ -235,13 +295,28 @@ func (it *Iterator) produce() {
 	}
 }
 
+// decodeOne runs one sample attempt and accounts any failure into the
+// error-kind metrics.
 func (it *Iterator) decodeOne(i int) decoded {
+	d := it.decodeSample(i)
+	if d.err != nil {
+		it.ob.noteError(d.err)
+	}
+	return d
+}
+
+// decodeSample is one read → open → decode → augment attempt for sample i,
+// with a stage span around each phase.
+func (it *Iterator) decodeSample(i int) decoded {
 	l := it.loader
+	rsp := it.ob.tr.Start("pipeline.read")
 	blob, err := l.ds.Blob(i)
 	if err != nil {
+		rsp.End()
 		return decoded{index: i, err: err}
 	}
 	label, err := l.ds.Label(i)
+	rsp.End()
 	if err != nil {
 		return decoded{index: i, err: err}
 	}
@@ -250,6 +325,7 @@ func (it *Iterator) decodeOne(i int) decoded {
 		return decoded{index: i, err: err}
 	}
 	var data *tensor.Tensor
+	dsp := it.ob.tr.Start("pipeline.decode." + l.cfg.Plugin.String())
 	t0 := it.clock.Now()
 	switch l.cfg.Plugin {
 	case GPUPlugin:
@@ -257,11 +333,20 @@ func (it *Iterator) decodeOne(i int) decoded {
 	default:
 		data, err = codec.DecodeParallel(cd, l.cfg.CPUWorkers)
 	}
+	dsp.End()
 	if err != nil {
 		return decoded{index: i, err: err}
 	}
 	if l.cfg.Trace != nil {
 		l.cfg.Trace.Add("loader", "decode-"+l.cfg.Plugin.String(), t0, it.clock.Now())
+	}
+	if l.cfg.Augment != nil {
+		asp := it.ob.tr.Start("pipeline.augment")
+		data, err = l.cfg.Augment(data)
+		asp.End()
+		if err != nil {
+			return decoded{index: i, err: err}
+		}
 	}
 	return decoded{index: i, data: data, label: label}
 }
@@ -281,11 +366,15 @@ func (it *Iterator) Next() (*Batch, error) {
 	pol := it.loader.cfg.Resilience
 	want := it.loader.cfg.Batch
 	for len(b.Data) < want {
+		it.ob.queueDepth.Set(float64(len(it.slots)))
+		wsp := it.ob.tr.Start("pipeline.prefetch_wait")
 		slot, ok := <-it.slots
 		if !ok {
+			wsp.End()
 			break
 		}
 		d := <-slot
+		wsp.End()
 		if d.err != nil {
 			se := asSampleError(d.err, d.index)
 			if it.recordBad(se, pol.MaxBadSamples) {
@@ -310,6 +399,7 @@ func (it *Iterator) Next() (*Batch, error) {
 	if len(b.Data) < want && it.loader.cfg.DropLast {
 		return nil, nil
 	}
+	it.ob.batches.Inc()
 	return b, nil
 }
 

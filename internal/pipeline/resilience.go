@@ -131,18 +131,21 @@ func (it *Iterator) noteDecoded() {
 	it.statsMu.Lock()
 	it.stats.Decoded++
 	it.statsMu.Unlock()
+	it.ob.decoded.Inc()
 }
 
 func (it *Iterator) noteRetried() {
 	it.statsMu.Lock()
 	it.stats.Retried++
 	it.statsMu.Unlock()
+	it.ob.retried.Inc()
 }
 
 // recordBad logs a failed sample and reports whether the epoch may continue:
 // true means the sample was skipped within the MaxBadSamples quota; false
 // means the failure is epoch-fatal (no quota, or quota exceeded).
 func (it *Iterator) recordBad(se *SampleError, quota int) bool {
+	it.ob.bad.Inc()
 	it.statsMu.Lock()
 	defer it.statsMu.Unlock()
 	it.stats.BadSamples = append(it.stats.BadSamples, se.Index)
@@ -151,6 +154,7 @@ func (it *Iterator) recordBad(se *SampleError, quota int) bool {
 	}
 	if quota > 0 && len(it.stats.BadSamples) <= quota {
 		it.stats.Skipped++
+		it.ob.skipped.Inc()
 		return true
 	}
 	return false

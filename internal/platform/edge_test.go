@@ -1,0 +1,141 @@
+package platform
+
+// Table-driven edge cases for the platform model: the pageable-bandwidth
+// interpolation at and around its knees, degenerate transfer sizes, the
+// memory-budget arithmetic, and ByName resolution including unknown and
+// case-mismatched names.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPageableGBsEdgeCases(t *testing.T) {
+	l := Link{Kind: PCIeGen3, PeakGBs: 12, PageLoGB: 4, PageHiGB: 8, ShareGroup: 4}
+	for _, tc := range []struct {
+		name  string
+		bytes int
+		want  float64
+	}{
+		{"zero", 0, 4},
+		{"negative", -1, 4},
+		{"one-byte", 1, 4},
+		{"at-low-knee", PageLoBytes, 4},
+		{"at-high-knee", PageHiBytes, 8},
+		{"above-high-knee", PageHiBytes * 16, 8},
+		{"geometric-midpoint", 16 << 20, 6}, // log-interpolation: halfway in log space
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := l.PageableGBs(tc.bytes)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("PageableGBs(%d) = %v, want %v", tc.bytes, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPageableGBsMonotone(t *testing.T) {
+	// Between the knees the interpolation must be monotonically
+	// non-decreasing when PageHiGB >= PageLoGB and stay inside the bounds.
+	l := Link{PageLoGB: 4, PageHiGB: 8}
+	prev := l.PageableGBs(PageLoBytes)
+	for b := PageLoBytes; b <= PageHiBytes; b += 1 << 20 {
+		got := l.PageableGBs(b)
+		if got < prev-1e-12 {
+			t.Fatalf("bandwidth decreased at %d bytes: %v < %v", b, got, prev)
+		}
+		if got < 4-1e-12 || got > 8+1e-12 {
+			t.Fatalf("bandwidth %v outside [PageLoGB, PageHiGB] at %d bytes", got, b)
+		}
+		prev = got
+	}
+}
+
+func TestPageableGBsFlatLink(t *testing.T) {
+	// Equal knees: interpolation must return the constant, not NaN.
+	l := Link{PageLoGB: 6, PageHiGB: 6}
+	for _, b := range []int{0, PageLoBytes, 16 << 20, PageHiBytes, PageHiBytes * 2} {
+		if got := l.PageableGBs(b); got != 6 {
+			t.Fatalf("flat link PageableGBs(%d) = %v, want 6", b, got)
+		}
+	}
+}
+
+func TestMemBudgetEdgeCases(t *testing.T) {
+	budget := func(gb int) int64 { return int64(float64(gb) * 0.60 * float64(1<<30)) }
+	for _, tc := range []struct {
+		name      string
+		hostMemGB int
+	}{
+		{"zero-memory", 0},
+		{"one-gb", 1},
+		{"summit-512gb", 512},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Platform{HostMemGB: tc.hostMemGB}
+			if got, want := p.MemBudgetBytes(), budget(tc.hostMemGB); got != want {
+				t.Fatalf("MemBudgetBytes() = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestByNameEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		arg    string
+		wantOK bool
+	}{
+		{"summit", "Summit", true},
+		{"cori-v100", "Cori-V100", true},
+		{"cori-a100", "Cori-A100", true},
+		{"empty", "", false},
+		{"unknown", "Perlmutter", false},
+		{"case-mismatch", "summit", false},
+		{"whitespace", " Summit", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := ByName(tc.arg)
+			if tc.wantOK {
+				if err != nil {
+					t.Fatalf("ByName(%q) error: %v", tc.arg, err)
+				}
+				if p.Name != tc.arg {
+					t.Fatalf("ByName(%q).Name = %q", tc.arg, p.Name)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ByName(%q) = %q, want error", tc.arg, p.Name)
+			}
+		})
+	}
+}
+
+func TestAllPlatformsWellFormed(t *testing.T) {
+	// Invariants every modeled platform must satisfy; a typo in a Table I
+	// constant (zero bandwidth, inverted knees) breaks simulators far from
+	// the definition, so pin it here.
+	for _, p := range All() {
+		if p.Name == "" || p.GPUsPerNode <= 0 || p.HostMemGB <= 0 {
+			t.Errorf("%q: incomplete platform %+v", p.Name, p)
+		}
+		l := p.Link
+		if l.PageLoGB <= 0 || l.PageHiGB < l.PageLoGB || l.PeakGBs < l.PageHiGB {
+			t.Errorf("%s: implausible link bandwidths %+v", p.Name, l)
+		}
+		if l.ShareGroup <= 0 {
+			t.Errorf("%s: link ShareGroup %d must be positive", p.Name, l.ShareGroup)
+		}
+		if p.CPU.Cores <= 0 || p.CPU.ParseMBs <= 0 || p.CPU.DecodeMBs <= 0 ||
+			p.CPU.GunzipMBs <= 0 || p.CPU.TransOpsPerSec <= 0 {
+			t.Errorf("%s: CPU rates must be positive: %+v", p.Name, p.CPU)
+		}
+		if p.Storage.NVMeGBs <= 0 || p.Storage.SharedGB <= 0 {
+			t.Errorf("%s: storage bandwidths must be positive: %+v", p.Name, p.Storage)
+		}
+		if p.MemBudgetBytes() >= int64(p.HostMemGB)<<30 {
+			t.Errorf("%s: memory budget %d not below host memory", p.Name, p.MemBudgetBytes())
+		}
+	}
+}

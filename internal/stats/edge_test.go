@@ -1,0 +1,195 @@
+package stats
+
+// Table-driven edge cases for the distribution helpers: empty and
+// single-element inputs, NaN and Inf values, and degenerate parameter
+// combinations. These inputs show up in practice — an epoch with zero
+// decoded samples, a codec that emits Inf on overflow — and the analysis
+// layer must stay finite and well-defined (or explicitly NaN) on them.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	inf := math.Inf(1)
+	for _, tc := range []struct {
+		name string
+		data []float64
+		want Summary
+	}{
+		{"empty", nil, Summary{}},
+		{"single", []float64{3.5}, Summary{N: 1, Min: 3.5, Max: 3.5, Mean: 3.5}},
+		{"constant", []float64{2, 2, 2, 2}, Summary{N: 4, Min: 2, Max: 2, Mean: 2}},
+		{"negatives", []float64{-1, -5}, Summary{N: 2, Min: -5, Max: -1, Mean: -3, Std: 2}},
+		{"posinf", []float64{1, inf}, Summary{N: 2, Min: 1, Max: inf, Mean: inf, Std: math.NaN()}},
+		{"neginf", []float64{-inf, 1}, Summary{N: 2, Min: -inf, Max: 1, Mean: -inf, Std: math.NaN()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Summarize(tc.data)
+			if got.N != tc.want.N {
+				t.Fatalf("N = %d, want %d", got.N, tc.want.N)
+			}
+			for _, f := range []struct {
+				name      string
+				got, want float64
+			}{
+				{"Min", got.Min, tc.want.Min},
+				{"Max", got.Max, tc.want.Max},
+				{"Mean", got.Mean, tc.want.Mean},
+				{"Std", got.Std, tc.want.Std},
+			} {
+				if f.got != f.want && !(math.IsNaN(f.got) && math.IsNaN(f.want)) {
+					t.Errorf("%s = %v, want %v", f.name, f.got, f.want)
+				}
+			}
+		})
+	}
+}
+
+func TestSummarizeNaNPropagates(t *testing.T) {
+	s := Summarize([]float64{1, math.NaN(), 3})
+	if !math.IsNaN(s.Mean) || !math.IsNaN(s.Std) {
+		t.Fatalf("NaN input must poison Mean/Std, got %+v", s)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, math.NaN()},
+		{"single-mid", []float64{7}, 0.5, 7},
+		{"single-low", []float64{7}, 0, 7},
+		{"single-high", []float64{7}, 1, 7},
+		{"p-below-zero", []float64{1, 2, 3}, -0.5, 1},
+		{"p-above-one", []float64{1, 2, 3}, 1.5, 3},
+		{"interpolated", []float64{0, 10}, 0.25, 2.5},
+		{"unsorted-input", []float64{9, 1, 5}, 0.5, 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Percentile(tc.data, tc.p)
+			if got != tc.want && !(math.IsNaN(got) && math.IsNaN(tc.want)) {
+				t.Fatalf("Percentile(%v, %v) = %v, want %v", tc.data, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		data     []float64
+		min, max float64
+		nbins    int
+		want     []int
+	}{
+		{"empty-data", nil, 0, 1, 3, []int{0, 0, 0}},
+		{"zero-bins", []float64{0.5}, 0, 1, 0, []int{}},
+		{"inverted-range", []float64{0.5}, 1, 0, 2, []int{0, 0}},
+		{"degenerate-range", []float64{0.5}, 1, 1, 2, []int{0, 0}},
+		{"clamp-low", []float64{-10}, 0, 1, 2, []int{1, 0}},
+		{"clamp-high", []float64{10}, 0, 1, 2, []int{0, 1}},
+		{"inf-clamps", []float64{math.Inf(-1), math.Inf(1)}, 0, 1, 2, []int{1, 1}},
+		{"nan-skipped", []float64{math.NaN(), 0.25}, 0, 1, 2, []int{1, 0}},
+		{"single-on-edge", []float64{1}, 0, 1, 4, []int{0, 0, 0, 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Histogram(tc.data, tc.min, tc.max, tc.nbins)
+			if len(got) != len(tc.want) {
+				t.Fatalf("len = %d, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("bin %d = %d, want %d (%v)", i, got[i], tc.want[i], got)
+				}
+			}
+		})
+	}
+}
+
+func TestFitPowerLawEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		freqs []ValueFreq
+	}{
+		{"empty", nil},
+		{"single", []ValueFreq{{Value: 1, Count: 100}}},
+		{"all-zero-counts", []ValueFreq{{Count: 0}, {Count: 0}, {Count: 0}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if fit := FitPowerLaw(tc.freqs); fit != (PowerLawFit{}) {
+				t.Fatalf("degenerate input fit = %+v, want zero fit", fit)
+			}
+		})
+	}
+	// Two equal ranks: regression is defined, slope 0, perfect flat line
+	// (up to exp/log rounding in the intercept).
+	fit := FitPowerLaw([]ValueFreq{{Count: 8}, {Count: 8}})
+	if math.Abs(fit.Alpha) > 1e-12 || math.Abs(fit.C-8) > 1e-9 {
+		t.Fatalf("flat fit = %+v, want alpha 0 C 8", fit)
+	}
+}
+
+func TestUniqueValuesEdgeCases(t *testing.T) {
+	if got := UniqueValues(nil); len(got) != 0 {
+		t.Fatalf("UniqueValues(nil) = %v, want empty", got)
+	}
+	got := UniqueValues([]float32{5})
+	if len(got) != 1 || got[0] != (ValueFreq{Value: 5, Count: 1}) {
+		t.Fatalf("single value = %v", got)
+	}
+	// NaN != NaN, so map keying on float32 NaN may split or merge bit
+	// patterns; the invariant that must hold is total count conservation.
+	nan := float32(math.NaN())
+	vals := []float32{nan, nan, 1}
+	total := 0
+	for _, vf := range UniqueValues(vals) {
+		total += vf.Count
+	}
+	if total != len(vals) {
+		t.Fatalf("NaN input lost values: counted %d of %d", total, len(vals))
+	}
+	if got := UniqueInt16(nil); got != 0 {
+		t.Fatalf("UniqueInt16(nil) = %d, want 0", got)
+	}
+	if got := UniqueInt16Freq(nil); len(got) != 0 {
+		t.Fatalf("UniqueInt16Freq(nil) = %v, want empty", got)
+	}
+}
+
+func TestRelativeErrorsEdgeCases(t *testing.T) {
+	inf := float32(math.Inf(1))
+	t.Run("single-exact", func(t *testing.T) {
+		st := RelativeErrors([]float32{2}, []float32{2}, 0.1)
+		if st.N != 1 || st.MaxRel != 0 || st.FracAbove != 0 {
+			t.Fatalf("exact single = %+v", st)
+		}
+	})
+	t.Run("inf-ref-inf-recon", func(t *testing.T) {
+		// Inf - Inf is NaN; the comparison must not report a spurious
+		// above-threshold error for a faithfully reproduced Inf.
+		st := RelativeErrors([]float32{inf}, []float32{inf}, 0.1)
+		if st.CountAboveThres != 0 {
+			t.Fatalf("identical Inf counted as error: %+v", st)
+		}
+	})
+	t.Run("nan-does-not-panic", func(t *testing.T) {
+		nan := float32(math.NaN())
+		st := RelativeErrors([]float32{nan, 1}, []float32{nan, 1}, 0.1)
+		if st.N != 2 {
+			t.Fatalf("N = %d, want 2", st.N)
+		}
+	})
+	t.Run("length-mismatch-panics", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic on length mismatch")
+			}
+		}()
+		RelativeErrors([]float32{1}, []float32{1, 2}, 0.1)
+	})
+}

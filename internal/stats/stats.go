@@ -244,7 +244,9 @@ func Percentile(data []float64, p float64) float64 {
 }
 
 // Histogram builds a fixed-width histogram of data over [min, max] with
-// nbins buckets; out-of-range values clamp into the edge buckets.
+// nbins buckets; out-of-range values (including ±Inf) clamp into the edge
+// buckets and NaN values are skipped. The clamping happens before the
+// float-to-int conversion so ±Inf cannot overflow into the wrong bucket.
 func Histogram(data []float64, min, max float64, nbins int) []int {
 	h := make([]int, nbins)
 	if max <= min || nbins == 0 {
@@ -252,12 +254,17 @@ func Histogram(data []float64, min, max float64, nbins int) []int {
 	}
 	w := (max - min) / float64(nbins)
 	for _, v := range data {
-		i := int((v - min) / w)
-		if i < 0 {
-			i = 0
+		if math.IsNaN(v) {
+			continue
 		}
-		if i >= nbins {
+		var i int
+		switch f := (v - min) / w; {
+		case f < 0:
+			i = 0
+		case f >= float64(nbins):
 			i = nbins - 1
+		default:
+			i = int(f)
 		}
 		h[i]++
 	}

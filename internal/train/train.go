@@ -10,14 +10,17 @@ import (
 	"math"
 	"sync"
 
+	"scipp/internal/codec"
 	"scipp/internal/core"
 	"scipp/internal/dist"
 	"scipp/internal/fault"
 	"scipp/internal/models"
 	"scipp/internal/nn"
+	"scipp/internal/obs"
 	"scipp/internal/pipeline"
 	"scipp/internal/synthetic"
 	"scipp/internal/tensor"
+	"scipp/internal/trace"
 )
 
 // StackData concatenates per-sample tensors into one batched FP32 tensor
@@ -131,12 +134,44 @@ type Config struct {
 	// Faults, when non-nil, wraps the training dataset in a seeded fault
 	// injector — the harness of the robustness experiments (cmd/faultbench).
 	Faults *fault.Config
+	// Obs, when non-nil, instruments the run end to end: the loader emits
+	// stage spans and sample counters, the decode format is wrapped by
+	// obs.InstrumentFormat, and the Result carries per-epoch metric deltas.
+	Obs *obs.Registry
+	// Clock drives observability spans (and loader trace events). Defaults
+	// to a wall clock; supply a trace.VirtualClock for exact, reproducible
+	// durations in tests.
+	Clock trace.Clock
+}
+
+// obsClock resolves the clock shared by the loader and the instrumented
+// format: the configured clock, or one wall clock per run when
+// instrumentation is on.
+func (c Config) obsClock() trace.Clock {
+	if c.Clock != nil || c.Obs == nil {
+		return c.Clock
+	}
+	return trace.NewWallClock()
+}
+
+// format returns the decode format for app, instrumented when Obs is set.
+func (c Config) format(app core.App, clock trace.Clock) codec.Format {
+	f := core.FormatFor(app, c.encoding())
+	if c.Obs != nil {
+		f = obs.InstrumentFormat(f, c.Obs, clock)
+	}
+	return f
 }
 
 // EpochStats is one epoch's loader error accounting within a run.
 type EpochStats struct {
 	// Decoded, Retried, Skipped mirror pipeline.Stats for the epoch.
 	Decoded, Retried, Skipped int
+	// Metrics is the epoch's observability roll-up: the delta of every
+	// counter and histogram in Config.Obs across the epoch (zero when Obs
+	// is nil). Stage second totals, codec byte counts and error counters
+	// for just this epoch read directly from it.
+	Metrics obs.Snapshot
 }
 
 // Result couples a run's loss curve with its resilience accounting, so
@@ -151,6 +186,9 @@ type Result struct {
 	// Injections is the fault injector's log (nil unless Config.Faults
 	// was set).
 	Injections []fault.Injection
+	// Metrics is the run's final registry snapshot (zero when Config.Obs
+	// is nil).
+	Metrics obs.Snapshot
 }
 
 // Skipped totals the skipped-sample count across the run's epochs.
@@ -172,10 +210,28 @@ func withFaults(ds pipeline.Dataset, cfg Config) (pipeline.Dataset, *fault.Injec
 	return inj, inj
 }
 
-// epochStats converts an iterator's accounting into an EpochStats entry.
-func epochStats(it *pipeline.Iterator) EpochStats {
+// epochRoll accumulates per-epoch EpochStats entries, attaching the metric
+// delta observed since the previous epoch boundary when a registry is wired.
+type epochRoll struct {
+	reg  *obs.Registry
+	prev obs.Snapshot
+}
+
+func newEpochRoll(reg *obs.Registry) *epochRoll {
+	return &epochRoll{reg: reg, prev: reg.Snapshot()}
+}
+
+// epoch converts an iterator's accounting into an EpochStats entry and
+// advances the roll-up boundary.
+func (er *epochRoll) epoch(it *pipeline.Iterator) EpochStats {
 	st := it.Stats()
-	return EpochStats{Decoded: st.Decoded, Retried: st.Retried, Skipped: st.Skipped}
+	es := EpochStats{Decoded: st.Decoded, Retried: st.Retried, Skipped: st.Skipped}
+	if er.reg != nil {
+		cur := er.reg.Snapshot()
+		es.Metrics = cur.Delta(er.prev)
+		er.prev = cur
+	}
+	return es
 }
 
 func (c Config) encoding() core.Encoding {
@@ -203,12 +259,15 @@ func DeepCAMRun(climCfg synthetic.ClimateConfig, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	ds, inj := withFaults(built, cfg)
+	clock := cfg.obsClock()
 	loader, err := pipeline.New(ds, pipeline.Config{
-		Format:     core.FormatFor(core.DeepCAM, cfg.encoding()),
+		Format:     cfg.format(core.DeepCAM, clock),
 		Batch:      cfg.Batch,
 		Shuffle:    true,
 		Seed:       cfg.Seed,
 		Resilience: cfg.Resilience,
+		Clock:      clock,
+		Obs:        cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -222,6 +281,7 @@ func DeepCAMRun(climCfg synthetic.ClimateConfig, cfg Config) (*Result, error) {
 	sched := nn.WarmupSchedule{Base: cfg.LR, WarmupSteps: cfg.Warmup}
 
 	res := &Result{}
+	roll := newEpochRoll(cfg.Obs)
 	step := 0
 	for epoch := 0; step < cfg.Steps; epoch++ {
 		it := loader.Epoch(epoch)
@@ -255,7 +315,7 @@ func DeepCAMRun(climCfg synthetic.ClimateConfig, cfg Config) (*Result, error) {
 			res.Losses = append(res.Losses, loss)
 			step++
 		}
-		res.Epochs = append(res.Epochs, epochStats(it))
+		res.Epochs = append(res.Epochs, roll.epoch(it))
 		it.Close()
 		if step == epochStart {
 			// Every sample skipped (or the dataset is empty): without this
@@ -265,6 +325,9 @@ func DeepCAMRun(climCfg synthetic.ClimateConfig, cfg Config) (*Result, error) {
 	}
 	if inj != nil {
 		res.Injections = inj.Log()
+	}
+	if cfg.Obs != nil {
+		res.Metrics = cfg.Obs.Snapshot()
 	}
 	return res, nil
 }
@@ -288,12 +351,15 @@ func CosmoFlowRun(cosmoCfg synthetic.CosmoConfig, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	ds, inj := withFaults(built, cfg)
+	clock := cfg.obsClock()
 	loader, err := pipeline.New(ds, pipeline.Config{
-		Format:     core.FormatFor(core.CosmoFlow, cfg.encoding()),
+		Format:     cfg.format(core.CosmoFlow, clock),
 		Batch:      cfg.Batch,
 		Shuffle:    true,
 		Seed:       cfg.Seed,
 		Resilience: cfg.Resilience,
+		Clock:      clock,
+		Obs:        cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -307,6 +373,7 @@ func CosmoFlowRun(cosmoCfg synthetic.CosmoConfig, cfg Config) (*Result, error) {
 	sched := nn.WarmupSchedule{Base: cfg.LR, WarmupSteps: cfg.Warmup}
 
 	res := &Result{}
+	roll := newEpochRoll(cfg.Obs)
 	step := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		it := loader.Epoch(epoch)
@@ -341,7 +408,7 @@ func CosmoFlowRun(cosmoCfg synthetic.CosmoConfig, cfg Config) (*Result, error) {
 			steps++
 			step++
 		}
-		res.Epochs = append(res.Epochs, epochStats(it))
+		res.Epochs = append(res.Epochs, roll.epoch(it))
 		it.Close()
 		if steps == 0 {
 			return nil, fmt.Errorf("train: empty epoch %d", epoch)
@@ -350,6 +417,9 @@ func CosmoFlowRun(cosmoCfg synthetic.CosmoConfig, cfg Config) (*Result, error) {
 	}
 	if inj != nil {
 		res.Injections = inj.Log()
+	}
+	if cfg.Obs != nil {
+		res.Metrics = cfg.Obs.Snapshot()
 	}
 	return res, nil
 }

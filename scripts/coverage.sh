@@ -1,0 +1,34 @@
+#!/bin/sh
+# Coverage ratchet for the packages the observability PR locks down.
+#
+# scripts/coverage_baseline.txt lists "<package> <floor-percent>" pairs;
+# this script fails if any package's statement coverage drops below its
+# floor. Raise a floor when coverage improves — never lower one without a
+# written justification in the commit message.
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline=scripts/coverage_baseline.txt
+fail=0
+
+while read -r pkg floor; do
+	case "$pkg" in
+	'' | '#'*) continue ;;
+	esac
+	line=$(go test -cover "$pkg")
+	pct=$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	if [ -z "$pct" ]; then
+		echo "coverage: no coverage reported for $pkg" >&2
+		fail=1
+		continue
+	fi
+	ok=$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p + 0 >= f + 0) ? 1 : 0 }')
+	if [ "$ok" -eq 1 ]; then
+		echo "coverage: $pkg ${pct}% >= floor ${floor}%"
+	else
+		echo "coverage: $pkg ${pct}% BELOW floor ${floor}%" >&2
+		fail=1
+	fi
+done <"$baseline"
+
+exit "$fail"
