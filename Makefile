@@ -11,14 +11,16 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent subsystems (prefetcher, ring
-# allreduce, data-parallel trainer, fault injector, metrics registry).
+# allreduce, data-parallel trainer, fault injector, metrics registry,
+# checkpoint codec, chaos-training sweep).
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/dist/... ./internal/train/... ./internal/fault/... ./internal/obs/...
+	$(GO) test -race ./internal/pipeline/... ./internal/dist/... ./internal/train/... ./internal/fault/... ./internal/obs/... ./internal/nn/... ./cmd/chaostrain/...
 
 # Fault-injection and resilience suite: injector determinism, retry/backoff,
-# skip quotas, and the end-to-end faulted DeepCAM acceptance run.
+# skip quotas, the end-to-end faulted DeepCAM acceptance run, and the
+# elastic rank-failure / checkpoint-resume suite.
 fault:
-	$(GO) test -race -run 'Fault|Resilien|Retr|Backoff|Quota|SampleError|Transient|SameSeed|SameSample|Kind|FormatInjector|Summary' ./internal/fault/... ./internal/pipeline/... ./internal/train/...
+	$(GO) test -race -run 'Fault|Resilien|Retr|Backoff|Quota|SampleError|Transient|SameSeed|SameSample|Kind|FormatInjector|Summary|Elastic|Checkpoint|Rank' ./internal/fault/... ./internal/pipeline/... ./internal/train/... ./internal/dist/...
 
 # scipplint is the repo's own stdlib-only static analyzer (internal/analysis);
 # it must exit 0 on the whole module.

@@ -1,0 +1,180 @@
+// Command chaostrain sweeps elastic data-parallel training under seeded rank
+// faults: a fault-free baseline, then crash, hang, and slow-rank scenarios,
+// each reporting the surviving ring, the eviction/injection reconciliation,
+// and the final-loss delta against the clean run. It demonstrates the repo's
+// elastic fault tolerance end to end — rank failure detection by collective
+// deadline, deterministic ring rebuild, straggler flagging, and
+// epoch-boundary checkpointing — on the DeepCAM and CosmoFlow miniatures.
+//
+//	chaostrain -app cosmoflow -ranks 4 -epochs 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"scipp/internal/fault"
+	"scipp/internal/synthetic"
+	"scipp/internal/trace"
+	"scipp/internal/train"
+)
+
+type scenario struct {
+	name   string
+	faults func(ranks, stepsPerEpoch, epochs int) *fault.RankConfig
+	// timeout enables deadline-based failure detection (needed for hangs).
+	timeout float64
+	// slowFactor enables straggler flagging; off elsewhere because at
+	// millisecond step times natural jitter exceeds any sane threshold.
+	slowFactor float64
+}
+
+func scenarios(crashStep int) []scenario {
+	return []scenario{
+		{name: "clean"},
+		{
+			name: "crash",
+			faults: func(ranks, spe, epochs int) *fault.RankConfig {
+				return &fault.RankConfig{CrashAt: map[int]int{ranks - 1: crashStep}}
+			},
+		},
+		{
+			name: "hang",
+			// The deadline must exceed worst-case arrival skew between
+			// ranks (one shard-size-difference of compute), or healthy
+			// ranks get evicted as timeouts.
+			timeout: 0.25,
+			faults: func(ranks, spe, epochs int) *fault.RankConfig {
+				return &fault.RankConfig{HangAt: map[int]int{ranks - 1: crashStep}}
+			},
+		},
+		{
+			name:       "slow",
+			slowFactor: 3,
+			faults: func(ranks, spe, epochs int) *fault.RankConfig {
+				// Stall a rank on the last step so the straggler flag is
+				// still raised when the run ends.
+				return &fault.RankConfig{SlowAt: map[int]int{ranks - 1: spe*epochs - 1}, SlowSeconds: 0.5}
+			},
+		},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaostrain: ")
+	app := flag.String("app", "cosmoflow", "deepcam or cosmoflow")
+	ranks := flag.Int("ranks", 4, "initial data-parallel rank count")
+	samples := flag.Int("samples", 32, "training samples")
+	batch := flag.Int("batch", 8, "global batch size")
+	epochs := flag.Int("epochs", 6, "training epochs")
+	seed := flag.Uint64("seed", 1, "base seed (data, model init, faults)")
+	crashAt := flag.Int("crash-step", 3, "step at which the crash/hang scenarios kill a rank")
+	every := flag.Int("checkpoint-every", 2, "epoch cadence of checkpoints (0 disables)")
+	flag.Parse()
+	if *ranks <= 1 {
+		log.Fatal("need at least 2 ranks for an elastic sweep")
+	}
+	stepsPerEpoch := *samples / *batch
+	if *crashAt >= stepsPerEpoch**epochs {
+		log.Fatalf("crash step %d beyond the run's %d steps", *crashAt, stepsPerEpoch**epochs)
+	}
+
+	fmt.Printf("%-8s %-7s %6s %6s %9s %9s %7s %6s %12s %10s\n",
+		"app", "case", "ranks", "alive", "evicted", "injected", "ckpts", "strag", "final-loss", "vs-clean")
+	var clean float64
+	for i, sc := range scenarios(*crashAt) {
+		res, ckpts, err := run(*app, sc, *ranks, *samples, *batch, *epochs, *seed, *every, stepsPerEpoch)
+		if err != nil {
+			log.Fatalf("%s: %v", sc.name, err)
+		}
+		if err := reconcile(res); err != nil {
+			log.Fatalf("%s: %v", sc.name, err)
+		}
+		final := res.Losses[len(res.Losses)-1]
+		if i == 0 {
+			clean = final
+		}
+		fmt.Printf("%-8s %-7s %6d %6d %9d %9d %7d %6d %12.4f %+9.2f%%\n",
+			*app, sc.name, *ranks, len(res.Alive), len(res.Evictions), len(res.RankLog),
+			ckpts, len(res.Stragglers), final, 100*(final-clean)/clean)
+	}
+}
+
+// reconcile cross-checks the run's eviction record against the injector's
+// ground-truth log: every crash/hang injection must map to exactly one
+// eviction of that rank, absorbed at the injected step.
+func reconcile(res *train.ElasticResult) error {
+	want := 0
+	for _, in := range res.RankLog {
+		if in.Kind != fault.CrashRank && in.Kind != fault.HangRank {
+			continue
+		}
+		want++
+		found := false
+		for i, ev := range res.Evictions {
+			if ev.Rank == in.Rank && res.EvictionSteps[i] == in.Step {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("injected %s of rank %d at step %d has no matching eviction (evictions %+v at steps %v)",
+				in.Kind, in.Rank, in.Step, res.Evictions, res.EvictionSteps)
+		}
+	}
+	if len(res.Evictions) != want {
+		return fmt.Errorf("%d evictions recorded, %d injected", len(res.Evictions), want)
+	}
+	return nil
+}
+
+func run(app string, sc scenario, ranks, samples, batch, epochs int, seed uint64, every, stepsPerEpoch int) (*train.ElasticResult, int, error) {
+	ckpts := &train.CheckpointLog{}
+	cfg := train.Config{
+		Samples:         samples,
+		Batch:           batch,
+		Epochs:          epochs,
+		Seed:            seed,
+		LR:              0.01,
+		Warmup:          2,
+		CheckpointEvery: every,
+	}
+	if every > 0 {
+		cfg.Checkpoints = ckpts
+	}
+	ecfg := train.ElasticConfig{
+		Ranks:      ranks,
+		Clock:      trace.NewWallClock(),
+		Timeout:    sc.timeout,
+		SlowFactor: sc.slowFactor,
+	}
+	if sc.faults != nil {
+		ecfg.RankFaults = sc.faults(ranks, stepsPerEpoch, epochs)
+		ecfg.RankFaults.Seed = seed + 7
+	}
+	var res *train.ElasticResult
+	var err error
+	switch strings.ToLower(app) {
+	case "deepcam":
+		clim := synthetic.DefaultClimateConfig()
+		clim.Channels = 4
+		clim.Height = 16
+		clim.Width = 16
+		cfg.LR = 0.05
+		res, err = train.ElasticDeepCAM(clim, cfg, ecfg)
+	case "cosmoflow":
+		cosmo := synthetic.DefaultCosmoConfig()
+		// Keep per-step compute in the milliseconds so the hang scenario's
+		// deadline dwarfs the arrival skew of uneven shards.
+		cosmo.Dim = 8
+		res, err = train.ElasticCosmoFlow(cosmo, cfg, ecfg)
+	default:
+		return nil, 0, fmt.Errorf("unknown app %q", app)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, ckpts.Len(), nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"testing"
+
+	"scipp/internal/dist"
+	"scipp/internal/fault"
+	"scipp/internal/train"
+)
+
+// TestSweepScenarios runs the actual sweep, one scenario per app, small
+// enough for the -race merge gate: the crash scenario must finish on a
+// rebuilt ring with its eviction reconciled, and clean must stay fault-free.
+func TestSweepScenarios(t *testing.T) {
+	const (
+		ranks, samples, batch, epochs = 3, 12, 4, 2
+		seed, every                   = uint64(1), 1
+	)
+	stepsPerEpoch := samples / batch
+	for _, app := range []string{"deepcam", "cosmoflow"} {
+		for _, sc := range scenarios(1) {
+			if sc.name == "hang" || sc.name == "slow" {
+				// Wall-clock stall scenarios; exercised by the train
+				// package's elastic tests, too slow for a smoke test.
+				continue
+			}
+			t.Run(app+"/"+sc.name, func(t *testing.T) {
+				res, ckpts, err := run(app, sc, ranks, samples, batch, epochs, seed, every, stepsPerEpoch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := reconcile(res); err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Losses) != epochs {
+					t.Fatalf("got %d epoch losses, want %d", len(res.Losses), epochs)
+				}
+				if ckpts != epochs {
+					t.Fatalf("got %d checkpoints, want %d", ckpts, epochs)
+				}
+				wantAlive := ranks
+				if sc.name == "crash" {
+					wantAlive--
+				}
+				if len(res.Alive) != wantAlive {
+					t.Fatalf("alive = %v, want %d survivors", res.Alive, wantAlive)
+				}
+			})
+		}
+	}
+}
+
+// TestReconcileDetectsMismatch pins the cross-check's failure modes: a
+// crash injection with no matching eviction, an eviction at the wrong step,
+// and a spurious extra eviction must all be reported.
+func TestReconcileDetectsMismatch(t *testing.T) {
+	crash := fault.Injection{Kind: fault.CrashRank, Rank: 1, Step: 3}
+	ev := dist.Eviction{Rank: 1, Reason: "crash"}
+	cases := []struct {
+		name string
+		res  *train.ElasticResult
+		ok   bool
+	}{
+		{"matched", &train.ElasticResult{
+			RankLog:       []fault.Injection{crash},
+			Evictions:     []dist.Eviction{ev},
+			EvictionSteps: []int{3},
+		}, true},
+		{"missing eviction", &train.ElasticResult{
+			RankLog: []fault.Injection{crash},
+		}, false},
+		{"wrong step", &train.ElasticResult{
+			RankLog:       []fault.Injection{crash},
+			Evictions:     []dist.Eviction{ev},
+			EvictionSteps: []int{4},
+		}, false},
+		{"spurious eviction", &train.ElasticResult{
+			Evictions:     []dist.Eviction{{Rank: 0, Reason: "timeout"}},
+			EvictionSteps: []int{2},
+		}, false},
+		{"slow injections ignored", &train.ElasticResult{
+			RankLog: []fault.Injection{{Kind: fault.SlowRank, Rank: 2, Step: 1}},
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := reconcile(tc.res)
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("mismatch not reported")
+			}
+		})
+	}
+}

@@ -226,5 +226,6 @@ func All() []*Analyzer {
 		Concurrency,
 		UncheckedError,
 		Retry,
+		DistSend,
 	}
 }

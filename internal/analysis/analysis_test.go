@@ -25,6 +25,7 @@ var fixtures = []struct {
 	{"fixerr", "scipp/internal/fixerr"},
 	{"fixdir", "scipp/internal/fixdir"},
 	{"fixretry", "scipp/internal/fixretry"},
+	{"fixdistsend", "scipp/internal/dist"}, // dist scope for the abort-escape send rule
 }
 
 func moduleRoot(t *testing.T) string {

@@ -38,10 +38,14 @@ func runAllReduce(t *testing.T, n, size int, mean bool) [][]float32 {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			var err error
 			if mean {
-				g.AllReduceMean(rank, data[rank])
+				err = g.AllReduceMean(rank, data[rank])
 			} else {
-				g.AllReduceSum(rank, data[rank])
+				err = g.AllReduceSum(rank, data[rank])
+			}
+			if err != nil {
+				t.Errorf("rank %d: %v", rank, err)
 			}
 		}(rk)
 	}
@@ -102,12 +106,18 @@ func TestRepeatedCollectives(t *testing.T) {
 			defer wg.Done()
 			for iter := 0; iter < 50; iter++ {
 				d := []float32{float32(rank), 1, 2}
-				g.AllReduceSum(rank, d)
+				if err := g.AllReduceSum(rank, d); err != nil {
+					t.Errorf("iter %d rank %d: %v", iter, rank, err)
+					return
+				}
 				if d[0] != 3 || d[1] != 3 || d[2] != 6 {
 					t.Errorf("iter %d rank %d: %v", iter, rank, d)
 					return
 				}
-				g.Barrier()
+				if err := g.Barrier(rank); err != nil {
+					t.Errorf("iter %d rank %d barrier: %v", iter, rank, err)
+					return
+				}
 			}
 		}(rk)
 	}
@@ -127,7 +137,10 @@ func TestBarrier(t *testing.T) {
 			defer wg.Done()
 			for p := 0; p < 10; p++ {
 				phase[rank] = p
-				g.Barrier()
+				if err := g.Barrier(rank); err != nil {
+					t.Errorf("rank %d barrier: %v", rank, err)
+					return
+				}
 				// After the barrier everyone must be at phase >= p.
 				for other := 0; other < 4; other++ {
 					if phase[other] < p {
@@ -135,7 +148,10 @@ func TestBarrier(t *testing.T) {
 						return
 					}
 				}
-				g.Barrier()
+				if err := g.Barrier(rank); err != nil {
+					t.Errorf("rank %d barrier: %v", rank, err)
+					return
+				}
 			}
 		}(rk)
 	}
@@ -152,13 +168,15 @@ func TestGroupValidation(t *testing.T) {
 			t.Error("out-of-range rank accepted")
 		}
 	}()
-	g.AllReduceSum(5, []float32{1})
+	_ = g.AllReduceSum(5, []float32{1})
 }
 
 func TestSingleRankNoOp(t *testing.T) {
 	g, _ := NewGroup(1)
 	d := []float32{1, 2, 3}
-	g.AllReduceSum(0, d)
+	if err := g.AllReduceSum(0, d); err != nil {
+		t.Fatal(err)
+	}
 	if d[0] != 1 || d[2] != 3 {
 		t.Error("single-rank allreduce changed data")
 	}

@@ -76,11 +76,17 @@ func TestAllReduceInterleavedWithBarrier(t *testing.T) {
 				for i := range buf {
 					buf[i] = 1
 				}
-				g.AllReduceMean(rank, buf)
+				if err := g.AllReduceMean(rank, buf); err != nil {
+					t.Errorf("rank %d round %d: %v", rank, round, err)
+					return
+				}
 				if buf[0] != 1 {
 					t.Errorf("rank %d round %d: mean of ones = %v", rank, round, buf[0])
 				}
-				g.Barrier()
+				if err := g.Barrier(rank); err != nil {
+					t.Errorf("rank %d round %d barrier: %v", rank, round, err)
+					return
+				}
 			}
 		}(r)
 	}

@@ -66,6 +66,19 @@ const (
 	// the configured clock (straggling storage server).
 	Latency
 
+	numDataKinds
+
+	// CrashRank fail-stops a training rank at a chosen step (node OOM,
+	// hardware loss): the rank announces its departure and never returns.
+	CrashRank
+	// HangRank silently wedges a training rank at a chosen step (network
+	// partition, stuck device): no announcement, only the communicator's
+	// collective deadline can detect it.
+	HangRank
+	// SlowRank stalls a training rank for SlowSeconds before a step
+	// (thermal throttling, noisy neighbor), feeding straggler detection.
+	SlowRank
+
 	numKinds
 )
 
@@ -82,6 +95,12 @@ func (k Kind) String() string {
 		return "lost"
 	case Latency:
 		return "latency"
+	case CrashRank:
+		return "crash-rank"
+	case HangRank:
+		return "hang-rank"
+	case SlowRank:
+		return "slow-rank"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -129,7 +148,7 @@ func (c Config) withDefaults() Config {
 func (c Config) decide(i int) (Kind, bool) {
 	rng := xrand.New(c.Seed ^ (uint64(i)+1)*0x9E3779B97F4A7C15)
 	u := rng.Float64()
-	for k, p := range [numKinds]float64{c.Corrupt, c.Truncate, c.Transient, c.Lost, c.Latency} {
+	for k, p := range [numDataKinds]float64{c.Corrupt, c.Truncate, c.Transient, c.Lost, c.Latency} {
 		if u < p {
 			return Kind(k), true
 		}
@@ -147,16 +166,24 @@ func (c Config) damageRNG(i int) *xrand.RNG {
 
 // Injection is one logged fault event: sample's access number `Access`
 // (1-based) hit fault `Kind`. Format-level injections (WrapFormat) carry the
-// blob hash in Key and Sample == -1.
+// blob hash in Key and Sample == -1. Rank-level injections (RankInjector)
+// carry the training rank and step and use Sample == -1, Rank/Step >= 0;
+// data-path injections have Rank == Step == -1.
 type Injection struct {
-	// Sample is the dataset index, or -1 for format-level injections.
+	// Sample is the dataset index, or -1 for format- and rank-level
+	// injections.
 	Sample int
 	// Key is the blob hash for format-level injections, 0 otherwise.
 	Key uint64
-	// Access is the 1-based per-sample access count when the fault fired.
+	// Access is the 1-based per-sample access count when the fault fired;
+	// 0 for rank-level injections.
 	Access int
 	// Kind is the injected failure mode.
 	Kind Kind
+	// Rank is the training rank for rank-level injections, -1 otherwise.
+	Rank int
+	// Step is the training step for rank-level injections, -1 otherwise.
+	Step int
 }
 
 // Summary aggregates an injection log.
@@ -205,9 +232,9 @@ func (l *log) record(inj Injection) {
 	l.events = append(l.events, inj)
 }
 
-// snapshot returns the events sorted by (Sample, Key, Access, Kind): access
-// order under a concurrent loader is scheduler-dependent, so the log is
-// exposed in a canonical order to keep same-seed runs comparable.
+// snapshot returns the events sorted by (Sample, Key, Rank, Step, Access,
+// Kind): access order under a concurrent loader is scheduler-dependent, so
+// the log is exposed in a canonical order to keep same-seed runs comparable.
 func (l *log) snapshot() []Injection {
 	l.mu.Lock()
 	out := append([]Injection(nil), l.events...)
@@ -220,6 +247,12 @@ func (l *log) snapshot() []Injection {
 		if x.Key != y.Key {
 			return x.Key < y.Key
 		}
+		if x.Rank != y.Rank {
+			return x.Rank < y.Rank
+		}
+		if x.Step != y.Step {
+			return x.Step < y.Step
+		}
 		if x.Access != y.Access {
 			return x.Access < y.Access
 		}
@@ -230,10 +263,10 @@ func (l *log) snapshot() []Injection {
 
 func (l *log) summary() Summary {
 	var s Summary
-	seen := make(map[[3]uint64]bool)
+	seen := make(map[[4]uint64]bool)
 	for _, inj := range l.snapshot() {
 		s.Events[inj.Kind]++
-		id := [3]uint64{uint64(inj.Sample) + 1, inj.Key, uint64(inj.Kind)}
+		id := [4]uint64{uint64(inj.Sample) + 1, inj.Key, uint64(inj.Rank) + 1, uint64(inj.Kind)}
 		if !seen[id] {
 			seen[id] = true
 			s.Samples[inj.Kind]++
@@ -279,7 +312,9 @@ func (in *Injector) Blob(i int) ([]byte, error) {
 		return in.ds.Blob(i)
 	}
 	access := in.log.bumpSample(i)
-	note := func(k Kind) { in.log.record(Injection{Sample: i, Access: access, Kind: k}) }
+	note := func(k Kind) {
+		in.log.record(Injection{Sample: i, Access: access, Kind: k, Rank: -1, Step: -1})
+	}
 	switch kind {
 	case TransientIO:
 		if access <= in.cfg.TransientFailures {
@@ -367,7 +402,9 @@ func (fi *FormatInjector) Open(blob []byte) (codec.ChunkDecoder, error) {
 		return fi.f.Open(blob)
 	}
 	access := fi.log.bumpKey(key)
-	note := func(k Kind) { fi.log.record(Injection{Sample: -1, Key: key, Access: access, Kind: k}) }
+	note := func(k Kind) {
+		fi.log.record(Injection{Sample: -1, Key: key, Access: access, Kind: k, Rank: -1, Step: -1})
+	}
 	switch kind {
 	case TransientIO:
 		if access <= cfg.TransientFailures {

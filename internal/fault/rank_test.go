@@ -1,0 +1,148 @@
+package fault_test
+
+import (
+	"testing"
+
+	"scipp/internal/fault"
+	"scipp/internal/trace"
+)
+
+func TestRankPinnedPlans(t *testing.T) {
+	ri := fault.NewRankInjector(fault.RankConfig{
+		CrashAt: map[int]int{2: 5},
+		HangAt:  map[int]int{1: 3},
+		SlowAt:  map[int]int{0: 7},
+	})
+	cases := []struct {
+		rank, step int
+		kind       fault.Kind
+		hit        bool
+	}{
+		{2, 5, fault.CrashRank, true},
+		{2, 4, 0, false},
+		{2, 6, 0, false},
+		{1, 3, fault.HangRank, true},
+		{0, 7, fault.SlowRank, true},
+		{3, 5, 0, false},
+	}
+	for _, c := range cases {
+		k, ok := ri.At(c.rank, c.step)
+		if ok != c.hit || (ok && k != c.kind) {
+			t.Errorf("At(%d,%d) = %v,%v want %v,%v", c.rank, c.step, k, ok, c.kind, c.hit)
+		}
+	}
+	log := ri.Log()
+	if len(log) != 3 {
+		t.Fatalf("log has %d events, want 3: %+v", len(log), log)
+	}
+	// Canonical order sorts by Rank then Step for rank-level events.
+	want := []fault.Injection{
+		{Sample: -1, Kind: fault.SlowRank, Rank: 0, Step: 7},
+		{Sample: -1, Kind: fault.HangRank, Rank: 1, Step: 3},
+		{Sample: -1, Kind: fault.CrashRank, Rank: 2, Step: 5},
+	}
+	for i, w := range want {
+		if log[i] != w {
+			t.Errorf("log[%d] = %+v, want %+v", i, log[i], w)
+		}
+	}
+	s := ri.Summary()
+	if e, n := s.Of(fault.CrashRank); e != 1 || n != 1 {
+		t.Errorf("crash summary = %d,%d", e, n)
+	}
+	if e, n := s.Of(fault.HangRank); e != 1 || n != 1 {
+		t.Errorf("hang summary = %d,%d", e, n)
+	}
+	if e, n := s.Of(fault.SlowRank); e != 1 || n != 1 {
+		t.Errorf("slow summary = %d,%d", e, n)
+	}
+}
+
+func TestRankSeededDeterminism(t *testing.T) {
+	cfg := fault.RankConfig{Seed: 42, CrashRate: 0.02, HangRate: 0.02, SlowRate: 0.05}
+	a := fault.NewRankInjector(cfg)
+	b := fault.NewRankInjector(cfg)
+	hits := 0
+	for rank := 0; rank < 8; rank++ {
+		for step := 0; step < 200; step++ {
+			ka, oka := a.Plan(rank, step)
+			kb, okb := b.Plan(rank, step)
+			if oka != okb || ka != kb {
+				t.Fatalf("plan diverges at rank %d step %d: %v,%v vs %v,%v", rank, step, ka, oka, kb, okb)
+			}
+			if oka {
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("no seeded faults drawn over 1600 (rank,step) pairs at 9% total rate")
+	}
+	// A different seed produces a different pattern.
+	c := fault.NewRankInjector(fault.RankConfig{Seed: 43, CrashRate: 0.02, HangRate: 0.02, SlowRate: 0.05})
+	same := 0
+	for rank := 0; rank < 8; rank++ {
+		for step := 0; step < 200; step++ {
+			_, oka := a.Plan(rank, step)
+			_, okc := c.Plan(rank, step)
+			if oka == okc {
+				same++
+			}
+		}
+	}
+	if same == 8*200 {
+		t.Error("seeds 42 and 43 drew identical fault patterns")
+	}
+}
+
+func TestRankPlanDoesNotLog(t *testing.T) {
+	ri := fault.NewRankInjector(fault.RankConfig{CrashAt: map[int]int{0: 0}})
+	if k, ok := ri.Plan(0, 0); !ok || k != fault.CrashRank {
+		t.Fatal("plan missed the pinned crash")
+	}
+	if len(ri.Log()) != 0 {
+		t.Error("Plan must not log")
+	}
+}
+
+func TestSlowRankStallsOnClock(t *testing.T) {
+	vc := &trace.VirtualClock{}
+	ri := fault.NewRankInjector(fault.RankConfig{SlowAt: map[int]int{1: 2}, SlowSeconds: 0.25, Clock: vc})
+	if _, ok := ri.At(1, 1); ok {
+		t.Fatal("unexpected fault at step 1")
+	}
+	if vc.Now() != 0 {
+		t.Fatal("clock moved without a stall")
+	}
+	if k, ok := ri.At(1, 2); !ok || k != fault.SlowRank {
+		t.Fatal("pinned slow fault missed")
+	}
+	if vc.Now() != 0.25 {
+		t.Errorf("stall advanced clock to %v, want 0.25", vc.Now())
+	}
+}
+
+func TestRankKindStrings(t *testing.T) {
+	for k, want := range map[fault.Kind]string{
+		fault.CrashRank: "crash-rank",
+		fault.HangRank:  "hang-rank",
+		fault.SlowRank:  "slow-rank",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestDataInjectionsCarryRankSentinel(t *testing.T) {
+	// Data-path events must stay distinguishable from rank events in a
+	// merged log: Rank and Step are -1.
+	in := fault.Wrap(memDS{n: 1}, fault.Config{Seed: 1, Lost: 1})
+	if _, err := in.Blob(0); err == nil {
+		t.Fatal("lost sample returned data")
+	}
+	log := in.Log()
+	if len(log) != 1 || log[0].Rank != -1 || log[0].Step != -1 {
+		t.Errorf("data injection = %+v, want Rank=-1 Step=-1", log)
+	}
+}

@@ -1,12 +1,44 @@
 package nn
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"strconv"
 
 	"scipp/internal/h5lite"
 	"scipp/internal/tensor"
 )
+
+// CheckpointError is the typed failure of checkpoint serialization: Reason
+// classifies what went wrong ("read" for truncated or unreadable bytes,
+// "corrupt" for CRC failures, "version" for a format-header mismatch,
+// "missing"/"shape" for topology drift, "optimizer" and "rng" for restore
+// state that does not fit the live objects).
+type CheckpointError struct {
+	Reason string
+	Err    error
+}
+
+// Error implements error.
+func (e *CheckpointError) Error() string {
+	return fmt.Sprintf("nn: checkpoint %s: %v", e.Reason, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *CheckpointError) Unwrap() error { return e.Err }
+
+func ckptErr(reason, format string, args ...any) error {
+	return &CheckpointError{Reason: reason, Err: fmt.Errorf(format, args...)}
+}
+
+func readErr(err error) error {
+	reason := "read"
+	if errors.Is(err, h5lite.ErrCorrupt) {
+		reason = "corrupt"
+	}
+	return &CheckpointError{Reason: reason, Err: err}
+}
 
 // SaveWeights serializes a model's parameters into an h5lite container —
 // one dataset per parameter, keyed by parameter name — so training runs can
@@ -18,7 +50,7 @@ func SaveWeights(w io.Writer, s *Sequential) error {
 	seen := make(map[string]bool)
 	for _, p := range s.Params() {
 		if seen[p.Name] {
-			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+			return ckptErr("name", "duplicate parameter name %q", p.Name)
 		}
 		seen[p.Name] = true
 		t := tensor.FromF32(p.W, p.Shape...)
@@ -29,28 +61,262 @@ func SaveWeights(w io.Writer, s *Sequential) error {
 
 // LoadWeights restores parameters saved by SaveWeights into a model with
 // the identical topology. Shapes must match exactly; extra or missing
-// parameters are errors.
+// parameters are errors. All failures are *CheckpointError.
 func LoadWeights(r io.Reader, s *Sequential) error {
 	f, err := h5lite.Read(r)
 	if err != nil {
-		return fmt.Errorf("nn: reading checkpoint: %w", err)
+		return readErr(err)
 	}
 	if f.Attrs["format"] != "scipp-weights-v1" {
-		return fmt.Errorf("nn: not a weights checkpoint (format %q)", f.Attrs["format"])
+		return ckptErr("version", "not a weights checkpoint (format %q)", f.Attrs["format"])
 	}
 	params := s.Params()
 	if fmt.Sprint(len(params)) != f.Attrs["params"] {
-		return fmt.Errorf("nn: checkpoint has %s parameters, model has %d", f.Attrs["params"], len(params))
+		return ckptErr("missing", "checkpoint has %s parameters, model has %d", f.Attrs["params"], len(params))
 	}
 	for _, p := range params {
 		t, ok := f.Get(p.Name)
 		if !ok {
-			return fmt.Errorf("nn: checkpoint missing parameter %q", p.Name)
+			return ckptErr("missing", "checkpoint missing parameter %q", p.Name)
 		}
 		if t.DT != tensor.F32 || !t.Shape.Equal(p.Shape) {
-			return fmt.Errorf("nn: parameter %q has shape %v, model wants %v", p.Name, t.Shape, p.Shape)
+			return ckptErr("shape", "parameter %q has shape %v, model wants %v", p.Name, t.Shape, p.Shape)
 		}
 		copy(p.W, t.F32s)
 	}
 	return nil
+}
+
+// checkpointFormat is the v2 container header: weights plus optimizer state
+// plus live RNG streams, enough for bit-identical training resume.
+const checkpointFormat = "scipp-checkpoint-v2"
+
+// dropouts walks the model collecting its Dropout layers in forward order —
+// the order their RNG streams are keyed in a checkpoint.
+func dropouts(s *Sequential) []*Dropout {
+	var out []*Dropout
+	for _, l := range s.Layers {
+		switch v := l.(type) {
+		case *Dropout:
+			out = append(out, v)
+		case *Sequential:
+			out = append(out, dropouts(v)...)
+		}
+	}
+	return out
+}
+
+func encodeRNGState(st [4]uint64) string {
+	return fmt.Sprintf("%016x%016x%016x%016x", st[0], st[1], st[2], st[3])
+}
+
+func decodeRNGState(s string) ([4]uint64, error) {
+	var st [4]uint64
+	if len(s) != 64 {
+		return st, fmt.Errorf("rng state %q is not 64 hex digits", s)
+	}
+	for i := range st {
+		v, err := strconv.ParseUint(s[i*16:(i+1)*16], 16, 64)
+		if err != nil {
+			return st, fmt.Errorf("rng state %q: %w", s, err)
+		}
+		st[i] = v
+	}
+	return st, nil
+}
+
+// SaveCheckpoint serializes everything a training run needs to resume
+// bit-identically: parameter weights, optimizer state (SGD velocity or Adam
+// moments and step count), and the live RNG stream of every Dropout layer.
+// extra attributes (sampler position, epoch counters — whatever the trainer
+// must carry) are stored under an "x." namespace and returned verbatim by
+// LoadCheckpoint. opt may be nil for an optimizer-less snapshot.
+func SaveCheckpoint(w io.Writer, s *Sequential, opt Optimizer, extra map[string]string) error {
+	f := h5lite.NewFile()
+	f.Attrs["format"] = checkpointFormat
+	params := s.Params()
+	f.Attrs["params"] = fmt.Sprint(len(params))
+	seen := make(map[string]bool)
+	for _, p := range params {
+		if seen[p.Name] {
+			return ckptErr("name", "duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+		f.Put("w/"+p.Name, tensor.FromF32(p.W, p.Shape...))
+	}
+
+	switch o := opt.(type) {
+	case nil:
+		f.Attrs["opt"] = "none"
+	case *SGD:
+		f.Attrs["opt"] = "sgd"
+		f.Attrs["opt.lr"] = strconv.FormatFloat(o.lr, 'x', -1, 64)
+		f.Attrs["opt.momentum"] = strconv.FormatFloat(o.Momentum, 'x', -1, 64)
+		for _, p := range params {
+			if v, ok := o.vel[p]; ok {
+				f.Put("opt/vel/"+p.Name, tensor.FromF32(v, len(v)))
+			}
+		}
+	case *Adam:
+		f.Attrs["opt"] = "adam"
+		f.Attrs["opt.lr"] = strconv.FormatFloat(o.lr, 'x', -1, 64)
+		f.Attrs["opt.beta1"] = strconv.FormatFloat(o.Beta1, 'x', -1, 64)
+		f.Attrs["opt.beta2"] = strconv.FormatFloat(o.Beta2, 'x', -1, 64)
+		f.Attrs["opt.eps"] = strconv.FormatFloat(o.Eps, 'x', -1, 64)
+		f.Attrs["opt.t"] = fmt.Sprint(o.t)
+		for _, p := range params {
+			if m, ok := o.m[p]; ok {
+				f.Put("opt/m/"+p.Name, tensor.FromF32(m, len(m)))
+				f.Put("opt/v/"+p.Name, tensor.FromF32(o.v[p], len(o.v[p])))
+			}
+		}
+	default:
+		return ckptErr("optimizer", "cannot checkpoint optimizer type %T", opt)
+	}
+
+	drops := dropouts(s)
+	f.Attrs["rng.dropouts"] = fmt.Sprint(len(drops))
+	for i, d := range drops {
+		f.Attrs[fmt.Sprintf("rng.dropout.%d", i)] = encodeRNGState(d.RNGState())
+	}
+
+	for k, v := range extra {
+		f.Attrs["x."+k] = v
+	}
+	return f.Write(w)
+}
+
+// LoadCheckpoint restores a SaveCheckpoint snapshot into a model and
+// optimizer of the identical construction, returning the extra attributes.
+// The optimizer must be the same type the checkpoint was taken from (nil
+// matches "none"). All failures are *CheckpointError with a classifying
+// Reason: a truncated stream is "read", a flipped payload byte "corrupt", a
+// foreign or v1 container "version".
+func LoadCheckpoint(r io.Reader, s *Sequential, opt Optimizer) (map[string]string, error) {
+	f, err := h5lite.Read(r)
+	if err != nil {
+		return nil, readErr(err)
+	}
+	if f.Attrs["format"] != checkpointFormat {
+		return nil, ckptErr("version", "not a %s container (format %q)", checkpointFormat, f.Attrs["format"])
+	}
+	params := s.Params()
+	if fmt.Sprint(len(params)) != f.Attrs["params"] {
+		return nil, ckptErr("missing", "checkpoint has %s parameters, model has %d", f.Attrs["params"], len(params))
+	}
+	for _, p := range params {
+		t, ok := f.Get("w/" + p.Name)
+		if !ok {
+			return nil, ckptErr("missing", "checkpoint missing parameter %q", p.Name)
+		}
+		if t.DT != tensor.F32 || !t.Shape.Equal(p.Shape) {
+			return nil, ckptErr("shape", "parameter %q has shape %v, model wants %v", p.Name, t.Shape, p.Shape)
+		}
+		copy(p.W, t.F32s)
+	}
+
+	loadSlice := func(name string, want int) ([]float32, error) {
+		t, ok := f.Get(name)
+		if !ok {
+			return nil, nil
+		}
+		if t.DT != tensor.F32 || len(t.F32s) != want {
+			return nil, ckptErr("shape", "optimizer state %q has %d elements, parameter wants %d", name, len(t.F32s), want)
+		}
+		return append([]float32(nil), t.F32s...), nil
+	}
+	parseF := func(key string) (float64, error) {
+		v, err := strconv.ParseFloat(f.Attrs[key], 64)
+		if err != nil {
+			return 0, ckptErr("optimizer", "bad attribute %s=%q", key, f.Attrs[key])
+		}
+		return v, nil
+	}
+
+	kind := f.Attrs["opt"]
+	switch o := opt.(type) {
+	case nil:
+		if kind != "none" {
+			return nil, ckptErr("optimizer", "checkpoint carries %q optimizer state, caller passed none", kind)
+		}
+	case *SGD:
+		if kind != "sgd" {
+			return nil, ckptErr("optimizer", "checkpoint carries %q optimizer state, caller passed *SGD", kind)
+		}
+		if o.lr, err = parseF("opt.lr"); err != nil {
+			return nil, err
+		}
+		if o.Momentum, err = parseF("opt.momentum"); err != nil {
+			return nil, err
+		}
+		o.vel = make(map[*Param][]float32)
+		for _, p := range params {
+			v, err := loadSlice("opt/vel/"+p.Name, len(p.W))
+			if err != nil {
+				return nil, err
+			}
+			if v != nil {
+				o.vel[p] = v
+			}
+		}
+	case *Adam:
+		if kind != "adam" {
+			return nil, ckptErr("optimizer", "checkpoint carries %q optimizer state, caller passed *Adam", kind)
+		}
+		if o.lr, err = parseF("opt.lr"); err != nil {
+			return nil, err
+		}
+		if o.Beta1, err = parseF("opt.beta1"); err != nil {
+			return nil, err
+		}
+		if o.Beta2, err = parseF("opt.beta2"); err != nil {
+			return nil, err
+		}
+		if o.Eps, err = parseF("opt.eps"); err != nil {
+			return nil, err
+		}
+		if o.t, err = strconv.Atoi(f.Attrs["opt.t"]); err != nil {
+			return nil, ckptErr("optimizer", "bad attribute opt.t=%q", f.Attrs["opt.t"])
+		}
+		o.m = make(map[*Param][]float32)
+		o.v = make(map[*Param][]float32)
+		for _, p := range params {
+			m, err := loadSlice("opt/m/"+p.Name, len(p.W))
+			if err != nil {
+				return nil, err
+			}
+			v, err := loadSlice("opt/v/"+p.Name, len(p.W))
+			if err != nil {
+				return nil, err
+			}
+			if (m == nil) != (v == nil) {
+				return nil, ckptErr("optimizer", "parameter %q has half its Adam moments", p.Name)
+			}
+			if m != nil {
+				o.m[p], o.v[p] = m, v
+			}
+		}
+	default:
+		return nil, ckptErr("optimizer", "cannot restore into optimizer type %T", opt)
+	}
+
+	drops := dropouts(s)
+	if fmt.Sprint(len(drops)) != f.Attrs["rng.dropouts"] {
+		return nil, ckptErr("rng", "checkpoint has %s dropout streams, model has %d", f.Attrs["rng.dropouts"], len(drops))
+	}
+	for i, d := range drops {
+		st, err := decodeRNGState(f.Attrs[fmt.Sprintf("rng.dropout.%d", i)])
+		if err != nil {
+			return nil, &CheckpointError{Reason: "rng", Err: err}
+		}
+		d.SetRNGState(st)
+	}
+
+	extra := make(map[string]string)
+	for k, v := range f.Attrs {
+		if len(k) > 2 && k[:2] == "x." {
+			extra[k[2:]] = v
+		}
+	}
+	return extra, nil
 }

@@ -1,0 +1,308 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"scipp/internal/tensor"
+	"scipp/internal/xrand"
+)
+
+// paramLayer is a do-nothing layer holding one explicit parameter, for
+// exercising checkpoint edge cases (zero-length tensors, hand-set values).
+type paramLayer struct{ p *Param }
+
+func (l *paramLayer) Name() string                            { return l.p.Name }
+func (l *paramLayer) Params() []*Param                        { return []*Param{l.p} }
+func (l *paramLayer) Forward(x *tensor.Tensor) *tensor.Tensor { return x }
+func (l *paramLayer) Backward(g *tensor.Tensor) *tensor.Tensor {
+	return g
+}
+
+func ckptModel() *Sequential {
+	return NewSequential(
+		NewDense("d1", 4, 8),
+		NewDropout(0.3, 77),
+		NewDense("d2", 8, 2),
+	)
+}
+
+// stepOnce fakes one training step so optimizer state exists to checkpoint.
+func stepOnce(s *Sequential, opt Optimizer, seed uint64) {
+	r := xrand.New(seed)
+	for _, p := range s.Params() {
+		for i := range p.G {
+			p.G[i] = float32(r.NormFloat64()) * 0.1
+		}
+	}
+	opt.Step(s.Params())
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+func reload(t *testing.T, buf []byte, s *Sequential, opt Optimizer) map[string]string {
+	t.Helper()
+	extra, err := LoadCheckpoint(bytes.NewReader(buf), s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return extra
+}
+
+func TestCheckpointRoundTripSGD(t *testing.T) {
+	src := ckptModel()
+	src.InitHe(5)
+	opt := NewSGD(0.1, 0.9)
+	stepOnce(src, opt, 1)
+	stepOnce(src, opt, 2)
+
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src, opt, map[string]string{"epoch": "3", "step": "120"}); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := ckptModel()
+	dst.InitHe(99)
+	opt2 := NewSGD(0.5, 0.1) // wrong hyperparameters, must be overwritten
+	extra := reload(t, buf.Bytes(), dst, opt2)
+	if extra["epoch"] != "3" || extra["step"] != "120" {
+		t.Errorf("extra attrs = %v", extra)
+	}
+	if opt2.LR() != 0.1 || opt2.Momentum != 0.9 {
+		t.Errorf("sgd hyperparameters not restored: lr=%v momentum=%v", opt2.LR(), opt2.Momentum)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		for j := range sp[i].W {
+			if sp[i].W[j] != dp[i].W[j] {
+				t.Fatalf("weight %s[%d] not bit-identical", sp[i].Name, j)
+			}
+		}
+		sv, dv := opt.vel[sp[i]], opt2.vel[dp[i]]
+		if len(sv) != len(dv) {
+			t.Fatalf("velocity for %s: %d vs %d entries", sp[i].Name, len(sv), len(dv))
+		}
+		for j := range sv {
+			if sv[j] != dv[j] {
+				t.Fatalf("velocity %s[%d] not bit-identical", sp[i].Name, j)
+			}
+		}
+	}
+	// Both must evolve identically from here: same fake gradients, same
+	// momentum history.
+	stepOnce(src, opt, 3)
+	stepOnce(dst, opt2, 3)
+	for i := range sp {
+		for j := range sp[i].W {
+			if sp[i].W[j] != dp[i].W[j] {
+				t.Fatalf("post-restore step diverged at %s[%d]", sp[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestCheckpointRoundTripAdam(t *testing.T) {
+	src := ckptModel()
+	src.InitHe(5)
+	opt := NewAdam(1e-3)
+	for s := uint64(1); s <= 3; s++ {
+		stepOnce(src, opt, s)
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src, opt, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := ckptModel()
+	opt2 := NewAdam(1)
+	reload(t, buf.Bytes(), dst, opt2)
+	if opt2.t != 3 {
+		t.Errorf("adam step count = %d, want 3", opt2.t)
+	}
+	if opt2.LR() != 1e-3 || opt2.Beta1 != 0.9 || opt2.Beta2 != 0.999 || opt2.Eps != 1e-8 {
+		t.Errorf("adam hyperparameters not restored")
+	}
+	// Bias correction depends on t, so a diverging t shows up immediately.
+	stepOnce(src, opt, 9)
+	stepOnce(dst, opt2, 9)
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		for j := range sp[i].W {
+			if sp[i].W[j] != dp[i].W[j] {
+				t.Fatalf("post-restore Adam step diverged at %s[%d]", sp[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestCheckpointDropoutStream(t *testing.T) {
+	src := ckptModel()
+	src.InitHe(5)
+	// Advance the dropout stream so the checkpoint captures a mid-sequence
+	// state, not the seed.
+	x := randTensor(xrand.New(7), 2, 4)
+	src.Forward(x)
+	src.Forward(x)
+
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := ckptModel() // fresh seed 77, wrong position in the stream
+	reload(t, buf.Bytes(), dst, nil)
+
+	a := src.Forward(x)
+	b := dst.Forward(x)
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Error("restored dropout stream diverged from the original")
+	}
+}
+
+func TestCheckpointZeroLengthTensor(t *testing.T) {
+	mk := func() *Sequential {
+		return NewSequential(
+			&paramLayer{p: newParam("empty", 0)},
+			&paramLayer{p: newParam("scalarish", 1)},
+		)
+	}
+	src := mk()
+	src.Params()[1].W[0] = 42
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := mk()
+	reload(t, buf.Bytes(), dst, nil)
+	if got := dst.Params()[0]; len(got.W) != 0 {
+		t.Errorf("zero-length param came back with %d elements", len(got.W))
+	}
+	if dst.Params()[1].W[0] != 42 {
+		t.Error("neighbor of zero-length param corrupted")
+	}
+}
+
+func TestCheckpointNaNInfBitExact(t *testing.T) {
+	specials := []float32{
+		float32(math.NaN()),
+		float32(math.Inf(1)),
+		float32(math.Inf(-1)),
+		math.Float32frombits(0x7fc00001), // quiet NaN with payload
+		-0.0,
+		math.Float32frombits(0x00000001), // smallest subnormal
+	}
+	mk := func() *Sequential {
+		return NewSequential(&paramLayer{p: newParam("w", len(specials))})
+	}
+	src := mk()
+	copy(src.Params()[0].W, specials)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := mk()
+	reload(t, buf.Bytes(), dst, nil)
+	for i, want := range specials {
+		got := dst.Params()[0].W[i]
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Errorf("element %d: bits %08x, want %08x", i, math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+}
+
+func TestCheckpointTruncatedTyped(t *testing.T) {
+	src := ckptModel()
+	src.InitHe(5)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 1, len(full) / 2, len(full) - 1} {
+		_, err := LoadCheckpoint(bytes.NewReader(full[:cut]), ckptModel(), nil)
+		var ce *CheckpointError
+		if !errors.As(err, &ce) {
+			t.Fatalf("truncation at %d: got %v, want *CheckpointError", cut, err)
+		}
+	}
+	// A flipped payload byte must surface as a typed corruption error.
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)-9] ^= 0xff
+	_, err := LoadCheckpoint(bytes.NewReader(flipped), ckptModel(), nil)
+	var ce *CheckpointError
+	if !errors.As(err, &ce) {
+		t.Fatalf("bit flip: got %v, want *CheckpointError", err)
+	}
+}
+
+func TestCheckpointVersionMismatchTyped(t *testing.T) {
+	src := ckptModel()
+	src.InitHe(5)
+	// A v1 weights container is not a v2 checkpoint.
+	var v1 bytes.Buffer
+	if err := SaveWeights(&v1, src); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCheckpoint(bytes.NewReader(v1.Bytes()), ckptModel(), nil)
+	var ce *CheckpointError
+	if !errors.As(err, &ce) || ce.Reason != "version" {
+		t.Fatalf("v1 container: got %v, want *CheckpointError reason=version", err)
+	}
+	// And a v2 checkpoint is not a v1 weights container.
+	var v2 bytes.Buffer
+	if err := SaveCheckpoint(&v2, src, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	err = LoadWeights(bytes.NewReader(v2.Bytes()), ckptModel())
+	if !errors.As(err, &ce) || ce.Reason != "version" {
+		t.Fatalf("v2 into LoadWeights: got %v, want *CheckpointError reason=version", err)
+	}
+}
+
+func TestCheckpointOptimizerMismatchTyped(t *testing.T) {
+	src := ckptModel()
+	src.InitHe(5)
+	opt := NewAdam(1e-3)
+	stepOnce(src, opt, 1)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src, opt, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), ckptModel(), NewSGD(0.1, 0.9))
+	var ce *CheckpointError
+	if !errors.As(err, &ce) || ce.Reason != "optimizer" {
+		t.Fatalf("adam->sgd restore: got %v, want *CheckpointError reason=optimizer", err)
+	}
+	_, err = LoadCheckpoint(bytes.NewReader(buf.Bytes()), ckptModel(), nil)
+	if !errors.As(err, &ce) || ce.Reason != "optimizer" {
+		t.Fatalf("adam->none restore: got %v, want *CheckpointError reason=optimizer", err)
+	}
+}
+
+func TestCheckpointTopologyMismatchTyped(t *testing.T) {
+	src := ckptModel()
+	src.InitHe(5)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	other := NewSequential(NewDense("dX", 4, 8), NewDense("d2", 8, 2))
+	_, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), other, nil)
+	var ce *CheckpointError
+	if !errors.As(err, &ce) || ce.Reason != "missing" {
+		t.Fatalf("renamed param: got %v, want reason=missing", err)
+	}
+	shaped := NewSequential(NewDense("d1", 4, 8), NewDense("d2", 8, 3))
+	_, err = LoadCheckpoint(bytes.NewReader(buf.Bytes()), shaped, nil)
+	if !errors.As(err, &ce) || (ce.Reason != "shape" && ce.Reason != "missing") {
+		t.Fatalf("reshaped param: got %v, want reason=shape", err)
+	}
+	// Dropout count mismatch.
+	plain := NewSequential(NewDense("d1", 4, 8), NewDense("d2", 8, 2))
+	_, err = LoadCheckpoint(bytes.NewReader(buf.Bytes()), plain, nil)
+	if !errors.As(err, &ce) || ce.Reason != "rng" {
+		t.Fatalf("dropout-less model: got %v, want reason=rng", err)
+	}
+}

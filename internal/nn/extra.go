@@ -213,6 +213,14 @@ func NewDropout(p float64, seed uint64) *Dropout {
 // Name implements Layer.
 func (d *Dropout) Name() string { return "dropout" }
 
+// RNGState exposes the layer's live random stream for checkpointing: a
+// restored run must continue the mask sequence exactly where the original
+// left off to stay bit-identical.
+func (d *Dropout) RNGState() [4]uint64 { return d.rng.State() }
+
+// SetRNGState restores a stream captured by RNGState.
+func (d *Dropout) SetRNGState(s [4]uint64) { d.rng.SetState(s) }
+
 // Params implements Layer.
 func (d *Dropout) Params() []*Param { return nil }
 

@@ -56,11 +56,45 @@ func (w wallClock) Sleep(d float64) {
 	time.Sleep(time.Duration(d * float64(time.Second)))
 }
 
+// Alarm is implemented by clocks that can signal the arrival of a point in
+// time. The distributed communicator's collective deadlines run on it, so
+// failure detection works identically on wall clocks (real timers) and
+// virtual clocks (waiters fired by Advance).
+type Alarm interface {
+	// After returns a channel that is closed once the clock reaches time t
+	// (seconds on the clock's own epoch), plus a cancel function releasing
+	// the waiter early. If t has already passed, the channel is returned
+	// closed. Cancel is idempotent and safe after firing.
+	After(t float64) (<-chan struct{}, func())
+}
+
+// After implements Alarm with a real timer.
+func (w wallClock) After(t float64) (<-chan struct{}, func()) {
+	ch := make(chan struct{})
+	d := t - w.Now()
+	if d <= 0 {
+		close(ch)
+		return ch, func() {}
+	}
+	var once sync.Once
+	fire := func() { once.Do(func() { close(ch) }) }
+	//lint:ignore determinism the sanctioned wall-time source for real-pipeline profiling
+	timer := time.AfterFunc(time.Duration(d*float64(time.Second)), fire)
+	return ch, func() { timer.Stop() }
+}
+
 // VirtualClock is a manually advanced Clock for simulations and tests: time
 // moves only when Advance is called, so traces are reproducible bit-for-bit.
 type VirtualClock struct {
-	mu sync.Mutex
-	t  float64
+	mu      sync.Mutex
+	t       float64
+	waiters []*virtualWaiter
+}
+
+type virtualWaiter struct {
+	at   float64
+	ch   chan struct{}
+	done bool
 }
 
 // Now implements Clock.
@@ -71,12 +105,14 @@ func (c *VirtualClock) Now() float64 {
 }
 
 // Advance moves the clock forward by d seconds; negative d is ignored.
+// Alarm waiters whose deadline is reached fire before Advance returns.
 func (c *VirtualClock) Advance(d float64) {
 	if d <= 0 {
 		return
 	}
 	c.mu.Lock()
 	c.t += d
+	c.fireLocked()
 	c.mu.Unlock()
 }
 
@@ -88,6 +124,54 @@ func (c *VirtualClock) Set(t float64) {
 	c.mu.Lock()
 	if t > c.t {
 		c.t = t
+		c.fireLocked()
 	}
 	c.mu.Unlock()
+}
+
+// After implements Alarm: the channel closes when Advance or Set carries the
+// clock past t. Virtual deadlines therefore fire deterministically, exactly
+// when simulated time is made to pass.
+func (c *VirtualClock) After(t float64) (<-chan struct{}, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := &virtualWaiter{at: t, ch: make(chan struct{})}
+	if t <= c.t {
+		w.done = true
+		close(w.ch)
+		return w.ch, func() {}
+	}
+	c.waiters = append(c.waiters, w)
+	cancel := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if !w.done {
+			w.done = true // leave the channel open: canceled, not fired
+			c.removeLocked(w)
+		}
+	}
+	return w.ch, cancel
+}
+
+// fireLocked closes every waiter whose deadline the clock has reached.
+func (c *VirtualClock) fireLocked() {
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.done && w.at <= c.t {
+			w.done = true
+			close(w.ch)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	c.waiters = kept
+}
+
+func (c *VirtualClock) removeLocked(w *virtualWaiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
 }

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func fired(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func TestVirtualAlarmFiresOnAdvance(t *testing.T) {
+	c := &VirtualClock{}
+	ch, cancel := c.After(5)
+	defer cancel()
+	if fired(ch) {
+		t.Fatal("alarm fired before its time")
+	}
+	c.Advance(4.9)
+	if fired(ch) {
+		t.Fatal("alarm fired early")
+	}
+	c.Advance(0.1)
+	if !fired(ch) {
+		t.Fatal("alarm did not fire at its deadline")
+	}
+}
+
+func TestVirtualAlarmFiresOnSet(t *testing.T) {
+	c := &VirtualClock{}
+	ch, cancel := c.After(2)
+	defer cancel()
+	c.Set(10)
+	if !fired(ch) {
+		t.Fatal("Set past the deadline must fire the alarm")
+	}
+}
+
+func TestVirtualAlarmPastDeadlineImmediate(t *testing.T) {
+	c := &VirtualClock{}
+	c.Advance(3)
+	ch, cancel := c.After(2)
+	defer cancel()
+	if !fired(ch) {
+		t.Fatal("alarm for a past time must return fired")
+	}
+}
+
+func TestVirtualAlarmCancel(t *testing.T) {
+	c := &VirtualClock{}
+	ch, cancel := c.After(1)
+	cancel()
+	cancel() // idempotent
+	c.Advance(2)
+	if fired(ch) {
+		t.Fatal("canceled alarm fired")
+	}
+	// A canceled waiter must not linger in the waiter list.
+	c.mu.Lock()
+	n := len(c.waiters)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d waiters left after cancel", n)
+	}
+}
+
+func TestVirtualAlarmMultipleWaiters(t *testing.T) {
+	c := &VirtualClock{}
+	early, cancelE := c.After(1)
+	late, cancelL := c.After(3)
+	defer cancelE()
+	defer cancelL()
+	c.Advance(2)
+	if !fired(early) || fired(late) {
+		t.Fatal("only the earlier waiter should have fired")
+	}
+	c.Advance(2)
+	if !fired(late) {
+		t.Fatal("later waiter must fire once reached")
+	}
+}
+
+func TestVirtualSleepFiresAlarms(t *testing.T) {
+	c := &VirtualClock{}
+	ch, cancel := c.After(0.5)
+	defer cancel()
+	c.Sleep(1)
+	if !fired(ch) {
+		t.Fatal("Sleep advances the clock and must fire alarms")
+	}
+}
+
+func TestWallAlarm(t *testing.T) {
+	c := NewWallClock()
+	a, ok := c.(Alarm)
+	if !ok {
+		t.Fatal("wall clock must implement Alarm")
+	}
+	ch, cancel := a.After(c.Now() - 1)
+	cancel()
+	if !fired(ch) {
+		t.Fatal("past-deadline wall alarm must be pre-fired")
+	}
+	ch2, cancel2 := a.After(c.Now() + 0.005)
+	defer cancel2()
+	select {
+	case <-ch2:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall alarm did not fire")
+	}
+	// Cancel before the deadline: the channel must stay open.
+	ch3, cancel3 := a.After(c.Now() + 3600)
+	cancel3()
+	if fired(ch3) {
+		t.Fatal("canceled wall alarm fired")
+	}
+}

@@ -1,0 +1,388 @@
+package train
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"scipp/internal/core"
+	"scipp/internal/dist"
+	"scipp/internal/fault"
+	"scipp/internal/models"
+	"scipp/internal/nn"
+	"scipp/internal/pipeline"
+	"scipp/internal/synthetic"
+	"scipp/internal/tensor"
+	"scipp/internal/trace"
+)
+
+// ElasticConfig configures the fault-tolerant data-parallel engine: a group
+// of synchronous replicas that survives rank failures mid-run. The fault
+// model matches internal/dist: fail-stop at collective boundaries — a rank
+// crashes (announces Leave) or hangs (never arrives, evicted by deadline)
+// instead of joining a step's gradient allreduce, survivors rebuild the ring
+// and re-run the interrupted collective.
+type ElasticConfig struct {
+	// Ranks is the initial replica count; required, > 0.
+	Ranks int
+	// Timeout is the collective deadline in clock seconds (see
+	// dist.Config.Timeout). Zero disables failure detection by deadline;
+	// crashes are still detected immediately via Leave.
+	Timeout float64
+	// SlowFactor flags straggler ranks (see dist.Config.SlowFactor).
+	SlowFactor float64
+	// RankFaults, when non-nil, injects seeded rank-level faults
+	// (crash/hang/slow) through fault.NewRankInjector. Hang faults need a
+	// real deadline: set Timeout and use a wall clock, or the run blocks.
+	RankFaults *fault.RankConfig
+	// Clock drives collective deadlines, straggler EWMAs and injected
+	// slow-rank stalls. Nil keeps the run clockless (crash-only faults).
+	Clock trace.Clock
+}
+
+// ElasticResult is an elastic run's outcome: the loss curve plus the full
+// failure record, positioned so it reconciles exactly against the fault
+// injector's log.
+type ElasticResult struct {
+	// Losses is the per-epoch mean global training loss.
+	Losses []float64
+	// StepLosses is the per-step global loss (each step's batch-weighted
+	// mean over the ranks that survived it).
+	StepLosses []float64
+	// Evictions are the group's eviction records, in order.
+	Evictions []dist.Eviction
+	// EvictionSteps gives, parallel to Evictions, the global optimizer step
+	// during which each eviction was absorbed.
+	EvictionSteps []int
+	// RankLog is the injector's canonical fault log (nil without faults).
+	RankLog []fault.Injection
+	// Alive lists the ranks still live at the end of the run.
+	Alive []int
+	// Generations is the final ring generation (= evictions survived,
+	// counting from any ranks already down at start).
+	Generations int
+	// Stragglers lists the ranks flagged slow when the run ended.
+	Stragglers []int
+}
+
+// elasticSpec is the per-application half of the engine: model construction
+// and the loss closure. Everything else — sharding, fault injection, the
+// weighted gradient allreduce, retries, checkpointing — is shared.
+type elasticSpec struct {
+	app       string
+	newModel  func() (*nn.Sequential, error)
+	newOpt    func(cfg Config) nn.Optimizer
+	normalize bool
+	loss      func(m *nn.Sequential, x, y *tensor.Tensor) (float64, *tensor.Tensor)
+}
+
+// ElasticDeepCAM trains the segmentation model across ecfg.Ranks elastic
+// replicas for cfg.Epochs epochs (the elastic engines are epoch-driven;
+// cfg.Steps is ignored).
+func ElasticDeepCAM(climCfg synthetic.ClimateConfig, cfg Config, ecfg ElasticConfig) (*ElasticResult, error) {
+	built, err := core.BuildClimateDataset(climCfg, cfg.Samples, cfg.encoding())
+	if err != nil {
+		return nil, err
+	}
+	spec := elasticSpec{
+		app:       "deepcam",
+		newModel:  func() (*nn.Sequential, error) { return models.MiniDeepCAM(climCfg.Channels, climCfg.Height, climCfg.Width) },
+		newOpt:    func(cfg Config) nn.Optimizer { return nn.NewSGD(cfg.LR, 0.9) },
+		normalize: true,
+		loss: func(m *nn.Sequential, x, y *tensor.Tensor) (float64, *tensor.Tensor) {
+			return nn.SoftmaxCrossEntropy2D(m.Forward(x), y)
+		},
+	}
+	return elasticRun(built, core.DeepCAM, cfg, ecfg, spec)
+}
+
+// ElasticCosmoFlow trains the regression model across ecfg.Ranks elastic
+// replicas for cfg.Epochs epochs.
+func ElasticCosmoFlow(cosmoCfg synthetic.CosmoConfig, cfg Config, ecfg ElasticConfig) (*ElasticResult, error) {
+	built, err := core.BuildCosmoDataset(cosmoCfg, cfg.Samples, cfg.encoding())
+	if err != nil {
+		return nil, err
+	}
+	spec := elasticSpec{
+		app:      "cosmoflow",
+		newModel: func() (*nn.Sequential, error) { return models.MiniCosmoFlow(cosmoCfg.Dim) },
+		newOpt:   func(cfg Config) nn.Optimizer { return nn.NewAdam(cfg.LR) },
+		loss: func(m *nn.Sequential, x, y *tensor.Tensor) (float64, *tensor.Tensor) {
+			return nn.MSELoss(m.Forward(x), y)
+		},
+	}
+	return elasticRun(built, core.CosmoFlow, cfg, ecfg, spec)
+}
+
+func elasticRun(built pipeline.Dataset, app core.App, cfg Config, ecfg ElasticConfig, spec elasticSpec) (*ElasticResult, error) {
+	if ecfg.Ranks <= 0 {
+		return nil, fmt.Errorf("train: invalid rank count %d", ecfg.Ranks)
+	}
+	ds, _ := withFaults(built, cfg)
+	loader, err := pipeline.New(ds, pipeline.Config{
+		Format:     core.FormatFor(app, cfg.encoding()),
+		Batch:      cfg.Batch,
+		Shuffle:    true,
+		Seed:       cfg.Seed,
+		DropLast:   true,
+		Resilience: cfg.Resilience,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	replicas := make([]*nn.Sequential, ecfg.Ranks)
+	opts := make([]nn.Optimizer, ecfg.Ranks)
+	for r := 0; r < ecfg.Ranks; r++ {
+		m, err := spec.newModel()
+		if err != nil {
+			return nil, err
+		}
+		m.InitHe(cfg.Seed) // identical init on every replica
+		replicas[r] = m
+		opts[r] = spec.newOpt(cfg)
+	}
+
+	// Resume before building the group: the checkpoint names the ranks that
+	// were already lost, and they must start down or the collectives would
+	// wait on ghosts. Every replica restores from the same snapshot (weights
+	// and optimizer state are identical across ranks by construction).
+	var meta CheckpointMeta
+	for r := 0; r < ecfg.Ranks; r++ {
+		meta, err = cfg.resumeInto(spec.app, replicas[r], opts[r])
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	group, err := dist.New(dist.Config{
+		Ranks:      ecfg.Ranks,
+		Clock:      ecfg.Clock,
+		Timeout:    ecfg.Timeout,
+		SlowFactor: ecfg.SlowFactor,
+		Obs:        cfg.Obs,
+		Down:       meta.Evicted,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var inj *fault.RankInjector
+	if ecfg.RankFaults != nil {
+		rc := *ecfg.RankFaults
+		if rc.Clock == nil {
+			rc.Clock = ecfg.Clock
+		}
+		inj = fault.NewRankInjector(rc)
+	}
+	sched := nn.WarmupSchedule{Base: cfg.LR, WarmupSteps: cfg.Warmup}
+
+	res := &ElasticResult{}
+	evSeen := 0
+	step := meta.Step
+	for epoch := meta.Epoch; epoch < cfg.Epochs; epoch++ {
+		it := loader.Epoch(epoch)
+		var sum float64
+		var steps int
+		for {
+			b, err := it.Next()
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			loss, err := elasticStep(group, replicas, opts, inj, spec, sched, b, step)
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			// Attribute any evictions absorbed during this step.
+			for _, ev := range group.Evictions()[evSeen:] {
+				res.Evictions = append(res.Evictions, ev)
+				res.EvictionSteps = append(res.EvictionSteps, step)
+				evSeen++
+			}
+			res.StepLosses = append(res.StepLosses, loss)
+			sum += loss
+			steps++
+			step++
+		}
+		it.Close()
+		if steps == 0 {
+			return nil, fmt.Errorf("train: empty epoch %d", epoch)
+		}
+		res.Losses = append(res.Losses, sum/float64(steps))
+		leader := group.Alive()[0]
+		var down []int
+		for r := 0; r < ecfg.Ranks; r++ {
+			if !group.Live(r) {
+				down = append(down, r)
+			}
+		}
+		if err := cfg.saveCheckpoint(spec.app, epoch+1, step, replicas[leader], opts[leader], down); err != nil {
+			return nil, err
+		}
+	}
+	res.Alive = group.Alive()
+	res.Generations = group.Generation()
+	res.Stragglers = group.Stragglers()
+	if inj != nil {
+		res.RankLog = inj.Log()
+	}
+	return res, nil
+}
+
+// rankOutcome is one rank's result for one step.
+type rankOutcome struct {
+	loss float64 // global batch-weighted loss after the allreduce
+	died bool    // this rank left the group during the step
+	err  error   // non-recoverable failure
+}
+
+// elasticStep runs one synchronous optimizer step across the live ranks:
+// shard the batch, inject any scheduled rank faults, compute local gradients,
+// allreduce them sample-weighted, and apply the identical update everywhere.
+// Returns the step's global loss from the lowest surviving rank.
+func elasticStep(group *dist.Group, replicas []*nn.Sequential, opts []nn.Optimizer,
+	inj *fault.RankInjector, spec elasticSpec, sched nn.WarmupSchedule,
+	b *pipeline.Batch, step int) (float64, error) {
+
+	alive := group.Alive()
+	n := len(b.Data)
+	m := len(alive)
+	if n < m {
+		return 0, fmt.Errorf("train: batch of %d cannot shard over %d ranks", n, m)
+	}
+	// Contiguous shards over the live ranks in id order: sizes differ by at
+	// most one, and the allreduce weights each rank's gradient by its shard
+	// size so uneven shards still yield the exact global batch mean.
+	base, rem := n/m, n%m
+	lr := sched.At(step)
+
+	outs := make([]rankOutcome, len(replicas))
+	var wg sync.WaitGroup
+	off := 0
+	for i, r := range alive {
+		size := base
+		if i < rem {
+			size++
+		}
+		lo, hi := off, off+size
+		off = hi
+		wg.Add(1)
+		go func(rank, lo, hi int) {
+			defer wg.Done()
+			outs[rank] = rankStep(group, replicas[rank], opts[rank], inj, spec, b, rank, step, lo, hi, lr)
+		}(r, lo, hi)
+	}
+	wg.Wait()
+
+	for _, r := range alive {
+		if outs[r].err != nil {
+			return 0, outs[r].err
+		}
+	}
+	for _, r := range alive {
+		if !outs[r].died {
+			return outs[r].loss, nil
+		}
+	}
+	return 0, fmt.Errorf("train: all ranks lost at step %d", step)
+}
+
+// rankStep is one rank's share of a step. The gradient synchronization
+// flattens every parameter gradient scaled by the local sample count into a
+// single buffer, appends [loss*count, count], and allreduce-sums it: dividing
+// by the summed count afterwards gives the exact global batch mean even when
+// shard sizes differ or a rank dies mid-step (its samples simply drop out of
+// the weighted sum). On a *RankError the local gradients are untouched, so
+// the retry refills the buffer and re-runs the collective on the rebuilt
+// ring.
+func rankStep(group *dist.Group, model *nn.Sequential, opt nn.Optimizer,
+	inj *fault.RankInjector, spec elasticSpec, b *pipeline.Batch,
+	rank, step, lo, hi int, lr float64) rankOutcome {
+
+	if inj != nil {
+		if kind, ok := inj.At(rank, step); ok {
+			switch kind {
+			case fault.CrashRank:
+				group.Leave(rank, "crash")
+				return rankOutcome{died: true}
+			case fault.HangRank:
+				// Never arrive at the collective; the goroutine parks until
+				// the group's deadline gives up on this rank.
+				<-group.Departed(rank)
+				return rankOutcome{died: true}
+			}
+			// SlowRank already stalled inside At via the injector's clock.
+		}
+	}
+
+	x, err := StackData(b.Data[lo:hi])
+	if err != nil {
+		return rankOutcome{err: err}
+	}
+	if spec.normalize {
+		NormalizeChannels(x)
+	}
+	y, err := StackLabels(b.Labels[lo:hi])
+	if err != nil {
+		return rankOutcome{err: err}
+	}
+	model.ZeroGrad()
+	loss, grad := spec.loss(model, x, y)
+	model.Backward(grad)
+
+	params := model.Params()
+	total := 0
+	for _, p := range params {
+		total += len(p.G)
+	}
+	buf := make([]float32, total+2)
+	w := float32(hi - lo)
+	fill := func() {
+		o := 0
+		for _, p := range params {
+			for i, g := range p.G {
+				buf[o+i] = g * w
+			}
+			o += len(p.G)
+		}
+		buf[total] = float32(loss) * w
+		buf[total+1] = w
+	}
+
+	// Bounded retry: each *RankError consumes at least one eviction, and the
+	// group can only shrink Size()-1 times before the ring is a singleton.
+	for attempt := 0; attempt < group.Size(); attempt++ {
+		fill()
+		err := group.AllReduceSum(rank, buf)
+		if err == nil {
+			tw := buf[total+1]
+			if tw <= 0 {
+				return rankOutcome{err: fmt.Errorf("train: rank %d allreduced a non-positive sample count %v", rank, tw)}
+			}
+			inv := 1 / tw
+			o := 0
+			for _, p := range params {
+				for i := range p.G {
+					p.G[i] = buf[o+i] * inv
+				}
+				o += len(p.G)
+			}
+			opt.SetLR(lr)
+			opt.Step(params)
+			return rankOutcome{loss: float64(buf[total] * inv)}
+		}
+		var re *dist.RankError
+		if errors.As(err, &re) {
+			if re.Self {
+				return rankOutcome{died: true}
+			}
+			continue // ring rebuilt; re-run the interrupted collective
+		}
+		return rankOutcome{err: err}
+	}
+	return rankOutcome{err: fmt.Errorf("train: rank %d exhausted allreduce retries at step %d", rank, step)}
+}

@@ -142,6 +142,17 @@ type Config struct {
 	// to a wall clock; supply a trace.VirtualClock for exact, reproducible
 	// durations in tests.
 	Clock trace.Clock
+	// CheckpointEvery saves a resumable snapshot into Checkpoints after
+	// every N fully completed epochs. Zero disables checkpointing.
+	CheckpointEvery int
+	// Checkpoints receives the epoch-boundary snapshots; required when
+	// CheckpointEvery is set.
+	Checkpoints *CheckpointLog
+	// ResumeFrom, when non-nil, restores the run from a snapshot — model
+	// weights, optimizer state, RNG streams and sampler position — and
+	// continues from its epoch boundary bit-identically to a run that was
+	// never interrupted.
+	ResumeFrom *Checkpoint
 }
 
 // obsClock resolves the clock shared by the loader and the instrumented
@@ -279,13 +290,18 @@ func DeepCAMRun(climCfg synthetic.ClimateConfig, cfg Config) (*Result, error) {
 	model.InitHe(cfg.Seed)
 	opt := nn.NewSGD(cfg.LR, 0.9)
 	sched := nn.WarmupSchedule{Base: cfg.LR, WarmupSteps: cfg.Warmup}
+	meta, err := cfg.resumeInto("deepcam", model, opt)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{}
 	roll := newEpochRoll(cfg.Obs)
-	step := 0
-	for epoch := 0; step < cfg.Steps; epoch++ {
+	step := meta.Step
+	for epoch := meta.Epoch; step < cfg.Steps; epoch++ {
 		it := loader.Epoch(epoch)
 		epochStart := step
+		full := false
 		for step < cfg.Steps {
 			b, err := it.Next()
 			if err != nil {
@@ -293,6 +309,7 @@ func DeepCAMRun(climCfg synthetic.ClimateConfig, cfg Config) (*Result, error) {
 				return nil, err
 			}
 			if b == nil {
+				full = true
 				break
 			}
 			x, err := StackData(b.Data)
@@ -321,6 +338,13 @@ func DeepCAMRun(climCfg synthetic.ClimateConfig, cfg Config) (*Result, error) {
 			// Every sample skipped (or the dataset is empty): without this
 			// guard a fully degraded epoch would loop forever.
 			return nil, fmt.Errorf("train: epoch %d produced no batches", epoch)
+		}
+		if full {
+			// Snapshots are taken only at true epoch boundaries, never at a
+			// mid-epoch step cutoff, so a resumed run replays no batch.
+			if err := cfg.saveCheckpoint("deepcam", epoch+1, step, model, opt, nil); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if inj != nil {
@@ -371,11 +395,15 @@ func CosmoFlowRun(cosmoCfg synthetic.CosmoConfig, cfg Config) (*Result, error) {
 	model.InitHe(cfg.Seed)
 	opt := nn.NewAdam(cfg.LR)
 	sched := nn.WarmupSchedule{Base: cfg.LR, WarmupSteps: cfg.Warmup}
+	meta, err := cfg.resumeInto("cosmoflow", model, opt)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{}
 	roll := newEpochRoll(cfg.Obs)
-	step := 0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	step := meta.Step
+	for epoch := meta.Epoch; epoch < cfg.Epochs; epoch++ {
 		it := loader.Epoch(epoch)
 		var sum float64
 		var steps int
@@ -414,6 +442,9 @@ func CosmoFlowRun(cosmoCfg synthetic.CosmoConfig, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("train: empty epoch %d", epoch)
 		}
 		res.Losses = append(res.Losses, sum/float64(steps))
+		if err := cfg.saveCheckpoint("cosmoflow", epoch+1, step, model, opt, nil); err != nil {
+			return nil, err
+		}
 	}
 	if inj != nil {
 		res.Injections = inj.Log()
@@ -482,6 +513,7 @@ func DataParallelCosmoFlow(cosmoCfg synthetic.CosmoConfig, cfg Config, ranks int
 				break
 			}
 			partLoss := make([]float64, ranks)
+			rankErr := make([]error, ranks)
 			var wg sync.WaitGroup
 			for r := 0; r < ranks; r++ {
 				wg.Add(1)
@@ -498,12 +530,20 @@ func DataParallelCosmoFlow(cosmoCfg synthetic.CosmoConfig, cfg Config, ranks int
 					m.Backward(grad)
 					// Synchronize gradients: mean across replicas.
 					for _, p := range m.Params() {
-						group.AllReduceMean(rank, p.G)
+						if err := group.AllReduceMean(rank, p.G); err != nil {
+							rankErr[rank] = err
+							return
+						}
 					}
 					opts[rank].Step(m.Params())
 				}(r)
 			}
 			wg.Wait()
+			for _, err := range rankErr {
+				if err != nil {
+					return nil, err
+				}
+			}
 			var l float64
 			for _, pl := range partLoss {
 				l += pl

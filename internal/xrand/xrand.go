@@ -38,6 +38,21 @@ func New(seed uint64) *RNG {
 // give each sample / worker its own stream without correlation.
 func (r *RNG) Split() *RNG { return New(r.Uint64()) }
 
+// State returns the generator's internal state, for checkpointing a live
+// stream mid-sequence.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured by State: the stream continues exactly
+// where the captured generator left off. It panics on the all-zero state,
+// which xoshiro256** can never reach from a valid seed and would emit zeros
+// forever (programmer invariant: only feed back State output).
+func (r *RNG) SetState(s [4]uint64) {
+	if s == ([4]uint64{}) {
+		panic("xrand: SetState with all-zero state")
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits (xoshiro256**).
