@@ -10,11 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent subsystems (prefetcher, ring
-# allreduce, data-parallel trainer, fault injector, metrics registry,
-# checkpoint codec, chaos-training sweep).
+# Race-detector pass over the concurrent subsystems (staged pipeline DAG
+# and its sample cache, ring allreduce, data-parallel trainer, fault
+# injector, metrics registry, checkpoint codec, chaos-training sweep).
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/dist/... ./internal/train/... ./internal/fault/... ./internal/obs/... ./internal/nn/... ./cmd/chaostrain/...
+	$(GO) test -race ./internal/pipeline/... ./internal/iosim/... ./internal/dist/... ./internal/train/... ./internal/fault/... ./internal/obs/... ./internal/nn/... ./cmd/chaostrain/...
 
 # Fault-injection and resilience suite: injector determinism, retry/backoff,
 # skip quotas, the end-to-end faulted DeepCAM acceptance run, and the

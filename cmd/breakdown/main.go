@@ -5,7 +5,10 @@
 //
 // Each row is one pipeline variant's per-sample stage profile: storage
 // read, host CPU preprocessing, host-to-device transfer, on-device decode,
-// model compute, and gradient allreduce.
+// model compute, and gradient allreduce. The simulated stages mirror the
+// stage DAG internal/pipeline executes for real (read/cache, decode
+// plugin, augment, batch); the decode-placement variants are the
+// CPUPlugin/GPUPlugin settings of its DecodeStage.
 //
 // The table is rendered from the observability layer: the simulated stage
 // profiles are replayed as obs spans on a virtual clock and the printed

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"scipp/internal/fault"
+	"scipp/internal/pipeline"
 	"scipp/internal/synthetic"
 	"scipp/internal/trace"
 	"scipp/internal/train"
@@ -73,6 +74,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed (data, model init, faults)")
 	crashAt := flag.Int("crash-step", 3, "step at which the crash/hang scenarios kill a rank")
 	every := flag.Int("checkpoint-every", 2, "epoch cadence of checkpoints (0 disables)")
+	cacheMB := flag.Int("cache-mb", 0, "host-memory sample cache in MiB (0 = uncached; caching never changes loss)")
 	flag.Parse()
 	if *ranks <= 1 {
 		log.Fatal("need at least 2 ranks for an elastic sweep")
@@ -86,7 +88,7 @@ func main() {
 		"app", "case", "ranks", "alive", "evicted", "injected", "ckpts", "strag", "final-loss", "vs-clean")
 	var clean float64
 	for i, sc := range scenarios(*crashAt) {
-		res, ckpts, err := run(*app, sc, *ranks, *samples, *batch, *epochs, *seed, *every, stepsPerEpoch)
+		res, ckpts, err := run(*app, sc, *ranks, *samples, *batch, *epochs, *seed, *every, stepsPerEpoch, *cacheMB)
 		if err != nil {
 			log.Fatalf("%s: %v", sc.name, err)
 		}
@@ -130,7 +132,7 @@ func reconcile(res *train.ElasticResult) error {
 	return nil
 }
 
-func run(app string, sc scenario, ranks, samples, batch, epochs int, seed uint64, every, stepsPerEpoch int) (*train.ElasticResult, int, error) {
+func run(app string, sc scenario, ranks, samples, batch, epochs int, seed uint64, every, stepsPerEpoch, cacheMB int) (*train.ElasticResult, int, error) {
 	ckpts := &train.CheckpointLog{}
 	cfg := train.Config{
 		Samples:         samples,
@@ -140,6 +142,12 @@ func run(app string, sc scenario, ranks, samples, batch, epochs int, seed uint64
 		LR:              0.01,
 		Warmup:          2,
 		CheckpointEvery: every,
+	}
+	if cacheMB > 0 {
+		// The staged loader's sample cache: epoch 0 populates it, later
+		// epochs read from host memory. Delivered batches are bit-identical
+		// either way, so every scenario's loss column is cache-invariant.
+		cfg.Cache = pipeline.CacheConfig{HostMemBytes: int64(cacheMB) << 20}
 	}
 	if every > 0 {
 		cfg.Checkpoints = ckpts

@@ -25,7 +25,7 @@ func TestSweepScenarios(t *testing.T) {
 				continue
 			}
 			t.Run(app+"/"+sc.name, func(t *testing.T) {
-				res, ckpts, err := run(app, sc, ranks, samples, batch, epochs, seed, every, stepsPerEpoch)
+				res, ckpts, err := run(app, sc, ranks, samples, batch, epochs, seed, every, stepsPerEpoch, 0)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -44,6 +44,20 @@ func TestSweepScenarios(t *testing.T) {
 				}
 				if len(res.Alive) != wantAlive {
 					t.Fatalf("alive = %v, want %d survivors", res.Alive, wantAlive)
+				}
+				if sc.name == "clean" {
+					// -cache-mb must not perturb training: an elastic run
+					// with the sample cache delivers bit-identical batches,
+					// so its per-epoch losses match the uncached run exactly.
+					cres, _, err := run(app, sc, ranks, samples, batch, epochs, seed, every, stepsPerEpoch, 64)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for e, l := range res.Losses {
+						if cres.Losses[e] != l {
+							t.Fatalf("epoch %d: cached loss %v != uncached %v", e, cres.Losses[e], l)
+						}
+					}
 				}
 			})
 		}

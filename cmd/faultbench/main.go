@@ -35,6 +35,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed (drives data, model init, and injection)")
 	retries := flag.Int("retries", 3, "transient-error retry cap per sample")
 	quota := flag.Int("quota", 0, "per-epoch MaxBadSamples (default: 10% of samples, min 1)")
+	cacheMB := flag.Int("cache-mb", 0, "host-memory sample cache in MiB (0 = uncached; epochs after the first then dodge storage-level fault injection)")
 	flag.Parse()
 
 	var parsed []float64
@@ -50,7 +51,7 @@ func main() {
 		"app", "rate", "injected", "decoded", "retried", "skipped", "epochs", "final-loss", "vs-clean")
 	var clean float64
 	for i, rate := range parsed {
-		res, err := run(*app, rate, *samples, *batch, *steps, *epochs, *seed, *retries, *quota)
+		res, err := run(*app, rate, *samples, *batch, *steps, *epochs, *seed, *retries, *quota, *cacheMB)
 		if err != nil {
 			log.Fatalf("rate %g: %v", rate, err)
 		}
@@ -70,7 +71,7 @@ func main() {
 	}
 }
 
-func run(app string, rate float64, samples, batch, steps, epochs int, seed uint64, retries, quota int) (*train.Result, error) {
+func run(app string, rate float64, samples, batch, steps, epochs int, seed uint64, retries, quota, cacheMB int) (*train.Result, error) {
 	cfg := train.Config{
 		Encoded: true,
 		Seed:    seed,
@@ -81,6 +82,12 @@ func run(app string, rate float64, samples, batch, steps, epochs int, seed uint6
 			BackoffBase: 0.001,
 			BackoffCap:  0.05,
 		},
+	}
+	if cacheMB > 0 {
+		// Fault injection wraps Dataset.Blob, so a cached sample is immune to
+		// storage-level faults after its first epoch: the injected column
+		// shrinks with -cache-mb while decoded counts and loss stay intact.
+		cfg.Cache = pipeline.CacheConfig{HostMemBytes: int64(cacheMB) << 20}
 	}
 	if rate > 0 {
 		cfg.Faults = &fault.Config{

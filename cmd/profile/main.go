@@ -19,6 +19,7 @@ import (
 
 	"scipp/internal/bench"
 	"scipp/internal/core"
+	"scipp/internal/iosim"
 	"scipp/internal/obs"
 	"scipp/internal/pipeline"
 	"scipp/internal/platform"
@@ -106,4 +107,37 @@ func main() {
 		s.Counter("codec."+name+".bytes_in"),
 		s.Counter("codec."+name+".bytes_out"),
 		s.Counter("codec."+name+".decode.chunks"))
+
+	// Part 3: storage-hierarchy cache on the real data path. The loader's
+	// sample cache is sized from the selected platform's node (iosim's
+	// residency model realized as a CacheStage); a two-epoch run then shows
+	// the paper's "steps 3 & 4 are repeated" regime — epoch 0 populates the
+	// cache, epoch 1 reads entirely from it — and the measured hit rate is
+	// checked against iosim's analytic HitFraction prediction.
+	node := iosim.Node{P: p}
+	creg := obs.NewRegistry()
+	cached, err := pipeline.New(ds, pipeline.Config{
+		Format: core.FormatFor(core.DeepCAM, core.Plugin),
+		Batch:  2,
+		Cache:  pipeline.CacheFromNode(node, false),
+		Obs:    creg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for epoch := 0; epoch < 2; epoch++ {
+		if _, err := cached.Epoch(epoch).Drain(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cs := creg.Snapshot()
+	hits, misses := cs.Counter("pipeline.cache.hits"), cs.Counter("pipeline.cache.misses")
+	fmt.Println()
+	fmt.Printf("SAMPLE CACHE (%s node hierarchy, 2 epochs x %d samples)\n", p.Name, n)
+	fmt.Printf("  pipeline.cache.hits %d  misses %d  evictions %d  resident %d samples / %.1f KiB host\n",
+		hits, misses, cs.Counter("pipeline.cache.evictions"),
+		cached.Cache().Stats().HostSamples, float64(cached.Cache().Stats().HostBytes)/1024)
+	iods := iosim.Dataset{Samples: n, SampleBytes: ds.EncodedBytes() / n}
+	fmt.Printf("  epoch-1 hit rate %.0f%% (iosim HitFraction predicts %.0f%%)\n",
+		100*float64(hits)/float64(n), 100*node.HitFraction(iods, 1))
 }

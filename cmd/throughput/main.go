@@ -5,7 +5,10 @@
 //	-app cosmoflow -set large Fig 11 (2048 samples/GPU)
 //	-summary                  headline speedups across all sweeps
 //
-// Node throughput is samples/s for a full node, as the paper plots.
+// Node throughput is samples/s for a full node, as the paper plots. The
+// swept decode placements are internal/pipeline's DecodeStage plugins
+// (CPUPlugin/GPUPlugin); the staging dimension is the residency regime the
+// loader's sample cache (pipeline.CacheStage) realizes on the live path.
 package main
 
 import (

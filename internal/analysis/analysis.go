@@ -227,5 +227,6 @@ func All() []*Analyzer {
 		UncheckedError,
 		Retry,
 		DistSend,
+		StageSend,
 	}
 }

@@ -25,7 +25,8 @@ var fixtures = []struct {
 	{"fixerr", "scipp/internal/fixerr"},
 	{"fixdir", "scipp/internal/fixdir"},
 	{"fixretry", "scipp/internal/fixretry"},
-	{"fixdistsend", "scipp/internal/dist"}, // dist scope for the abort-escape send rule
+	{"fixdistsend", "scipp/internal/dist"},      // dist scope for the abort-escape send rule
+	{"fixstagesend", "scipp/internal/pipeline"}, // pipeline scope for the stage send rule
 }
 
 func moduleRoot(t *testing.T) string {

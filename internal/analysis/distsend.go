@@ -21,6 +21,14 @@ func runDistSend(pass *Pass) {
 	if pass.Path != "scipp/internal/dist" {
 		return
 	}
+	reportUnguardedSends(pass,
+		"channel send in internal/dist without an abort escape: use select { case ch <- v: case <-abort: }")
+}
+
+// reportUnguardedSends flags every channel send in the pass's files that is
+// not the comm of a select clause whose select also offers an escape (a
+// receive case or a default). Shared by the distsend and stagesend rules.
+func reportUnguardedSends(pass *Pass, msg string) {
 	for _, f := range pass.Files {
 		// First pass: mark the sends that are the comm of a select clause
 		// whose select also offers an escape (receive case or default).
@@ -59,8 +67,7 @@ func runDistSend(pass *Pass) {
 				return true
 			}
 			if !guarded[send] {
-				pass.Reportf(Error, send.Pos(),
-					"channel send in internal/dist without an abort escape: use select { case ch <- v: case <-abort: }")
+				pass.Reportf(Error, send.Pos(), "%s", msg)
 			}
 			return true
 		})

@@ -1,0 +1,22 @@
+package analysis
+
+// StageSend extends the communicator's send discipline to the staged data
+// pipeline: every channel send in scipp/internal/pipeline must sit in a
+// select that also has an escape case — a receive (the epoch's abort
+// channel) or a default. The stage DAG's worker pools hand samples between
+// bounded queues; a bare send in any of them can block forever once
+// Iterator.Close tears the consumer down, leaking the pool and wedging
+// epoch teardown. Test files are exempt (the loader skips them).
+var StageSend = &Analyzer{
+	Name: "stagesend",
+	Doc:  "flag channel sends in internal/pipeline not guarded by a select with an abort case",
+	Run:  runStageSend,
+}
+
+func runStageSend(pass *Pass) {
+	if pass.Path != "scipp/internal/pipeline" {
+		return
+	}
+	reportUnguardedSends(pass,
+		"channel send in internal/pipeline without an abort escape: use sendItem or select { case ch <- v: case <-abort: }")
+}

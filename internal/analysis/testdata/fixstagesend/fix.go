@@ -1,0 +1,36 @@
+// Package fixstagesend is a lint fixture for the staged pipeline's send
+// discipline. The analysis tests load it under scipp/internal/pipeline so
+// the stagesend rule applies: every send needs a select with an escape case.
+package fixstagesend
+
+// Bare sends directly with no select.
+func Bare(ch chan int, v int) {
+	ch <- v
+}
+
+// Naked wraps the send in a single-case select with no escape.
+func Naked(ch chan int, v int) {
+	select {
+	case ch <- v:
+	}
+}
+
+// Guarded pairs the send with an abort receive; lint-clean.
+func Guarded(ch chan int, abort <-chan struct{}, v int) bool {
+	select {
+	case ch <- v:
+		return true
+	case <-abort:
+		return false
+	}
+}
+
+// NonBlocking bounds the send with a default; lint-clean.
+func NonBlocking(ch chan int, v int) bool {
+	select {
+	case ch <- v:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,87 @@
+package iosim
+
+import (
+	"math"
+	"testing"
+
+	"scipp/internal/platform"
+)
+
+func TestHitFractionColdEpochAlwaysMisses(t *testing.T) {
+	n := Node{P: platform.CoriV100()}
+	tiny := Dataset{Samples: 10, SampleBytes: 1}
+	if h := n.HitFraction(tiny, 0); h != 0 {
+		t.Errorf("epoch 0 HitFraction = %v, want 0 (cold traversal)", h)
+	}
+}
+
+func TestHitFractionFittingDataset(t *testing.T) {
+	n := Node{P: platform.CoriV100()}
+	// 1536 DeepCAM samples ~ 87 GB < the 230 GB budget: fully cacheable.
+	ds := Dataset{Samples: 1536, SampleBytes: 16 * 1152 * 768 * 4}
+	if h := n.HitFraction(ds, 1); h != 1 {
+		t.Errorf("fitting dataset HitFraction = %v, want 1", h)
+	}
+	if h := n.HitFraction(Dataset{}, 3); h != 1 {
+		t.Errorf("empty dataset HitFraction = %v, want 1", h)
+	}
+}
+
+func TestHitFractionPartialDataset(t *testing.T) {
+	n := Node{P: platform.CoriV100()}
+	budget := n.P.MemBudgetBytes()
+	// A dataset exactly twice the budget caches half its samples.
+	ds := Dataset{Samples: 2, SampleBytes: int(budget)}
+	if h := n.HitFraction(ds, 1); math.Abs(h-0.5) > 1e-12 {
+		t.Errorf("2x-budget dataset HitFraction = %v, want 0.5", h)
+	}
+	// The fraction is epoch-independent once warm.
+	if n.HitFraction(ds, 1) != n.HitFraction(ds, 9) {
+		t.Error("warm HitFraction should not depend on the epoch index")
+	}
+	// The softened model must agree with the binary one at the extremes:
+	// ResidentLevel says this dataset never caches, HitFraction says 0.5 —
+	// that disagreement in the middle is the point of the partial model, but
+	// both must agree the cold epoch misses.
+	if n.ResidentLevel(ds, 0) == HostMem || n.HitFraction(ds, 0) != 0 {
+		t.Error("cold epoch disagreement between models")
+	}
+}
+
+func TestPartialReadTimeBlendsLevels(t *testing.T) {
+	n := Node{P: platform.CoriV100()}
+	budget := n.P.MemBudgetBytes()
+	for _, staged := range []bool{false, true} {
+		ds := Dataset{Samples: 4, SampleBytes: int(budget / 2), Staged: staged}
+		h := n.HitFraction(ds, 1) // 4 samples x budget/2 = 2x budget -> 0.5
+		miss := SharedFS
+		if staged {
+			miss = NVMe
+		}
+		want := h*n.ReadTime(ds, HostMem, 2) + (1-h)*n.ReadTime(ds, miss, 2)
+		got := n.PartialReadTime(ds, 1, 2)
+		if math.Abs(got-want) > 1e-15 {
+			t.Errorf("staged=%v: PartialReadTime = %v, want blend %v", staged, got, want)
+		}
+		// Warm partial reads must beat cold ones and lose to a full cache.
+		cold := n.PartialReadTime(ds, 0, 2)
+		if !(got < cold) {
+			t.Errorf("staged=%v: warm partial read %v not faster than cold %v", staged, got, cold)
+		}
+		if mem := n.ReadTime(ds, HostMem, 2); !(got > mem) {
+			t.Errorf("staged=%v: partial read %v should be slower than pure host-mem %v", staged, got, mem)
+		}
+	}
+}
+
+func TestPartialReadTimeColdEqualsSourceLevel(t *testing.T) {
+	n := Node{P: platform.Summit()}
+	ds := Dataset{Samples: 100, SampleBytes: 1 << 20, Staged: true}
+	if got, want := n.PartialReadTime(ds, 0, 1), n.ReadTime(ds, NVMe, 1); got != want {
+		t.Errorf("cold staged PartialReadTime = %v, want NVMe read time %v", got, want)
+	}
+	ds.Staged = false
+	if got, want := n.PartialReadTime(ds, 0, 1), n.ReadTime(ds, SharedFS, 1); got != want {
+		t.Errorf("cold unstaged PartialReadTime = %v, want shared-FS read time %v", got, want)
+	}
+}

@@ -1,0 +1,26 @@
+package pipeline
+
+import "scipp/internal/tensor"
+
+// AugmentStage runs the per-sample augmentation transform of the reference
+// pipelines on its own worker pool, overlapped with read and decode like
+// every other stage. Augment errors fail the sample exactly like decode
+// errors. The stage is omitted from the DAG when no transform is configured.
+type AugmentStage struct {
+	fn func(*tensor.Tensor) (*tensor.Tensor, error)
+	ob iterObs
+}
+
+// Name implements Stage.
+func (s *AugmentStage) Name() string { return "augment" }
+
+// Process implements Stage[decodedSample, decodedSample].
+func (s *AugmentStage) Process(index int, in decodedSample) (decodedSample, error) {
+	sp := s.ob.tr.Start("pipeline.augment")
+	data, err := s.fn(in.data)
+	sp.End()
+	if err != nil {
+		return decodedSample{}, err
+	}
+	return decodedSample{data: data, label: in.label}, nil
+}

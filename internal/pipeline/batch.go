@@ -1,0 +1,73 @@
+package pipeline
+
+import "scipp/internal/tensor"
+
+// Batch is one assembled minibatch.
+type Batch struct {
+	// Data holds the decoded sample tensors, one per sample.
+	Data []*tensor.Tensor
+	// Labels holds the matching labels.
+	Labels []*tensor.Tensor
+	// Indices are the dataset indices the batch was drawn from.
+	Indices []int
+}
+
+// Size returns the number of samples in the batch.
+func (b *Batch) Size() int { return len(b.Data) }
+
+// BatchStage is the sink of the DAG: it restores schedule order over the
+// out-of-order stage completions and feeds Iterator.Next, which assembles
+// minibatches and applies the resilience policy. Stages ahead of it run
+// samples concurrently, so completions arrive in any order; the reorder
+// buffer (bounded by the in-flight cap, so at most Prefetch entries) holds
+// each until its schedule position is next. Terminal failures occupy their
+// schedule position like successes — Next sees errors exactly where the
+// monolithic loader surfaced them.
+type BatchStage struct {
+	// total is the epoch's scheduled sample count.
+	total int
+	// ordered delivers outcomes to Next in schedule order.
+	ordered chan outcome
+	// done closes once every scheduled sample reached a terminal outcome;
+	// stage workers and the retry judge exit on it.
+	done chan struct{}
+}
+
+func newBatchStage(total, depth int) *BatchStage {
+	return &BatchStage{
+		total:   total,
+		ordered: make(chan outcome, depth),
+		done:    make(chan struct{}),
+	}
+}
+
+// run consumes terminal outcomes until every scheduled sample is accounted,
+// releasing them to the ordered channel in schedule order. It owns both
+// ordered (closed on exit, so Next observes end-of-epoch) and done (closed
+// only on full accounting, so an abort never signals completion).
+func (bs *BatchStage) run(completions <-chan outcome, abort <-chan struct{}) {
+	defer close(bs.ordered)
+	pending := make(map[int]outcome, 8)
+	next := 0
+	for accounted := 0; accounted < bs.total; accounted++ {
+		var o outcome
+		select {
+		case o = <-completions:
+		case <-abort:
+			return
+		}
+		pending[o.seq] = o
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if !sendItem(bs.ordered, r, abort) {
+				return
+			}
+		}
+	}
+	close(bs.done)
+}

@@ -1,0 +1,237 @@
+package pipeline
+
+import (
+	"container/list"
+	"sync"
+
+	"scipp/internal/iosim"
+	"scipp/internal/tensor"
+)
+
+// CacheConfig sizes the loader's storage-hierarchy sample cache: a host
+// CPU-memory tier with an NVMe spill tier below it, mirroring internal/
+// iosim's residency model ("if the samples assigned to a node fit in the
+// host CPU memory, a sample traverses step 1 & 2 once, while step 3 & 4 are
+// repeated"). The zero value disables caching, keeping every epoch a cold
+// traversal of the Dataset.
+type CacheConfig struct {
+	// HostMemBytes is the host-memory tier capacity; 0 disables the tier.
+	HostMemBytes int64
+	// NVMeBytes is the NVMe spill tier capacity; 0 disables the tier.
+	// Host-tier LRU evictions demote into it instead of dropping.
+	NVMeBytes int64
+}
+
+func (c CacheConfig) enabled() bool { return c.HostMemBytes > 0 || c.NVMeBytes > 0 }
+
+// CacheFromNode sizes a cache from a simulated node's storage hierarchy:
+// the host tier gets the platform's per-node memory budget, and — for
+// staged datasets — the NVMe tier gets the node NVMe capacity. This is the
+// bridge from iosim's analytic residency model to the real data path.
+func CacheFromNode(n iosim.Node, staged bool) CacheConfig {
+	cfg := CacheConfig{HostMemBytes: n.P.MemBudgetBytes()}
+	if staged {
+		cfg.NVMeBytes = int64(n.P.Storage.NVMeTB * 1e12)
+	}
+	return cfg
+}
+
+// CacheStats is a point-in-time snapshot of a SampleCache's accounting.
+type CacheStats struct {
+	// Hits and Misses count Get outcomes; HostHits/NVMeHits split the hits
+	// by the tier that served them.
+	Hits, Misses, HostHits, NVMeHits int64
+	// Demotions counts host-tier LRU evictions that moved into the NVMe
+	// tier; Evictions counts samples dropped from the cache entirely.
+	Demotions, Evictions int64
+	// HostBytes/NVMeBytes and HostSamples/NVMeSamples are current occupancy.
+	HostBytes, NVMeBytes     int64
+	HostSamples, NVMeSamples int
+}
+
+// cacheEntry is one resident sample.
+type cacheEntry struct {
+	index int
+	blob  []byte
+	label *tensor.Tensor
+	bytes int64
+	level iosim.Level // HostMem or NVMe
+	elem  *list.Element
+}
+
+// SampleCache is the capacity-bounded sample store behind CacheStage: a
+// two-tier (HostMem over NVMe) LRU keyed by dataset index. Eviction is
+// deterministic in the access order — the least recently used host entry
+// demotes to the NVMe tier, and the least recently used NVMe entry drops —
+// so a given sequence of Get/Put calls always leaves the same residency.
+// It is safe for concurrent use by the read-stage workers; the cache (and
+// therefore the residency it builds up during epoch 0) is shared by every
+// epoch of its Loader.
+type SampleCache struct {
+	cfg CacheConfig
+
+	mu        sync.Mutex
+	entries   map[int]*cacheEntry
+	host      *list.List // front = most recently used
+	nvme      *list.List
+	hostBytes int64
+	nvmeBytes int64
+	stats     CacheStats
+}
+
+// NewSampleCache returns an empty cache with the given tier capacities.
+func NewSampleCache(cfg CacheConfig) *SampleCache {
+	return &SampleCache{
+		cfg:     cfg,
+		entries: make(map[int]*cacheEntry),
+		host:    list.New(),
+		nvme:    list.New(),
+	}
+}
+
+// Get returns sample i if resident, refreshing its recency within its tier.
+func (c *SampleCache) Get(i int) ([]byte, *tensor.Tensor, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[i]
+	if !ok {
+		c.stats.Misses++
+		return nil, nil, false
+	}
+	c.stats.Hits++
+	if e.level == iosim.HostMem {
+		c.stats.HostHits++
+		c.host.MoveToFront(e.elem)
+	} else {
+		c.stats.NVMeHits++
+		c.nvme.MoveToFront(e.elem)
+	}
+	return e.blob, e.label, true
+}
+
+// Put inserts sample i, evicting least-recently-used residents as needed.
+// New samples land in the host tier (falling through to NVMe when they
+// cannot fit host memory at all); overflow demotes host LRU entries to the
+// NVMe tier and drops NVMe LRU entries. Samples larger than every tier are
+// not cached. Re-putting a resident index refreshes its payload in place.
+// It returns the number of samples dropped from the cache by this call, so
+// callers can feed eviction metrics without re-reading shared state.
+func (c *SampleCache) Put(i int, blob []byte, label *tensor.Tensor) int {
+	size := int64(len(blob))
+	if label != nil {
+		size += int64(label.Bytes())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[i]; ok {
+		c.removeLocked(e)
+	}
+	e := &cacheEntry{index: i, blob: blob, label: label, bytes: size}
+	switch {
+	case size <= c.cfg.HostMemBytes:
+		e.level = iosim.HostMem
+		e.elem = c.host.PushFront(e)
+		c.hostBytes += size
+	case size <= c.cfg.NVMeBytes:
+		e.level = iosim.NVMe
+		e.elem = c.nvme.PushFront(e)
+		c.nvmeBytes += size
+	default:
+		return 0 // fits nowhere: uncacheable
+	}
+	c.entries[i] = e
+	return c.rebalanceLocked()
+}
+
+// rebalanceLocked restores both tier capacity invariants: host overflow
+// demotes LRU entries to NVMe (or drops them when no NVMe tier fits), then
+// NVMe overflow drops LRU entries. It returns the number of drops.
+func (c *SampleCache) rebalanceLocked() int {
+	dropped := 0
+	for c.hostBytes > c.cfg.HostMemBytes {
+		e := c.host.Back().Value.(*cacheEntry)
+		c.host.Remove(e.elem)
+		c.hostBytes -= e.bytes
+		if e.bytes <= c.cfg.NVMeBytes {
+			e.level = iosim.NVMe
+			e.elem = c.nvme.PushFront(e)
+			c.nvmeBytes += e.bytes
+			c.stats.Demotions++
+			continue
+		}
+		delete(c.entries, e.index)
+		c.stats.Evictions++
+		dropped++
+	}
+	for c.nvmeBytes > c.cfg.NVMeBytes {
+		e := c.nvme.Back().Value.(*cacheEntry)
+		c.removeLocked(e)
+		c.stats.Evictions++
+		dropped++
+	}
+	return dropped
+}
+
+// removeLocked detaches e from its tier and the index.
+func (c *SampleCache) removeLocked(e *cacheEntry) {
+	if e.level == iosim.HostMem {
+		c.host.Remove(e.elem)
+		c.hostBytes -= e.bytes
+	} else {
+		c.nvme.Remove(e.elem)
+		c.nvmeBytes -= e.bytes
+	}
+	delete(c.entries, e.index)
+}
+
+// Stats returns a snapshot of the cache's accounting.
+func (c *SampleCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.HostBytes, s.NVMeBytes = c.hostBytes, c.nvmeBytes
+	s.HostSamples, s.NVMeSamples = c.host.Len(), c.nvme.Len()
+	return s
+}
+
+// Len returns the number of resident samples.
+func (c *SampleCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// CacheStage is the storage-aware read stage: it serves resident samples
+// from the SampleCache and delegates misses to the inner ReadStage, whose
+// successful reads populate the cache — so epoch 0 is the cold traversal
+// that builds residency and later epochs read from the hierarchy level the
+// paper's model predicts. Hits and misses are counted on the
+// pipeline.cache.* metrics; both paths run under the pipeline.read span so
+// stage accounting is identical with and without a cache.
+type CacheStage struct {
+	read  *ReadStage
+	cache *SampleCache
+	ob    iterObs
+}
+
+// Name implements Stage.
+func (s *CacheStage) Name() string { return "read" }
+
+// Process implements Stage[struct{}, rawSample].
+func (s *CacheStage) Process(index int, _ struct{}) (rawSample, error) {
+	sp := s.ob.tr.Start("pipeline.read")
+	defer sp.End()
+	if blob, label, ok := s.cache.Get(index); ok {
+		s.ob.cacheHits.Inc()
+		return rawSample{blob: blob, label: label}, nil
+	}
+	s.ob.cacheMisses.Inc()
+	r, err := s.read.fetch(index)
+	if err != nil {
+		return rawSample{}, err
+	}
+	if dropped := s.cache.Put(index, r.blob, r.label); dropped > 0 {
+		s.ob.cacheEvictions.Add(int64(dropped))
+	}
+	return r, nil
+}

@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"scipp/internal/tensor"
+)
+
+// Dataset is indexed access to encoded sample blobs and their labels.
+type Dataset interface {
+	// Len returns the number of samples.
+	Len() int
+	// Blob returns the encoded bytes of sample i.
+	Blob(i int) ([]byte, error)
+	// Label returns the training label of sample i.
+	Label(i int) (*tensor.Tensor, error)
+}
+
+// RangeError reports a Dataset access outside [0, Len). Every Dataset in
+// this package surfaces out-of-bounds indices as one, so callers can
+// distinguish a bad schedule from a failing storage read with errors.As.
+type RangeError struct {
+	// Kind names the accessor: "sample" for Blob, "label" for Label.
+	Kind string
+	// Index is the offending index.
+	Index int
+	// Len is the dataset length the index was checked against.
+	Len int
+}
+
+// Error implements error.
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("pipeline: %s %d out of range [0,%d)", e.Kind, e.Index, e.Len)
+}
+
+// checkIndex validates i against [0, n), returning a typed *RangeError on
+// violation — the one bounds check shared by every Dataset implementation.
+func checkIndex(kind string, i, n int) error {
+	if i < 0 || i >= n {
+		return &RangeError{Kind: kind, Index: i, Len: n}
+	}
+	return nil
+}
+
+// MemDataset is an in-memory Dataset.
+type MemDataset struct {
+	Blobs  [][]byte
+	Labels []*tensor.Tensor
+}
+
+// Len implements Dataset.
+func (d *MemDataset) Len() int { return len(d.Blobs) }
+
+// Blob implements Dataset.
+func (d *MemDataset) Blob(i int) ([]byte, error) {
+	if err := checkIndex("sample", i, len(d.Blobs)); err != nil {
+		return nil, err
+	}
+	return d.Blobs[i], nil
+}
+
+// Label implements Dataset.
+func (d *MemDataset) Label(i int) (*tensor.Tensor, error) {
+	if err := checkIndex("label", i, len(d.Labels)); err != nil {
+		return nil, err
+	}
+	return d.Labels[i], nil
+}
+
+// EncodedBytes returns the dataset's total encoded footprint.
+func (d *MemDataset) EncodedBytes() int {
+	n := 0
+	for _, b := range d.Blobs {
+		n += len(b)
+	}
+	return n
+}

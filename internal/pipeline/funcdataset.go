@@ -20,8 +20,8 @@ func (d *FuncDataset) Len() int { return d.N }
 
 // Blob implements Dataset.
 func (d *FuncDataset) Blob(i int) ([]byte, error) {
-	if i < 0 || i >= d.N {
-		return nil, fmt.Errorf("pipeline: sample %d out of range", i)
+	if err := checkIndex("sample", i, d.N); err != nil {
+		return nil, err
 	}
 	if d.BlobFn == nil {
 		return nil, fmt.Errorf("pipeline: FuncDataset has no BlobFn")
@@ -31,8 +31,8 @@ func (d *FuncDataset) Blob(i int) ([]byte, error) {
 
 // Label implements Dataset.
 func (d *FuncDataset) Label(i int) (*tensor.Tensor, error) {
-	if i < 0 || i >= d.N {
-		return nil, fmt.Errorf("pipeline: label %d out of range", i)
+	if err := checkIndex("label", i, d.N); err != nil {
+		return nil, err
 	}
 	if d.LabelFn == nil {
 		return nil, fmt.Errorf("pipeline: FuncDataset has no LabelFn")

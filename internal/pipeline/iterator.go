@@ -1,0 +1,267 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+
+	"scipp/internal/fault"
+	"scipp/internal/obs"
+	"scipp/internal/trace"
+)
+
+// iterObs bundles the iterator's observability handles. The zero value (no
+// registry) leaves every handle nil, so each instrumentation site costs one
+// nil check. The cache counters are registered only when the loader has a
+// cache, so uncached runs snapshot exactly the metric set they always did.
+type iterObs struct {
+	tr                                     *obs.Tracer
+	decoded, skipped, bad                  *obs.Counter
+	retried, batches                       *obs.Counter
+	errTransient, errPermanent             *obs.Counter
+	queueDepth                             *obs.Gauge
+	cacheHits, cacheMisses, cacheEvictions *obs.Counter
+}
+
+func newIterObs(reg *obs.Registry, clock trace.Clock, cached bool) iterObs {
+	if reg == nil {
+		return iterObs{}
+	}
+	ob := iterObs{
+		tr:           obs.NewTracer(reg, clock),
+		decoded:      reg.Counter("pipeline.samples.decoded"),
+		skipped:      reg.Counter("pipeline.samples.skipped"),
+		bad:          reg.Counter("pipeline.samples.bad"),
+		retried:      reg.Counter("pipeline.retries"),
+		batches:      reg.Counter("pipeline.batches"),
+		errTransient: reg.Counter("pipeline.errors.transient"),
+		errPermanent: reg.Counter("pipeline.errors.permanent"),
+		queueDepth:   reg.Gauge("pipeline.queue_depth"),
+	}
+	if cached {
+		ob.cacheHits = reg.Counter("pipeline.cache.hits")
+		ob.cacheMisses = reg.Counter("pipeline.cache.misses")
+		ob.cacheEvictions = reg.Counter("pipeline.cache.evictions")
+	}
+	return ob
+}
+
+// noteError classifies one failed sample attempt into the error-kind
+// counters. Each attempt counts once, so under a retry policy the transient
+// count equals the number of retryable failures observed, reconciling
+// exactly with the fault injector's log.
+func (ob iterObs) noteError(err error) {
+	if ob.tr == nil {
+		return
+	}
+	if obs.ErrorKind(err) == "transient" {
+		ob.errTransient.Inc()
+	} else {
+		ob.errPermanent.Inc()
+	}
+}
+
+// Iterator yields batches of one epoch in schedule order, running the stage
+// DAG behind a schedule-order sink. Next is safe for concurrent callers;
+// each call returns a distinct batch.
+type Iterator struct {
+	loader *Loader
+	order  []int
+	clock  trace.Clock
+	ob     iterObs
+
+	// abort tears the DAG down on Close; tokens caps in-flight samples at
+	// Prefetch; batcher restores schedule order over stage completions.
+	abort    chan struct{}
+	stopOnce sync.Once
+	tokens   chan struct{}
+	batcher  *BatchStage
+
+	mu  sync.Mutex // serializes batch assembly and pos
+	pos int
+
+	statsMu sync.Mutex // guards stats (written by stage goroutines and Next)
+	stats   Stats
+}
+
+// start assembles and launches the epoch's DAG:
+//
+//	source ──▶ read/cache ──▶ decode ──▶ [augment] ──▶ batch sink ──▶ Next
+//	   ▲          │ failures      │ failures   │ failures     │
+//	   tokens     └──────────▶ retry judge ◀───┴──────────────┘
+//	                 (transient: back to read; terminal: to sink)
+//
+// Each stage is a bounded worker pool; every queue is bounded; every send is
+// abort-guarded. The retry judge re-admits transient failures at the read
+// stage (re-reading the sample, so fault-injector access counts match the
+// monolithic loader) and forwards exhausted or permanent failures to the
+// sink as terminal outcomes, where they occupy their schedule position.
+func (it *Iterator) start() {
+	l := it.loader
+	cfg := l.cfg
+	depth := cfg.Stages.QueueDepth
+
+	readq := make(chan item[struct{}], depth)
+	retryq := make(chan item[struct{}], cfg.Prefetch)
+	decodeq := make(chan item[rawSample], depth)
+	failq := make(chan failure, cfg.Prefetch)
+	completionq := make(chan outcome, depth)
+	abort, done := it.abort, it.batcher.done
+
+	toOutcome := func(v item[decodedSample]) bool {
+		return sendItem(completionq, outcome{seq: v.seq, index: v.index, data: v.val.data, label: v.val.label}, abort)
+	}
+
+	// Source: admit scheduled samples while tokens (in-flight budget) last.
+	go func() {
+		for seq, idx := range it.order {
+			select {
+			case it.tokens <- struct{}{}:
+			case <-abort:
+				return
+			}
+			if !sendItem(readq, item[struct{}]{seq: seq, index: idx}, abort) {
+				return
+			}
+		}
+	}()
+
+	// Read (or cache) stage: the only stage fed by the retry queue.
+	var head Stage[struct{}, rawSample] = &ReadStage{ds: l.ds, ob: it.ob}
+	if l.cache != nil {
+		head = &CacheStage{read: &ReadStage{ds: l.ds, ob: it.ob}, cache: l.cache, ob: it.ob}
+	}
+	runPool(head, cfg.Stages.ReadWorkers, readq, retryq,
+		func(v item[rawSample]) bool { return sendItem(decodeq, v, abort) },
+		failq, abort, done, it.ob.noteError)
+
+	// Decode stage, emitting into augment when configured, else the sink.
+	dec := &DecodeStage{
+		format: cfg.Format, plugin: cfg.Plugin, device: cfg.Device,
+		cpuWorkers: cfg.CPUWorkers, clock: it.clock, timeline: cfg.Trace, ob: it.ob,
+	}
+	emitDecoded := toOutcome
+	if cfg.Augment != nil {
+		augmentq := make(chan item[decodedSample], depth)
+		emitDecoded = func(v item[decodedSample]) bool { return sendItem(augmentq, v, abort) }
+		runPool[decodedSample, decodedSample](&AugmentStage{fn: cfg.Augment, ob: it.ob},
+			cfg.Stages.AugmentWorkers, augmentq, nil, toOutcome, failq, abort, done, it.ob.noteError)
+	}
+	runPool[rawSample, decodedSample](dec, cfg.Stages.DecodeWorkers, decodeq, nil,
+		emitDecoded, failq, abort, done, it.ob.noteError)
+
+	// Retry judge: transient failures with retry budget left re-enter the
+	// read stage (after their backoff elapses on the iterator's clock);
+	// everything else is terminal and takes its schedule slot in the sink.
+	go func() {
+		pol := cfg.Resilience
+		for {
+			var f failure
+			select {
+			case f = <-failq:
+			case <-abort:
+				return
+			case <-done:
+				return
+			}
+			if errors.Is(f.err, fault.Transient) && f.attempt < pol.MaxRetries {
+				it.noteRetried()
+				retry := item[struct{}]{seq: f.seq, index: f.index, attempt: f.attempt + 1}
+				if s, ok := it.clock.(trace.Sleeper); ok {
+					if delay := pol.backoff(f.attempt); delay > 0 {
+						go func() {
+							s.Sleep(delay)
+							sendItem(retryq, retry, abort)
+						}()
+						continue
+					}
+				}
+				if !sendItem(retryq, retry, abort) {
+					return
+				}
+				continue
+			}
+			if !sendItem(completionq, outcome{seq: f.seq, index: f.index, err: asSampleError(f.err, f.index)}, abort) {
+				return
+			}
+		}
+	}()
+
+	go it.batcher.run(completionq, abort)
+}
+
+// Next returns the next batch, or (nil, nil) at the end of the epoch.
+//
+// Sample failures surface as typed errors: with the zero Resilience policy
+// the first failed sample ends the epoch with a *SampleError carrying its
+// dataset index; with MaxBadSamples > 0 failed samples are skipped and
+// accounted in Stats until the quota is exceeded, at which point Next
+// returns an *EpochError naming every bad sample. Either way the iterator
+// is closed, and Close/Drain remain safe to call afterwards.
+func (it *Iterator) Next() (*Batch, error) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	b := &Batch{}
+	pol := it.loader.cfg.Resilience
+	want := it.loader.cfg.Batch
+	for len(b.Data) < want {
+		it.ob.queueDepth.Set(float64(len(it.batcher.ordered)))
+		wsp := it.ob.tr.Start("pipeline.prefetch_wait")
+		o, ok := <-it.batcher.ordered
+		wsp.End()
+		if !ok {
+			break
+		}
+		select { // one terminal outcome consumed: admit the next sample
+		case <-it.tokens:
+		default:
+		}
+		if o.err != nil {
+			se := asSampleError(o.err, o.index)
+			if it.recordBad(se, pol.MaxBadSamples) {
+				continue // skipped within quota: the batch draws the next sample
+			}
+			it.Close()
+			if pol.MaxBadSamples > 0 {
+				st := it.Stats()
+				return nil, &EpochError{Quota: pol.MaxBadSamples, Indices: st.BadSamples, Errors: st.Errors}
+			}
+			return nil, se
+		}
+		b.Data = append(b.Data, o.data)
+		b.Labels = append(b.Labels, o.label)
+		b.Indices = append(b.Indices, o.index)
+		it.noteDecoded()
+		it.pos++
+	}
+	if len(b.Data) == 0 {
+		return nil, nil
+	}
+	if len(b.Data) < want && it.loader.cfg.DropLast {
+		return nil, nil
+	}
+	it.ob.batches.Inc()
+	return b, nil
+}
+
+// Close abandons the epoch: the abort channel tears down the source, every
+// stage pool, the retry judge and the batch sink. Safe to call repeatedly
+// and concurrently with Next.
+func (it *Iterator) Close() {
+	it.stopOnce.Do(func() { close(it.abort) })
+}
+
+// Drain runs the full epoch, discarding batches, and returns the number of
+// samples decoded. Used by throughput measurements.
+func (it *Iterator) Drain() (int, error) {
+	n := 0
+	for {
+		b, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if b == nil {
+			return n, nil
+		}
+		n += b.Size()
+	}
+}

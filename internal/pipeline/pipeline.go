@@ -4,64 +4,31 @@
 // assembly feeding the training loop. Decode placement is selectable per
 // §VI's two plugin variants: a CPU thread-pool decoder or the simulated-GPU
 // decoder.
+//
+// # Architecture
+//
+// The loader is an explicit stage DAG. A Source derives each epoch's sample
+// schedule (sequential, shuffled, or sharded by rank); the scheduled indices
+// flow through typed stages — Read (or Cache, when a storage-hierarchy cache
+// is configured), Decode, and optionally Augment — each a bounded worker
+// pool connected by bounded queues; and a batch sink restores schedule order
+// before Iterator.Next assembles minibatches and applies the Resilience
+// policy. Admission of new samples is capped at Prefetch in-flight, so
+// backpressure propagates from the consumer to the source. Every channel
+// send in the stage machinery sits in a select with an abort escape (the
+// stagesend lint rule), so Close never wedges a worker.
 package pipeline
 
 import (
 	"errors"
-	"fmt"
-	"sync"
+	"runtime"
 
 	"scipp/internal/codec"
 	"scipp/internal/gpusim"
 	"scipp/internal/obs"
 	"scipp/internal/tensor"
 	"scipp/internal/trace"
-	"scipp/internal/xrand"
 )
-
-// Dataset is indexed access to encoded sample blobs and their labels.
-type Dataset interface {
-	// Len returns the number of samples.
-	Len() int
-	// Blob returns the encoded bytes of sample i.
-	Blob(i int) ([]byte, error)
-	// Label returns the training label of sample i.
-	Label(i int) (*tensor.Tensor, error)
-}
-
-// MemDataset is an in-memory Dataset.
-type MemDataset struct {
-	Blobs  [][]byte
-	Labels []*tensor.Tensor
-}
-
-// Len implements Dataset.
-func (d *MemDataset) Len() int { return len(d.Blobs) }
-
-// Blob implements Dataset.
-func (d *MemDataset) Blob(i int) ([]byte, error) {
-	if i < 0 || i >= len(d.Blobs) {
-		return nil, fmt.Errorf("pipeline: sample %d out of range", i)
-	}
-	return d.Blobs[i], nil
-}
-
-// Label implements Dataset.
-func (d *MemDataset) Label(i int) (*tensor.Tensor, error) {
-	if i < 0 || i >= len(d.Labels) {
-		return nil, fmt.Errorf("pipeline: label %d out of range", i)
-	}
-	return d.Labels[i], nil
-}
-
-// EncodedBytes returns the dataset's total encoded footprint.
-func (d *MemDataset) EncodedBytes() int {
-	n := 0
-	for _, b := range d.Blobs {
-		n += len(b)
-	}
-	return n
-}
 
 // Plugin selects where sample decode runs (§VI: "we implemented two
 // variants for decoding ... one for the CPU and another for the GPU").
@@ -81,6 +48,52 @@ func (p Plugin) String() string {
 	return "cpu"
 }
 
+// StageConfig sizes the per-stage worker pools and inter-stage queues of the
+// DAG. Zero pool widths default to a GOMAXPROCS-derived width capped at
+// Prefetch — wide enough to keep the in-flight admission cap busy, narrow
+// enough not to thrash the scheduler on small hosts; a zero queue depth
+// defaults to Prefetch. Worker counts never affect delivered order (the
+// batch sink restores schedule order), only throughput.
+type StageConfig struct {
+	// ReadWorkers is the read/cache stage pool width.
+	ReadWorkers int
+	// DecodeWorkers is the decode stage pool width. This is cross-sample
+	// parallelism; Config.CPUWorkers remains the intra-sample chunk
+	// parallelism of one CPU-plugin decode.
+	DecodeWorkers int
+	// AugmentWorkers is the augment stage pool width (ignored without an
+	// Augment transform).
+	AugmentWorkers int
+	// QueueDepth is the capacity of each inter-stage queue.
+	QueueDepth int
+}
+
+func (s StageConfig) withDefaults(prefetch int) StageConfig {
+	pool := func(floor int) int {
+		w := runtime.GOMAXPROCS(0)
+		if w < floor {
+			w = floor
+		}
+		if w > prefetch {
+			w = prefetch
+		}
+		return w
+	}
+	if s.ReadWorkers <= 0 {
+		s.ReadWorkers = pool(2) // reads may block on storage: keep a spare
+	}
+	if s.DecodeWorkers <= 0 {
+		s.DecodeWorkers = pool(4)
+	}
+	if s.AugmentWorkers <= 0 {
+		s.AugmentWorkers = pool(2)
+	}
+	if s.QueueDepth <= 0 {
+		s.QueueDepth = prefetch
+	}
+	return s
+}
+
 // Config configures a Loader.
 type Config struct {
 	// Format opens the dataset's blobs.
@@ -91,7 +104,8 @@ type Config struct {
 	Device *gpusim.Device
 	// CPUWorkers is the decode thread count for the CPU plugin (default 4).
 	CPUWorkers int
-	// Prefetch is the number of samples decoded ahead (default 2*Batch).
+	// Prefetch caps the samples in flight across the stage DAG (default
+	// 2*Batch).
 	Prefetch int
 	// Batch is the per-iterator batch size (default 1).
 	Batch int
@@ -101,13 +115,26 @@ type Config struct {
 	Seed uint64
 	// DropLast drops a trailing partial batch.
 	DropLast bool
+	// Source, when non-nil, overrides the schedule policy implied by
+	// Shuffle/Seed — e.g. a ShardedSource for rank-partitioned loading. It
+	// must cover only valid dataset indices.
+	Source Source
+	// Stages sizes the per-stage worker pools and queues; zero values
+	// default to Prefetch.
+	Stages StageConfig
+	// Cache, when enabled, interposes a storage-hierarchy sample cache
+	// (HostMem over NVMe, deterministic LRU) in front of Dataset reads. The
+	// cache is owned by the Loader and persists across epochs: the first
+	// epoch's reads populate it, later epochs hit it — iosim's residency
+	// model realized on the actual data path.
+	Cache CacheConfig
 	// Resilience is the degraded-mode policy: retry budget for transient
 	// errors and the per-epoch bad-sample skip quota. The zero value keeps
 	// strict semantics (first bad sample fails the epoch).
 	Resilience Resilience
 	// Augment, when non-nil, runs on every decoded sample tensor before
 	// batch assembly — the per-sample augmentation stage of the reference
-	// pipelines. It executes on the prefetch workers, overlapped like
+	// pipelines. It executes as its own DAG stage, overlapped with read and
 	// decode. Errors fail the sample exactly like decode errors.
 	Augment func(*tensor.Tensor) (*tensor.Tensor, error)
 	// Trace, when non-nil, receives one event per decoded sample (resource
@@ -122,9 +149,10 @@ type Config struct {
 	// per-stage duration histograms (pipeline.read / pipeline.decode.cpu /
 	// pipeline.decode.gpu / pipeline.augment / pipeline.prefetch_wait, all
 	// ".seconds"), sample accounting counters (pipeline.samples.*,
-	// pipeline.retries, pipeline.batches, pipeline.errors.*) and the
-	// pipeline.queue_depth gauge. Nil keeps the hot path uninstrumented at
-	// the cost of one nil check per site.
+	// pipeline.retries, pipeline.batches, pipeline.errors.*), the
+	// pipeline.queue_depth gauge, and — only when a cache is enabled —
+	// pipeline.cache.hits/misses/evictions. Nil keeps the hot path
+	// uninstrumented at the cost of one nil check per site.
 	Obs *obs.Registry
 }
 
@@ -138,26 +166,15 @@ func (c Config) withDefaults() Config {
 	if c.Prefetch <= 0 {
 		c.Prefetch = 2 * c.Batch
 	}
+	c.Stages = c.Stages.withDefaults(c.Prefetch)
 	return c
 }
 
-// Batch is one assembled minibatch.
-type Batch struct {
-	// Data holds the decoded sample tensors, one per sample.
-	Data []*tensor.Tensor
-	// Labels holds the matching labels.
-	Labels []*tensor.Tensor
-	// Indices are the dataset indices the batch was drawn from.
-	Indices []int
-}
-
-// Size returns the number of samples in the batch.
-func (b *Batch) Size() int { return len(b.Data) }
-
-// Loader drives decoding of a Dataset.
+// Loader drives the staged decoding of a Dataset.
 type Loader struct {
-	ds  Dataset
-	cfg Config
+	ds    Dataset
+	cfg   Config
+	cache *SampleCache // nil unless cfg.Cache is enabled; shared by epochs
 }
 
 // New validates the configuration and returns a Loader.
@@ -172,32 +189,38 @@ func New(ds Dataset, cfg Config) (*Loader, error) {
 	if cfg.Plugin == GPUPlugin && cfg.Device == nil {
 		return nil, errors.New("pipeline: GPU plugin requires a device")
 	}
-	return &Loader{ds: ds, cfg: cfg}, nil
+	if v, ok := cfg.Source.(interface{ Validate() error }); ok && v != nil {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	l := &Loader{ds: ds, cfg: cfg}
+	if cfg.Cache.enabled() {
+		l.cache = NewSampleCache(cfg.Cache)
+	}
+	return l, nil
 }
 
-// Schedule returns the sample order for an epoch.
+// Cache returns the loader's sample cache, or nil when caching is disabled.
+func (l *Loader) Cache() *SampleCache { return l.cache }
+
+// Schedule returns the sample order for an epoch, as derived by the
+// configured Source (default: sequential, or seeded per-epoch shuffle when
+// Shuffle is set).
 func (l *Loader) Schedule(epoch int) []int {
-	order := make([]int, l.ds.Len())
-	for i := range order {
-		order[i] = i
+	src := l.cfg.Source
+	if src == nil {
+		if l.cfg.Shuffle {
+			src = &ShuffledSource{N: l.ds.Len(), Seed: l.cfg.Seed}
+		} else {
+			src = &SequentialSource{N: l.ds.Len()}
+		}
 	}
-	if l.cfg.Shuffle {
-		rng := xrand.New(l.cfg.Seed ^ (uint64(epoch)+1)*0x9E3779B97F4A7C15)
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-	}
-	return order
+	return src.Order(epoch)
 }
 
-// decoded is one prefetched sample.
-type decoded struct {
-	index int
-	data  *tensor.Tensor
-	label *tensor.Tensor
-	err   error
-}
-
-// Epoch returns an iterator over the epoch's batches. The iterator prefetches
-// and decodes samples concurrently; call Close to release its workers early.
+// Epoch returns an iterator over the epoch's batches. The iterator runs the
+// stage DAG concurrently; call Close to release its workers early.
 func (l *Loader) Epoch(epoch int) *Iterator {
 	order := l.Schedule(epoch)
 	clock := l.cfg.Clock
@@ -205,227 +228,14 @@ func (l *Loader) Epoch(epoch int) *Iterator {
 		clock = trace.NewWallClock()
 	}
 	it := &Iterator{
-		loader: l,
-		order:  order,
-		slots:  make(chan chan decoded, l.cfg.Prefetch),
-		stop:   make(chan struct{}),
-		clock:  clock,
-		ob:     newIterObs(l.cfg.Obs, clock),
+		loader:  l,
+		order:   order,
+		clock:   clock,
+		ob:      newIterObs(l.cfg.Obs, clock, l.cache != nil),
+		abort:   make(chan struct{}),
+		tokens:  make(chan struct{}, l.cfg.Prefetch),
+		batcher: newBatchStage(len(order), l.cfg.Stages.QueueDepth),
 	}
-	go it.produce()
+	it.start()
 	return it
-}
-
-// iterObs bundles the iterator's observability handles. The zero value (no
-// registry) leaves every handle nil, so each instrumentation site costs one
-// nil check.
-type iterObs struct {
-	tr                         *obs.Tracer
-	decoded, skipped, bad      *obs.Counter
-	retried, batches           *obs.Counter
-	errTransient, errPermanent *obs.Counter
-	queueDepth                 *obs.Gauge
-}
-
-func newIterObs(reg *obs.Registry, clock trace.Clock) iterObs {
-	if reg == nil {
-		return iterObs{}
-	}
-	return iterObs{
-		tr:           obs.NewTracer(reg, clock),
-		decoded:      reg.Counter("pipeline.samples.decoded"),
-		skipped:      reg.Counter("pipeline.samples.skipped"),
-		bad:          reg.Counter("pipeline.samples.bad"),
-		retried:      reg.Counter("pipeline.retries"),
-		batches:      reg.Counter("pipeline.batches"),
-		errTransient: reg.Counter("pipeline.errors.transient"),
-		errPermanent: reg.Counter("pipeline.errors.permanent"),
-		queueDepth:   reg.Gauge("pipeline.queue_depth"),
-	}
-}
-
-// noteError classifies one failed sample attempt into the error-kind
-// counters. Each attempt counts once, so under a retry policy the transient
-// count equals the number of retryable failures observed, reconciling
-// exactly with the fault injector's log.
-func (ob iterObs) noteError(err error) {
-	if ob.tr == nil {
-		return
-	}
-	if obs.ErrorKind(err) == "transient" {
-		ob.errTransient.Inc()
-	} else {
-		ob.errPermanent.Inc()
-	}
-}
-
-// Iterator yields batches of one epoch in schedule order. Next is safe for
-// concurrent callers; each call returns a distinct batch.
-type Iterator struct {
-	loader   *Loader
-	order    []int
-	slots    chan chan decoded
-	stop     chan struct{}
-	stopOnce sync.Once
-	clock    trace.Clock
-	ob       iterObs
-
-	mu  sync.Mutex // serializes batch assembly and pos
-	pos int
-
-	statsMu sync.Mutex // guards stats (written by decode goroutines and Next)
-	stats   Stats
-}
-
-// produce launches bounded prefetch: each scheduled sample gets a slot
-// channel (queued in order) and a goroutine decoding into it. The slots
-// channel's capacity bounds outstanding decodes.
-func (it *Iterator) produce() {
-	defer close(it.slots)
-	for _, idx := range it.order {
-		slot := make(chan decoded, 1)
-		select {
-		case it.slots <- slot:
-		case <-it.stop:
-			return
-		}
-		go func(i int) {
-			slot <- it.retryDecode(i)
-		}(idx)
-	}
-}
-
-// decodeOne runs one sample attempt and accounts any failure into the
-// error-kind metrics.
-func (it *Iterator) decodeOne(i int) decoded {
-	d := it.decodeSample(i)
-	if d.err != nil {
-		it.ob.noteError(d.err)
-	}
-	return d
-}
-
-// decodeSample is one read → open → decode → augment attempt for sample i,
-// with a stage span around each phase.
-func (it *Iterator) decodeSample(i int) decoded {
-	l := it.loader
-	rsp := it.ob.tr.Start("pipeline.read")
-	blob, err := l.ds.Blob(i)
-	if err != nil {
-		rsp.End()
-		return decoded{index: i, err: err}
-	}
-	label, err := l.ds.Label(i)
-	rsp.End()
-	if err != nil {
-		return decoded{index: i, err: err}
-	}
-	cd, err := l.cfg.Format.Open(blob)
-	if err != nil {
-		return decoded{index: i, err: err}
-	}
-	var data *tensor.Tensor
-	dsp := it.ob.tr.Start("pipeline.decode." + l.cfg.Plugin.String())
-	t0 := it.clock.Now()
-	switch l.cfg.Plugin {
-	case GPUPlugin:
-		data, _, err = l.cfg.Device.Execute(cd)
-	default:
-		data, err = codec.DecodeParallel(cd, l.cfg.CPUWorkers)
-	}
-	dsp.End()
-	if err != nil {
-		return decoded{index: i, err: err}
-	}
-	if l.cfg.Trace != nil {
-		l.cfg.Trace.Add("loader", "decode-"+l.cfg.Plugin.String(), t0, it.clock.Now())
-	}
-	if l.cfg.Augment != nil {
-		asp := it.ob.tr.Start("pipeline.augment")
-		data, err = l.cfg.Augment(data)
-		asp.End()
-		if err != nil {
-			return decoded{index: i, err: err}
-		}
-	}
-	return decoded{index: i, data: data, label: label}
-}
-
-// Next returns the next batch, or (nil, nil) at the end of the epoch.
-//
-// Sample failures surface as typed errors: with the zero Resilience policy
-// the first failed sample ends the epoch with a *SampleError carrying its
-// dataset index; with MaxBadSamples > 0 failed samples are skipped and
-// accounted in Stats until the quota is exceeded, at which point Next
-// returns an *EpochError naming every bad sample. Either way the iterator
-// is closed, and Close/Drain remain safe to call afterwards.
-func (it *Iterator) Next() (*Batch, error) {
-	it.mu.Lock()
-	defer it.mu.Unlock()
-	b := &Batch{}
-	pol := it.loader.cfg.Resilience
-	want := it.loader.cfg.Batch
-	for len(b.Data) < want {
-		it.ob.queueDepth.Set(float64(len(it.slots)))
-		wsp := it.ob.tr.Start("pipeline.prefetch_wait")
-		slot, ok := <-it.slots
-		if !ok {
-			wsp.End()
-			break
-		}
-		d := <-slot
-		wsp.End()
-		if d.err != nil {
-			se := asSampleError(d.err, d.index)
-			if it.recordBad(se, pol.MaxBadSamples) {
-				continue // skipped within quota: the batch draws the next sample
-			}
-			it.Close()
-			if pol.MaxBadSamples > 0 {
-				st := it.Stats()
-				return nil, &EpochError{Quota: pol.MaxBadSamples, Indices: st.BadSamples, Errors: st.Errors}
-			}
-			return nil, se
-		}
-		b.Data = append(b.Data, d.data)
-		b.Labels = append(b.Labels, d.label)
-		b.Indices = append(b.Indices, d.index)
-		it.noteDecoded()
-		it.pos++
-	}
-	if len(b.Data) == 0 {
-		return nil, nil
-	}
-	if len(b.Data) < want && it.loader.cfg.DropLast {
-		return nil, nil
-	}
-	it.ob.batches.Inc()
-	return b, nil
-}
-
-// Close abandons the epoch; remaining prefetched decodes are drained.
-func (it *Iterator) Close() {
-	it.stopOnce.Do(func() { close(it.stop) })
-	// Drain outstanding slots so decode goroutines can exit.
-	go func() {
-		for slot := range it.slots {
-			<-slot
-		}
-	}()
-}
-
-// Drain runs the full epoch, discarding batches, and returns the number of
-// samples decoded. Used by throughput measurements.
-func (it *Iterator) Drain() (int, error) {
-	n := 0
-	for {
-		b, err := it.Next()
-		if err != nil {
-			return n, err
-		}
-		if b == nil {
-			return n, nil
-		}
-		n += b.Size()
-	}
 }

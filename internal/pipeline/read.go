@@ -1,0 +1,43 @@
+package pipeline
+
+import "scipp/internal/tensor"
+
+// rawSample is a fetched but still encoded sample: the output of the read
+// (or cache) stage, the input of the decode stage.
+type rawSample struct {
+	blob  []byte
+	label *tensor.Tensor
+}
+
+// ReadStage is the storage stage of the DAG: it performs step a.2/b.4 of
+// the paper's Fig 1, pulling one sample's encoded bytes and label from the
+// Dataset (shared FS, staged NVMe, or memory — whatever the Dataset fronts).
+// Each attempt is wrapped in a pipeline.read span, including failed ones, so
+// the span count reconciles with the fault injector's access log.
+type ReadStage struct {
+	ds Dataset
+	ob iterObs
+}
+
+// Name implements Stage.
+func (s *ReadStage) Name() string { return "read" }
+
+// Process implements Stage[struct{}, rawSample].
+func (s *ReadStage) Process(index int, _ struct{}) (rawSample, error) {
+	sp := s.ob.tr.Start("pipeline.read")
+	defer sp.End()
+	return s.fetch(index)
+}
+
+// fetch is the span-less read body, shared with CacheStage's miss path.
+func (s *ReadStage) fetch(index int) (rawSample, error) {
+	blob, err := s.ds.Blob(index)
+	if err != nil {
+		return rawSample{}, err
+	}
+	label, err := s.ds.Label(index)
+	if err != nil {
+		return rawSample{}, err
+	}
+	return rawSample{blob: blob, label: label}, nil
+}

@@ -3,9 +3,6 @@ package pipeline
 import (
 	"errors"
 	"fmt"
-
-	"scipp/internal/fault"
-	"scipp/internal/trace"
 )
 
 // Resilience is the loader's degraded-mode policy. The zero value preserves
@@ -168,34 +165,4 @@ func asSampleError(err error, i int) *SampleError {
 		return se
 	}
 	return &SampleError{Index: i, Err: err}
-}
-
-// retryDecode runs decodeOne under the resilience policy: transient errors
-// are retried up to MaxRetries times with capped exponential backoff, and
-// any terminal failure is wrapped as a *SampleError.
-func (it *Iterator) retryDecode(i int) decoded {
-	pol := it.loader.cfg.Resilience
-	d := it.decodeOne(i)
-	for attempt := 0; attempt < pol.MaxRetries; attempt++ {
-		if d.err == nil || !errors.Is(d.err, fault.Transient) {
-			break
-		}
-		select {
-		case <-it.stop: // abandoned epoch: stop burning retries
-			d.err = &SampleError{Index: i, Err: d.err}
-			return d
-		default:
-		}
-		if delay := pol.backoff(attempt); delay > 0 {
-			if s, ok := it.clock.(trace.Sleeper); ok {
-				s.Sleep(delay)
-			}
-		}
-		it.noteRetried()
-		d = it.decodeOne(i)
-	}
-	if d.err != nil {
-		d.err = &SampleError{Index: i, Err: d.err}
-	}
-	return d
 }

@@ -1,0 +1,176 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestSequentialSource(t *testing.T) {
+	s := &SequentialSource{N: 5}
+	if s.Len() != 5 {
+		t.Error("Len")
+	}
+	for _, epoch := range []int{0, 3} {
+		if fmt.Sprint(s.Order(epoch)) != "[0 1 2 3 4]" {
+			t.Errorf("epoch %d order %v", epoch, s.Order(epoch))
+		}
+	}
+}
+
+// TestShuffledSourceMatchesLoaderSchedule pins the compatibility contract:
+// the Source abstraction must reproduce the loader's historical per-epoch
+// shuffle exactly, or resumed runs would replay a different sample order.
+func TestShuffledSourceMatchesLoaderSchedule(t *testing.T) {
+	l, err := New(testDataset(32), Config{Format: countFormat{}, Shuffle: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &ShuffledSource{N: 32, Seed: 7}
+	for epoch := 0; epoch < 4; epoch++ {
+		if fmt.Sprint(src.Order(epoch)) != fmt.Sprint(l.Schedule(epoch)) {
+			t.Fatalf("epoch %d: ShuffledSource diverges from Loader.Schedule", epoch)
+		}
+	}
+}
+
+func TestShardedSourcePartitionsEpoch(t *testing.T) {
+	const n, world = 23, 4
+	for _, shuffle := range []bool{false, true} {
+		seen := make(map[int]int)
+		total := 0
+		for rank := 0; rank < world; rank++ {
+			s := &ShardedSource{N: n, Seed: 11, Shuffle: shuffle, Rank: rank, World: world}
+			order := s.Order(3)
+			if len(order) != s.Len() {
+				t.Fatalf("rank %d: Order has %d indices, Len says %d", rank, len(order), s.Len())
+			}
+			total += len(order)
+			for _, idx := range order {
+				seen[idx]++
+			}
+		}
+		if total != n {
+			t.Fatalf("shuffle=%v: shards cover %d samples, want %d", shuffle, total, n)
+		}
+		for idx, count := range seen {
+			if count != 1 {
+				t.Fatalf("shuffle=%v: index %d appears %d times across shards", shuffle, idx, count)
+			}
+		}
+	}
+}
+
+// TestShardedSourceStridesSharedShuffle: every rank derives the same global
+// permutation and takes its strided positions — interleaving the shards
+// reconstructs exactly the ShuffledSource order (the DistributedSampler
+// contract).
+func TestShardedSourceStridesSharedShuffle(t *testing.T) {
+	const n, world, epoch = 20, 3, 2
+	global := (&ShuffledSource{N: n, Seed: 5}).Order(epoch)
+	shards := make([][]int, world)
+	for rank := 0; rank < world; rank++ {
+		shards[rank] = (&ShardedSource{N: n, Seed: 5, Shuffle: true, Rank: rank, World: world}).Order(epoch)
+	}
+	for pos, want := range global {
+		rank, k := pos%world, pos/world
+		if shards[rank][k] != want {
+			t.Fatalf("global position %d: rank %d shard[%d] = %d, want %d", pos, rank, k, shards[rank][k], want)
+		}
+	}
+}
+
+func TestShardedSourceValidate(t *testing.T) {
+	for _, bad := range []*ShardedSource{
+		{N: 10, World: 0},
+		{N: 10, Rank: -1, World: 2},
+		{N: 10, Rank: 2, World: 2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("rank %d world %d accepted", bad.Rank, bad.World)
+		}
+		// New must reject the geometry too, via the Validate hook.
+		if _, err := New(testDataset(10), Config{Format: countFormat{}, Source: bad}); err == nil {
+			t.Errorf("New accepted invalid sharded source rank %d world %d", bad.Rank, bad.World)
+		}
+	}
+	if err := (&ShardedSource{N: 10, Rank: 1, World: 2}).Validate(); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
+	}
+}
+
+// TestLoaderWithShardedSources drains one loader per rank and checks the
+// union of delivered samples is the whole dataset, each exactly once.
+func TestLoaderWithShardedSources(t *testing.T) {
+	const n, world = 17, 3
+	delivered := make(map[int]int)
+	for rank := 0; rank < world; rank++ {
+		l, err := New(testDataset(n), Config{
+			Format: countFormat{},
+			Batch:  4,
+			Source: &ShardedSource{N: n, Seed: 13, Shuffle: true, Rank: rank, World: world},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := l.Epoch(1)
+		for {
+			b, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				break
+			}
+			for k, idx := range b.Indices {
+				delivered[idx]++
+				if b.Data[k].F32s[0] != float32(idx) {
+					t.Fatalf("rank %d delivered wrong content for sample %d", rank, idx)
+				}
+			}
+		}
+	}
+	var missing []int
+	for i := 0; i < n; i++ {
+		if delivered[i] != 1 {
+			missing = append(missing, i)
+		}
+	}
+	sort.Ints(missing)
+	if len(missing) != 0 {
+		t.Errorf("samples not delivered exactly once: %v", missing)
+	}
+}
+
+// TestRangeError pins the satellite contract: every Dataset in the package
+// reports out-of-bounds access as a typed *RangeError via the shared check.
+func TestRangeError(t *testing.T) {
+	md := testDataset(3)
+	fd := &FuncDataset{N: 3}
+	cases := []struct {
+		name string
+		err  error
+		kind string
+		idx  int
+	}{
+		{"mem blob", func() error { _, err := md.Blob(7); return err }(), "sample", 7},
+		{"mem label", func() error { _, err := md.Label(-2); return err }(), "label", -2},
+		{"func blob", func() error { _, err := fd.Blob(3); return err }(), "sample", 3},
+		{"func label", func() error { _, err := fd.Label(99); return err }(), "label", 99},
+	}
+	for _, tc := range cases {
+		var re *RangeError
+		if !errors.As(tc.err, &re) {
+			t.Errorf("%s: error %v is not a *RangeError", tc.name, tc.err)
+			continue
+		}
+		if re.Kind != tc.kind || re.Index != tc.idx || re.Len != 3 {
+			t.Errorf("%s: got %+v, want kind=%s index=%d len=3", tc.name, re, tc.kind, tc.idx)
+		}
+		want := fmt.Sprintf("pipeline: %s %d out of range [0,3)", tc.kind, tc.idx)
+		if re.Error() != want {
+			t.Errorf("%s: message %q, want %q", tc.name, re.Error(), want)
+		}
+	}
+}

@@ -85,8 +85,10 @@ func ElasticDeepCAM(climCfg synthetic.ClimateConfig, cfg Config, ecfg ElasticCon
 		return nil, err
 	}
 	spec := elasticSpec{
-		app:       "deepcam",
-		newModel:  func() (*nn.Sequential, error) { return models.MiniDeepCAM(climCfg.Channels, climCfg.Height, climCfg.Width) },
+		app: "deepcam",
+		newModel: func() (*nn.Sequential, error) {
+			return models.MiniDeepCAM(climCfg.Channels, climCfg.Height, climCfg.Width)
+		},
 		newOpt:    func(cfg Config) nn.Optimizer { return nn.NewSGD(cfg.LR, 0.9) },
 		normalize: true,
 		loss: func(m *nn.Sequential, x, y *tensor.Tensor) (float64, *tensor.Tensor) {
@@ -125,6 +127,7 @@ func elasticRun(built pipeline.Dataset, app core.App, cfg Config, ecfg ElasticCo
 		Shuffle:    true,
 		Seed:       cfg.Seed,
 		DropLast:   true,
+		Cache:      cfg.Cache,
 		Resilience: cfg.Resilience,
 	})
 	if err != nil {

@@ -131,6 +131,12 @@ type Config struct {
 	// retries, bad-sample skip quota). The zero value keeps strict
 	// semantics: the first undecodable sample fails the run.
 	Resilience pipeline.Resilience
+	// Cache, when enabled, gives the loader a storage-hierarchy sample
+	// cache (pipeline.CacheConfig; size it by hand or with
+	// pipeline.CacheFromNode). The first epoch populates it, later epochs
+	// read from it. Caching never changes delivered samples or losses —
+	// only where the bytes come from.
+	Cache pipeline.CacheConfig
 	// Faults, when non-nil, wraps the training dataset in a seeded fault
 	// injector — the harness of the robustness experiments (cmd/faultbench).
 	Faults *fault.Config
@@ -276,6 +282,7 @@ func DeepCAMRun(climCfg synthetic.ClimateConfig, cfg Config) (*Result, error) {
 		Batch:      cfg.Batch,
 		Shuffle:    true,
 		Seed:       cfg.Seed,
+		Cache:      cfg.Cache,
 		Resilience: cfg.Resilience,
 		Clock:      clock,
 		Obs:        cfg.Obs,
@@ -381,6 +388,7 @@ func CosmoFlowRun(cosmoCfg synthetic.CosmoConfig, cfg Config) (*Result, error) {
 		Batch:      cfg.Batch,
 		Shuffle:    true,
 		Seed:       cfg.Seed,
+		Cache:      cfg.Cache,
 		Resilience: cfg.Resilience,
 		Clock:      clock,
 		Obs:        cfg.Obs,
@@ -477,6 +485,7 @@ func DataParallelCosmoFlow(cosmoCfg synthetic.CosmoConfig, cfg Config, ranks int
 		Shuffle:    true,
 		Seed:       cfg.Seed,
 		DropLast:   true,
+		Cache:      cfg.Cache,
 		Resilience: cfg.Resilience,
 	})
 	if err != nil {

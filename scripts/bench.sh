@@ -1,0 +1,51 @@
+#!/bin/sh
+# Staged-pipeline benchmark harness.
+#
+# Runs the BenchmarkPipeline* suite (CPU vs GPU decode placement, cached vs
+# uncached epochs) and emits BENCH_pipeline.json at the repo root. The JSON
+# is committed so the staged loader's throughput is tracked across PRs: a
+# refactor that regresses ns_per_op materially against the committed numbers
+# (same machine class) needs a written justification.
+#
+# Usage: scripts/bench.sh [count]   (count = -count repetitions, default 1)
+set -eu
+
+cd "$(dirname "$0")/.."
+count="${1:-1}"
+out=BENCH_pipeline.json
+
+raw=$(go test -run '^$' -bench 'BenchmarkPipeline' -benchmem -count="$count" ./internal/pipeline/)
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v count="$count" '
+	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		iters[name] += $2
+		runs[name]++
+		for (i = 3; i < NF; i++) {
+			if ($(i + 1) == "ns/op") ns[name] += $i
+			if ($(i + 1) == "samples/s") sps[name] += $i
+			if ($(i + 1) == "B/op") bytes[name] += $i
+			if ($(i + 1) == "allocs/op") allocs[name] += $i
+		}
+		if (!(name in order)) { order[name] = ++n; names[n] = name }
+	}
+	END {
+		printf "{\n"
+		printf "  \"package\": \"scipp/internal/pipeline\",\n"
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"count\": %d,\n", count
+		printf "  \"benchmarks\": [\n"
+		for (i = 1; i <= n; i++) {
+			name = names[i]
+			r = runs[name]
+			printf "    {\"name\": \"%s\", \"iterations\": %d, \"ns_per_op\": %.0f, \"samples_per_sec\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f}%s\n", \
+				name, iters[name] / r, ns[name] / r, sps[name] / r, bytes[name] / r, allocs[name] / r, (i < n ? "," : "")
+		}
+		printf "  ]\n}\n"
+	}
+' >"$out"
+
+echo "wrote $out"
