@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet fault cover fuzz verify
+.PHONY: build test race lint lint-fixtures vet fault cover fuzz verify
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,14 @@ fault:
 # it must exit 0 on the whole module.
 lint:
 	$(GO) run ./cmd/scipplint ./...
+
+# Regenerate the analyzer golden fixtures (internal/analysis/testdata/*/expect.txt
+# and cmd/scipplint's JSON golden) after an intentional change to analyzer
+# output, then re-run the fixture tests to confirm they match.
+lint-fixtures:
+	$(GO) test ./internal/analysis/ -run TestFixtures -update
+	$(GO) test ./cmd/scipplint/ -run TestRunJSONGolden -update
+	$(GO) test ./internal/analysis/ ./cmd/scipplint/
 
 vet:
 	$(GO) vet ./...

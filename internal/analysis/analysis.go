@@ -82,6 +82,9 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Module is the module-wide hot-path call graph over every package of
+	// the run (see BuildModule); flow-aware analyzers key off it.
+	Module *Module
 
 	diags *[]Diagnostic
 }
@@ -170,10 +173,13 @@ func parseDirectives(fset *token.FileSet, f *ast.File, diags *[]Diagnostic) []*i
 }
 
 // RunAnalyzers applies each analyzer to each package and returns the
-// surviving (non-suppressed) diagnostics sorted by position.
+// surviving (non-suppressed) diagnostics sorted by position. The module's
+// hot-path call graph is built once over all packages and shared by every
+// pass, so cross-package reachability is consistent within the run.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var raw []Diagnostic
 	var directives []*ignoreDirective
+	module := BuildModule(pkgs)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			directives = append(directives, parseDirectives(pkg.Fset, f, &raw)...)
@@ -186,6 +192,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Module:   module,
 				diags:    &raw,
 			}
 			a.Run(pass)
@@ -228,5 +235,8 @@ func All() []*Analyzer {
 		Retry,
 		DistSend,
 		StageSend,
+		HotAlloc,
+		PoolLeak,
+		CopyDiscipline,
 	}
 }

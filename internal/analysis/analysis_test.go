@@ -27,6 +27,9 @@ var fixtures = []struct {
 	{"fixretry", "scipp/internal/fixretry"},
 	{"fixdistsend", "scipp/internal/dist"},      // dist scope for the abort-escape send rule
 	{"fixstagesend", "scipp/internal/pipeline"}, // pipeline scope for the stage send rule
+	{"fixhotalloc", "scipp/internal/fixhotalloc"},
+	{"fixpoolleak", "scipp/internal/fixpoolleak"},
+	{"fixcopydiscipline", "scipp/internal/fixcopydiscipline"},
 }
 
 func moduleRoot(t *testing.T) string {

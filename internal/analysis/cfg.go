@@ -1,0 +1,438 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// This file is the analysis framework's intraprocedural control-flow graph:
+// a stdlib-only (go/ast) CFG over one function body, precise enough for the
+// must-release dataflow of the poolleak rule. Statements land in basic
+// blocks; branching statements (if/for/range/switch/type-switch/select)
+// split blocks and wire the successor edges, including labeled break and
+// continue; function exits are explicit virtual blocks — one for ordinary
+// returns and fallthrough off the end, one for panics — so a dataflow pass
+// can require a fact on every non-panicking path. Deferred calls are
+// collected separately: they run on every exit, which is exactly how a
+// deferred Release closes all paths at once.
+
+// Block is one basic block: a straight-line run of statements with a single
+// entry and a set of successor edges.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable, creation order).
+	Index int
+	// Kind labels what created the block ("entry", "if.then", "for.body",
+	// "select.case", "exit", ...) for dumps and tests.
+	Kind string
+	// Nodes are the statements and expressions executed in the block, in
+	// order. Branching statements contribute only the expression evaluated
+	// in the block (an if's condition, a switch's tag, a select clause's
+	// comm), never their nested bodies — a block's Nodes always describe
+	// exactly the code that runs when the block runs, so dataflow passes
+	// can scan them without seeing other branches.
+	Nodes []ast.Node
+	// Succs are the possible next blocks.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block, Entry first. Exit and PanicExit are members.
+	Blocks []*Block
+	// Entry is where the function starts.
+	Entry *Block
+	// Exit is the virtual ordinary-exit block: the target of every return
+	// statement and of falling off the end of the body.
+	Exit *Block
+	// PanicExit is the virtual panicking-exit block: the target of explicit
+	// panic(...) statements. Must-have-released analyses typically excuse
+	// paths that end here.
+	PanicExit *Block
+	// Defers lists the deferred calls of the body in registration order.
+	// They run on every exit (ordinary or panicking).
+	Defers []*ast.CallExpr
+}
+
+// String renders a compact multi-line dump of the graph for tests and
+// debugging: one line per block with its kind and successor indices.
+func (c *CFG) String() string {
+	var b strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&b, "b%d %s:", blk.Index, blk.Kind)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, " ->b%d", s.Index)
+		}
+		fmt.Fprintf(&b, " (%d nodes)\n", len(blk.Nodes))
+	}
+	return b.String()
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, gotos: map[string][]*Block{}, labeled: map[string]*Block{}}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cfg.PanicExit = b.newBlock("panic")
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is an ordinary exit.
+	b.jump(b.cfg.Exit)
+	// Unresolved gotos (label outside the analyzed body, or simply unknown):
+	// conservatively treat as an exit so no path is silently dropped.
+	for label, srcs := range b.gotos {
+		dst := b.labeled[label]
+		if dst == nil {
+			dst = b.cfg.Exit
+		}
+		for _, src := range srcs {
+			src.Succs = append(src.Succs, dst)
+		}
+	}
+	return b.cfg
+}
+
+// loopFrame is one enclosing breakable/continuable construct.
+type loopFrame struct {
+	label      string // enclosing label, or ""
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames (not continuable)
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil while the current point is
+	// unreachable (after return/break/...).
+	cur    *Block
+	frames []loopFrame
+	// pendingLabel is the label naming the next loop/switch/select.
+	pendingLabel string
+	gotos        map[string][]*Block
+	labeled      map[string]*Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump ends the current block with an edge to dst. No-op when unreachable.
+func (b *cfgBuilder) jump(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+	b.cur = nil
+}
+
+// startBlock begins a new reachable block and returns it.
+func (b *cfgBuilder) startBlock(kind string) *Block {
+	blk := b.newBlock(kind)
+	b.cur = blk
+	return blk
+}
+
+// add appends a node to the current block, materializing one if control just
+// merged here.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		return // unreachable statement
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// findFrame resolves a break/continue target: the innermost frame, or the
+// frame carrying the label. wantContinue skips non-loop frames.
+func (b *cfgBuilder) findFrame(label string, wantContinue bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if wantContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		// Begin a fresh block so gotos have a well-defined target.
+		target := b.startOrSplit("label." + s.Label.Name)
+		b.labeled[s.Label.Name] = target
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond) // only the condition is evaluated in this block
+		cond := b.cur
+		then := b.startBlock("if.then")
+		b.linkFrom(cond, then)
+		b.stmtList(s.Body.List)
+		thenEnd := b.cur
+		var elseEnd *Block
+		hasElse := s.Else != nil
+		if hasElse {
+			els := b.startBlock("if.else")
+			b.linkFrom(cond, els)
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		join := b.newBlock("if.join")
+		if thenEnd != nil {
+			thenEnd.Succs = append(thenEnd.Succs, join)
+		}
+		if hasElse {
+			if elseEnd != nil {
+				elseEnd.Succs = append(elseEnd.Succs, join)
+			}
+		} else {
+			b.linkFrom(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		label := b.takeLabel()
+		head := b.startOrSplit("for.head")
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		headEnd := b.cur
+		after := b.newBlock("for.after")
+		post := b.newBlock("for.post")
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		post.Succs = append(post.Succs, head)
+		body := b.startBlock("for.body")
+		b.linkFrom(headEnd, body)
+		if s.Cond != nil {
+			b.linkFrom(headEnd, after) // condition false
+		}
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: post})
+		b.stmtList(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.jump(post)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.startOrSplit("range.head")
+		b.add(s.X) // the ranged expression; bodies go in range.body
+		headEnd := b.cur
+		_ = head
+		after := b.newBlock("range.after")
+		b.linkFrom(headEnd, after) // range exhausted
+		body := b.startBlock("range.body")
+		b.linkFrom(headEnd, body)
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: head})
+		b.stmtList(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.jump(head)
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		if head == nil {
+			head = b.startBlock("select.head")
+		}
+		after := b.newBlock("select.after")
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			clause := b.startBlock("select.case")
+			b.linkFrom(head, clause)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if len(s.Body.List) == 0 {
+			b.linkFrom(head, after)
+		}
+		b.cur = after
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s.Call)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				b.add(s)
+				b.jump(b.cfg.PanicExit)
+				return
+			}
+		}
+		b.add(s)
+
+	case *ast.GoStmt:
+		b.add(s)
+
+	default:
+		// Assignments, declarations, sends, incdec, empty statements:
+		// straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchStmt handles expression and type switches, which share clause and
+// fallthrough structure.
+func (b *cfgBuilder) switchStmt(s ast.Stmt) {
+	var init ast.Stmt
+	var clauses []ast.Stmt
+	label := ""
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init = s.Init
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		init = s.Init
+		clauses = s.Body.List
+	}
+	if init != nil {
+		b.stmt(init)
+	}
+	label = b.takeLabel()
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+	case *ast.TypeSwitchStmt:
+		b.add(s.Assign)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.startBlock("switch.head")
+	}
+	after := b.newBlock("switch.after")
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+	hasDefault := false
+	var blocks []*Block
+	var ends []*Block // end block of each clause, for fallthrough
+	for _, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clause := b.startBlock("switch.case")
+		b.linkFrom(head, clause)
+		blocks = append(blocks, clause)
+		b.stmtList(cc.Body)
+		// A trailing fallthrough transfers into the next clause.
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				ends = append(ends, b.cur)
+				continue
+			}
+		}
+		ends = append(ends, nil)
+		b.jump(after)
+	}
+	for i, end := range ends {
+		if end != nil && i+1 < len(blocks) {
+			end.Succs = append(end.Succs, blocks[i+1])
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		b.linkFrom(head, after) // no case matched
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		b.add(s)
+		if f := b.findFrame(label, false); f != nil {
+			b.jump(f.breakTo)
+		} else {
+			b.jump(b.cfg.Exit)
+		}
+	case "continue":
+		b.add(s)
+		if f := b.findFrame(label, true); f != nil {
+			b.jump(f.continueTo)
+		} else {
+			b.jump(b.cfg.Exit)
+		}
+	case "goto":
+		b.add(s)
+		if b.cur != nil {
+			b.gotos[label] = append(b.gotos[label], b.cur)
+		}
+		b.cur = nil
+	case "fallthrough":
+		// Handled structurally by switchStmt; reaching here (a fallthrough
+		// not in clause-tail position is a compile error anyway) is a no-op.
+		b.add(s)
+	}
+}
+
+// takeLabel consumes the pending label (set by an enclosing LabeledStmt).
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// startOrSplit continues in the current block if it is empty, else starts a
+// fresh block reached from the current one — used where a jump target needs
+// its own block (loop heads, labels).
+func (b *cfgBuilder) startOrSplit(kind string) *Block {
+	if b.cur != nil && len(b.cur.Nodes) == 0 && len(b.cur.Succs) == 0 {
+		b.cur.Kind = kind
+		return b.cur
+	}
+	prev := b.cur
+	blk := b.newBlock(kind)
+	if prev != nil {
+		prev.Succs = append(prev.Succs, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+// linkFrom adds an edge src -> dst, tolerating an unreachable src.
+func (b *cfgBuilder) linkFrom(src, dst *Block) {
+	if src != nil {
+		src.Succs = append(src.Succs, dst)
+	}
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildCFGFromBody parses a function body (statements only) and builds its
+// CFG. The snippets reference undeclared identifiers freely: the CFG is
+// purely syntactic and needs no type information.
+func buildCFGFromBody(t *testing.T, body string) (*token.FileSet, *CFG) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(fset, "cfgtest.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return fset, BuildCFG(fd.Body)
+}
+
+// nodeText renders one CFG node back to source.
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// blockWith returns the unique block whose nodes' source contains substr.
+func blockWith(t *testing.T, fset *token.FileSet, cfg *CFG, substr string) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if strings.Contains(nodeText(fset, n), substr) {
+				if found != nil && found != b {
+					t.Fatalf("%q appears in blocks b%d and b%d:\n%s", substr, found.Index, b.Index, cfg)
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block contains %q:\n%s", substr, cfg)
+	}
+	return found
+}
+
+// reachesAvoiding reports whether to is reachable from from along successor
+// edges without passing through any block in avoid.
+func reachesAvoiding(from, to *Block, avoid ...*Block) bool {
+	banned := make(map[*Block]bool, len(avoid))
+	for _, b := range avoid {
+		banned[b] = true
+	}
+	seen := map[*Block]bool{from: true}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s] && !banned[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	fset, cfg := buildCFGFromBody(t, `
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if j == 3 {
+				continue outer
+			}
+			if j == 4 {
+				break outer
+			}
+			inner()
+		}
+		post()
+	}
+	after()`)
+	contBlock := blockWith(t, fset, cfg, "j == 3")
+	brkBlock := blockWith(t, fset, cfg, "j == 4")
+	outerPost := blockWith(t, fset, cfg, "i++")
+	postCall := blockWith(t, fset, cfg, "post()")
+	afterCall := blockWith(t, fset, cfg, "after()")
+	innerHead := blockWith(t, fset, cfg, "j < m")
+
+	// continue outer jumps to the outer post statement without running the
+	// rest of the outer body or re-testing the inner loop.
+	if !reachesAvoiding(contBlock, outerPost, postCall, innerHead, brkBlock) {
+		t.Errorf("continue outer does not reach the outer post block directly:\n%s", cfg)
+	}
+	// break outer leaves both loops at once: after() is reachable without
+	// touching the outer post, outer head, or inner head again.
+	outerHead := blockWith(t, fset, cfg, "i < n")
+	if !reachesAvoiding(brkBlock, afterCall, outerPost, outerHead, innerHead, postCall) {
+		t.Errorf("break outer does not reach after() directly:\n%s", cfg)
+	}
+	// The normal inner exit still runs post() before re-testing the loop.
+	if !reachesAvoiding(innerHead, postCall, contBlock, brkBlock) {
+		t.Errorf("inner loop exit does not fall through to post():\n%s", cfg)
+	}
+}
+
+func TestCFGSelectAbortArms(t *testing.T) {
+	fset, cfg := buildCFGFromBody(t, `
+	select {
+	case out <- v:
+		sent()
+	case <-abort:
+		aborted()
+	}
+	done()`)
+	sendArm := blockWith(t, fset, cfg, "out <- v")
+	abortArm := blockWith(t, fset, cfg, "<-abort")
+	if sendArm == abortArm {
+		t.Fatalf("select arms share a block:\n%s", cfg)
+	}
+	// Each arm's comm lives only in its clause block, so a dataflow pass
+	// scanning the abort arm never sees the send.
+	for _, n := range abortArm.Nodes {
+		if strings.Contains(nodeText(fset, n), "out <- v") {
+			t.Errorf("abort arm sees the send comm:\n%s", cfg)
+		}
+	}
+	doneBlock := blockWith(t, fset, cfg, "done()")
+	if !reachesAvoiding(sendArm, doneBlock, abortArm) {
+		t.Errorf("send arm does not rejoin at done():\n%s", cfg)
+	}
+	if !reachesAvoiding(abortArm, doneBlock, sendArm) {
+		t.Errorf("abort arm does not rejoin at done():\n%s", cfg)
+	}
+}
+
+func TestCFGDeferredReleaseCollected(t *testing.T) {
+	fset, cfg := buildCFGFromBody(t, `
+	s := p.Get()
+	defer p.Put(s)
+	if bad {
+		return
+	}
+	use(s)`)
+	if len(cfg.Defers) != 1 {
+		t.Fatalf("Defers = %d calls, want 1:\n%s", len(cfg.Defers), cfg)
+	}
+	if got := nodeText(fset, cfg.Defers[0]); got != "p.Put(s)" {
+		t.Errorf("deferred call = %q, want %q", got, "p.Put(s)")
+	}
+	// The early return and the fallthrough end both reach the ordinary exit.
+	entry := cfg.Entry
+	if !reachesAvoiding(entry, cfg.Exit) {
+		t.Errorf("exit unreachable from entry:\n%s", cfg)
+	}
+	useBlock := blockWith(t, fset, cfg, "use(s)")
+	if !reachesAvoiding(useBlock, cfg.Exit) {
+		t.Errorf("fallthrough end does not reach exit:\n%s", cfg)
+	}
+}
+
+func TestCFGEarlyReturnAndPanicExits(t *testing.T) {
+	fset, cfg := buildCFGFromBody(t, `
+	if err != nil {
+		return
+	}
+	if worse {
+		panic("x")
+	}
+	ok()`)
+	errCond := blockWith(t, fset, cfg, "err != nil")
+	panicBlock := blockWith(t, fset, cfg, `panic("x")`)
+	okBlock := blockWith(t, fset, cfg, "ok()")
+
+	// The error branch exits without running ok().
+	if !reachesAvoiding(errCond, cfg.Exit, okBlock, panicBlock) {
+		t.Errorf("early return does not reach exit directly:\n%s", cfg)
+	}
+	// panic("x") targets the panic exit, never the ordinary one.
+	if !reachesAvoiding(panicBlock, cfg.PanicExit) {
+		t.Errorf("panic does not reach the panic exit:\n%s", cfg)
+	}
+	if reachesAvoiding(panicBlock, cfg.Exit) {
+		t.Errorf("panic block reaches the ordinary exit:\n%s", cfg)
+	}
+	if !reachesAvoiding(okBlock, cfg.Exit) {
+		t.Errorf("ok() does not reach the ordinary exit:\n%s", cfg)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	fset, cfg := buildCFGFromBody(t, `
+	switch tag {
+	case 1:
+		first()
+		fallthrough
+	case 2:
+		second()
+	default:
+		other()
+	}
+	done()`)
+	oneBlock := blockWith(t, fset, cfg, "first()")
+	twoBlock := blockWith(t, fset, cfg, "second()")
+	otherBlock := blockWith(t, fset, cfg, "other()")
+	doneBlock := blockWith(t, fset, cfg, "done()")
+
+	if !reachesAvoiding(oneBlock, twoBlock, otherBlock, doneBlock) {
+		t.Errorf("fallthrough does not wire case 1 into case 2:\n%s", cfg)
+	}
+	if reachesAvoiding(oneBlock, otherBlock) {
+		t.Errorf("case 1 reaches default:\n%s", cfg)
+	}
+	for _, arm := range []*Block{twoBlock, otherBlock} {
+		if !reachesAvoiding(arm, doneBlock) {
+			t.Errorf("b%d does not rejoin at done():\n%s", arm.Index, cfg)
+		}
+	}
+}

@@ -1,9 +1,5 @@
 package analysis
 
-import (
-	"go/ast"
-)
-
 // DistSend enforces the communicator's abort discipline: every channel send
 // in scipp/internal/dist must sit in a select that also has an escape case —
 // a receive (abort/deadline channel) or a default. A bare send in the
@@ -23,53 +19,4 @@ func runDistSend(pass *Pass) {
 	}
 	reportUnguardedSends(pass,
 		"channel send in internal/dist without an abort escape: use select { case ch <- v: case <-abort: }")
-}
-
-// reportUnguardedSends flags every channel send in the pass's files that is
-// not the comm of a select clause whose select also offers an escape (a
-// receive case or a default). Shared by the distsend and stagesend rules.
-func reportUnguardedSends(pass *Pass, msg string) {
-	for _, f := range pass.Files {
-		// First pass: mark the sends that are the comm of a select clause
-		// whose select also offers an escape (receive case or default).
-		guarded := make(map[*ast.SendStmt]bool)
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectStmt)
-			if !ok {
-				return true
-			}
-			var sends []*ast.SendStmt
-			escape := false
-			for _, c := range sel.Body.List {
-				cc, ok := c.(*ast.CommClause)
-				if !ok {
-					continue
-				}
-				switch comm := cc.Comm.(type) {
-				case nil: // default: the send cannot block
-					escape = true
-				case *ast.SendStmt:
-					sends = append(sends, comm)
-				default: // a receive clause: the abort/deadline escape
-					escape = true
-				}
-			}
-			if escape {
-				for _, s := range sends {
-					guarded[s] = true
-				}
-			}
-			return true
-		})
-		ast.Inspect(f, func(n ast.Node) bool {
-			send, ok := n.(*ast.SendStmt)
-			if !ok {
-				return true
-			}
-			if !guarded[send] {
-				pass.Reportf(Error, send.Pos(), "%s", msg)
-			}
-			return true
-		})
-	}
 }

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc flags per-sample heap allocation in hot-path-reachable functions
+// — the code the //scipp:hotpath call graph proves runs for every sample of
+// every epoch. An allocation that is invisible in a correctness test
+// multiplies into gigabytes per epoch at training scale (the cached-epoch
+// benchmark's allocs/op is the regression gate for the same discipline at
+// runtime). Flagged forms:
+//
+//   - make(...) and new(...): fresh heap memory per call;
+//   - var declarations of bytes.Buffer / strings.Builder: growing scratch;
+//   - append onto a locally-fresh slice (declared nil or empty): growth
+//     reallocates per sample.
+//
+// Sanctioned allocators are exempt: memory drawn from a pool type (a named
+// type containing "Pool") is the freelist discipline this rule exists to
+// steer code toward. Error-dominated code — statements under a condition
+// that mentions an error value — is the cold failure path and is exempt;
+// appends onto parameters, struct fields, or pool-backed slices have
+// unknown or pooled provenance and are not flagged.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag heap allocation in //scipp:hotpath-reachable functions outside recognized pools",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			root, hot := pass.Module.HotDecl(pass.Info, fd)
+			if !hot {
+				continue
+			}
+			via := ""
+			if root != nil && root.Name() != fd.Name.Name {
+				via = " (hot via //scipp:hotpath root " + root.Name() + ")"
+			} else {
+				via = " (//scipp:hotpath)"
+			}
+			fresh := freshSlices(pass.Info, fd.Body)
+			scanHotAlloc(pass, fd.Body, false, fresh, via)
+		}
+	}
+}
+
+// scanHotAlloc walks a hot function body flagging allocation sites, with
+// error-dominated branches skipped (errDom), mirroring the call graph's
+// propagation rule.
+func scanHotAlloc(pass *Pass, n ast.Node, errDom bool, fresh map[*types.Var]bool, via string) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.IfStmt:
+		if n.Init != nil {
+			scanHotAlloc(pass, n.Init, errDom, fresh, via)
+		}
+		scanHotAlloc(pass, n.Cond, errDom, fresh, via)
+		branchDom := errDom || mentionsError(pass.Info, n.Cond)
+		scanHotAlloc(pass, n.Body, branchDom, fresh, via)
+		if n.Else != nil {
+			scanHotAlloc(pass, n.Else, branchDom, fresh, via)
+		}
+		return
+	case *ast.CallExpr:
+		if !errDom {
+			reportAllocCall(pass, n, fresh, via)
+		}
+	case *ast.ValueSpec:
+		if !errDom && n.Type != nil {
+			if name := scratchTypeName(pass.Info, n.Type); name != "" {
+				pass.Reportf(Warning, n.Pos(),
+					"%s declared on the hot path%s: hoist the scratch out of the per-sample loop or draw it from a pool", name, via)
+			}
+		}
+	}
+	for _, child := range childNodes(n) {
+		scanHotAlloc(pass, child, errDom, fresh, via)
+	}
+}
+
+// reportAllocCall flags one allocating call form.
+func reportAllocCall(pass *Pass, call *ast.CallExpr, fresh map[*types.Var]bool, via string) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	switch id.Name {
+	case "make", "new":
+		pass.Reportf(Warning, call.Pos(),
+			"%s allocates on the hot path%s: draw the buffer from a pool or hoist it out of the per-sample loop",
+			exprString(pass.Fset, call), via)
+	case "append":
+		if len(call.Args) == 0 {
+			return
+		}
+		base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := pass.Info.Uses[base].(*types.Var)
+		if !ok || !fresh[v] {
+			return
+		}
+		pass.Reportf(Warning, call.Pos(),
+			"append grows fresh slice %q on the hot path%s: preallocate it from a pool with the final capacity",
+			base.Name, via)
+	}
+}
+
+// freshSlices returns the local slice variables whose every definition in
+// body is provably fresh and empty — declared without a value, assigned
+// nil, or assigned an empty composite literal. Appending to such a slice
+// must grow it through the heap. Variables that are also assigned calls,
+// fields, makes, or other expressions have unknown (or already-flagged)
+// provenance and are excluded.
+func freshSlices(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	fresh := make(map[*types.Var]bool)
+	unfresh := make(map[*types.Var]bool)
+	note := func(id *ast.Ident, rhs ast.Expr) {
+		v := localSliceVar(info, id)
+		if v == nil {
+			return
+		}
+		if rhs == nil || isEmptySliceExpr(info, rhs) {
+			fresh[v] = true
+			return
+		}
+		// Self-append keeps whatever provenance the slice already has.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fn.Name == "append" && len(call.Args) > 0 {
+				if b, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && b.Name == id.Name {
+					return
+				}
+			}
+		}
+		unfresh[v] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				var rhs ast.Expr
+				if i < len(n.Values) {
+					rhs = n.Values[i]
+				}
+				note(name, rhs)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				for _, lhs := range n.Lhs { // multi-value call: unknown
+					if id, ok := lhs.(*ast.Ident); ok {
+						if v := localSliceVar(info, id); v != nil {
+							unfresh[v] = true
+						}
+					}
+				}
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					note(id, n.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+	for v := range unfresh {
+		delete(fresh, v)
+	}
+	return fresh
+}
+
+// localSliceVar resolves id to a slice-typed *types.Var, or nil.
+func localSliceVar(info *types.Info, id *ast.Ident) *types.Var {
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Type() == nil {
+		return nil
+	}
+	if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+		return nil
+	}
+	return v
+}
+
+// isEmptySliceExpr reports whether e is nil or an empty composite literal.
+func isEmptySliceExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	}
+	return false
+}
+
+// scratchTypeName returns "bytes.Buffer" / "strings.Builder" when texpr
+// denotes one of the growing scratch types, else "".
+func scratchTypeName(info *types.Info, texpr ast.Expr) string {
+	tv, ok := info.Types[texpr]
+	if !ok {
+		return ""
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case obj.Pkg().Path() == "bytes" && obj.Name() == "Buffer":
+		return "bytes.Buffer"
+	case obj.Pkg().Path() == "strings" && obj.Name() == "Builder":
+		return "strings.Builder"
+	}
+	return ""
+}

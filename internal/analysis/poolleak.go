@@ -1,0 +1,356 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolLeak enforces the pool ownership protocol with a must-release
+// dataflow over the control-flow graph: a value obtained from a pool (a
+// Get/Acquire-prefixed call on a type whose name contains "Pool") must, on
+// every path to an ordinary function exit, either be released back
+// (Put/Release/Recycle/Free — directly, or by a deferred call, which covers
+// every exit at once) or have its ownership handed off (returned, sent on a
+// channel, stored into a field, element, or closure, or appended into a
+// longer-lived slice). A path that exits holding the value silently leaks
+// the slab: the pool refills from the heap and the freelist discipline
+// erodes without any test failing. Early `return err` paths are the classic
+// offender and are checked like any other path; only panicking exits are
+// excused.
+var PoolLeak = &Analyzer{
+	Name: "poolleak",
+	Doc:  "flag pool Get results that miss their Put/Release on some control-flow path",
+	Run:  runPoolLeak,
+}
+
+// poolDef is one tracked pool acquisition: variable v bound at stmt from
+// call.
+type poolDef struct {
+	v    *types.Var
+	stmt ast.Stmt
+	call *ast.CallExpr
+}
+
+func runPoolLeak(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			defs := findPoolGets(pass.Info, fd.Body)
+			if len(defs) == 0 {
+				continue
+			}
+			cfg := BuildCFG(fd.Body)
+			for _, def := range defs {
+				if anyReleases(pass.Info, cfg.Defers, def.v) {
+					continue // a deferred release covers every exit
+				}
+				if leakPath(pass.Info, cfg, def) {
+					pass.Reportf(Error, def.call.Pos(),
+						"pool value %q can reach a return without being released: call the pool's Put/Release on every path (or defer it)",
+						def.v.Name())
+				}
+			}
+		}
+	}
+}
+
+// findPoolGets collects assignments binding a pool acquisition to a local
+// variable: v := p.Get...(...) / v = p.Acquire...(...), including through a
+// type assertion (sync.Pool's Get returns any).
+func findPoolGets(info *types.Info, body *ast.BlockStmt) []poolDef {
+	var out []poolDef
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			call := poolGetCall(info, as.Rhs[i])
+			if call == nil {
+				continue
+			}
+			v, ok := objOf(info, id).(*types.Var)
+			if !ok {
+				continue
+			}
+			out = append(out, poolDef{v: v, stmt: as, call: call})
+		}
+		return true
+	})
+	return out
+}
+
+// poolGetCall unwraps e (parens, type assertions) to a Get/Acquire call on
+// a pool-typed receiver, or nil.
+func poolGetCall(info *types.Info, e ast.Expr) *ast.CallExpr {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+			continue
+		case *ast.TypeAssertExpr:
+			e = t.X
+			continue
+		}
+		break
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if !hasFoldedPrefix(sel.Sel.Name, "get", "acquire") {
+		return nil
+	}
+	recv, ok := info.Types[sel.X]
+	if !ok || !isPoolType(recv.Type) {
+		return nil
+	}
+	return call
+}
+
+// leakPath reports whether some path from def's binding to the ordinary
+// exit neither releases nor hands off def.v. The walk is a DFS over CFG
+// blocks starting just after the binding statement; each node is classified
+// by its first effect on v (release, escape, rebinding, or none) and paths
+// close on the first three. Panic exits do not count as leaks.
+func leakPath(info *types.Info, cfg *CFG, def poolDef) bool {
+	type point struct {
+		b   *Block
+		idx int
+	}
+	var stack []point
+	for _, b := range cfg.Blocks {
+		for i, n := range b.Nodes {
+			if n == ast.Node(def.stmt) {
+				stack = append(stack, point{b, i + 1})
+			}
+		}
+	}
+	visited := make(map[*Block]bool)
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+	scan:
+		for {
+			for i := p.idx; i < len(p.b.Nodes); i++ {
+				switch classifyEffect(info, p.b.Nodes[i], def.v) {
+				case effRelease, effEscape, effRebind:
+					break scan // this path is closed
+				}
+			}
+			for _, s := range p.b.Succs {
+				switch s {
+				case cfg.Exit:
+					return true // reached an ordinary exit still holding v
+				case cfg.PanicExit:
+					continue
+				default:
+					if !visited[s] {
+						visited[s] = true
+						stack = append(stack, point{s, 0})
+					}
+				}
+			}
+			break
+		}
+	}
+	return false
+}
+
+// effect classifies what one statement does to a tracked pool value.
+type effect int
+
+const (
+	effNone    effect = iota
+	effRelease        // handed back to a pool (Put/Release/Recycle/Free)
+	effEscape         // ownership handed off (return/send/store/append/closure)
+	effRebind         // the variable is rebound; the old value's fate is its new owner's
+)
+
+// classifyEffect inspects one CFG node for its first effect on v.
+func classifyEffect(info *types.Info, n ast.Node, v *types.Var) effect {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		// Deferred releases were credited up front (they cover all exits);
+		// any other deferred use keeps the value alive until exit — treat
+		// as a handoff to the deferred closure.
+		if mentionsVar(info, n, v) {
+			return effEscape
+		}
+		return effNone
+	case *ast.GoStmt:
+		if mentionsVar(info, n, v) {
+			return effEscape // the goroutine owns it now
+		}
+		return effNone
+	case *ast.ReturnStmt, *ast.SendStmt:
+		if mentionsVar(info, n, v) {
+			return effEscape
+		}
+		return effNone
+	case *ast.AssignStmt:
+		if releasesVar(info, n, v) {
+			return effRelease
+		}
+		for _, l := range n.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok && objOf(info, id) == types.Object(v) {
+				return effRebind
+			}
+		}
+		// A bare v on the right-hand side aliases or stores the value
+		// (x := v, m[k] = v): ownership follows the new name. Passing v as
+		// a mere call argument is a borrow and keeps the obligation here.
+		for _, r := range n.Rhs {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && objOf(info, id) == types.Object(v) {
+				return effEscape
+			}
+		}
+		if capturesVar(info, n, v) {
+			return effEscape
+		}
+		return effNone
+	}
+	if releasesVar(info, n, v) {
+		return effRelease
+	}
+	if capturesVar(info, n, v) {
+		return effEscape
+	}
+	return effNone
+}
+
+// releasesVar reports whether the node contains a release-like call taking
+// v as its receiver or as an argument: v.Release(), pool.Put(v), ...
+func releasesVar(info *types.Info, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		var recv ast.Expr
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+			recv = fun.X
+		default:
+			return true
+		}
+		if !hasFoldedPrefix(name, "put", "release", "recycle", "free") {
+			return true
+		}
+		if recv != nil && mentionsVar(info, recv, v) {
+			found = true
+			return false
+		}
+		for _, a := range call.Args {
+			if mentionsVar(info, a, v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// capturesVar reports whether n passes v into an append or a function
+// literal — both hand the value to a longer-lived owner.
+func capturesVar(info *types.Info, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			if mentionsVar(info, c.Body, v) {
+				found = true
+			}
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "append" {
+				for _, a := range c.Args[1:] {
+					if mentionsVar(info, a, v) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if mentionsVar(info, c, v) {
+				found = true // packed into a value whose fate we can't track
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// anyReleases reports whether any of the deferred calls releases v.
+func anyReleases(info *types.Info, defers []*ast.CallExpr, v *types.Var) bool {
+	for _, call := range defers {
+		if releasesVar(info, call, v) {
+			return true
+		}
+		// defer func() { p.Put(v) }() — the release sits in the literal.
+		if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok && releasesVar(info, lit.Body, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsVar reports whether any identifier under n resolves to v.
+func mentionsVar(info *types.Info, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && objOf(info, id) == types.Object(v) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// objOf resolves an identifier through either the Uses or Defs map.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// hasFoldedPrefix reports whether name starts with any prefix,
+// case-insensitively.
+func hasFoldedPrefix(name string, prefixes ...string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range prefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}

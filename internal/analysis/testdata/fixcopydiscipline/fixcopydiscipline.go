@@ -1,0 +1,40 @@
+// Package fixcopydiscipline exercises the copydiscipline analyzer: cloning
+// a cache-returned value on a hot path defeats the zero-copy cache-hit
+// contract and is flagged; reusing a caller-provided buffer is not.
+package fixcopydiscipline
+
+import "bytes"
+
+// BlobCache is the recognized cache type: Get returns a view the caller
+// must treat as read-only shared memory, not clone.
+type BlobCache struct{ m map[int][]byte }
+
+// Get returns the cached blob for sample i, zero-copy.
+func (c *BlobCache) Get(i int) ([]byte, bool) {
+	b, ok := c.m[i]
+	return b, ok
+}
+
+// Serve is the hot cache-hit path: every clone of blob is flagged, the
+// zero-copy uses are not.
+//
+//scipp:hotpath
+func Serve(c *BlobCache, i int, buf []byte) []byte {
+	blob, ok := c.Get(i)
+	if !ok {
+		return nil
+	}
+	clone := append([]byte(nil), blob...) // flagged: full copy onto a fresh base
+	dup := bytes.Clone(blob)              // flagged: explicit clone
+	copy(buf, blob)                       // flagged: copy out of the cache view
+	reuse := append(buf[:0], blob...)     // fine: caller's buffer, reused capacity
+	_ = clone
+	_ = dup
+	return reuse
+}
+
+// ColdClone is not hot-reachable: cloning off the hot path is allowed.
+func ColdClone(c *BlobCache, i int) []byte {
+	blob, _ := c.Get(i)
+	return append([]byte(nil), blob...)
+}

@@ -1,0 +1,71 @@
+// Package fixhotalloc exercises the hotalloc analyzer: allocation in
+// //scipp:hotpath-reachable code is flagged; pooled memory, cold
+// error-dominated branches, and unannotated code are not.
+package fixhotalloc
+
+import (
+	"bytes"
+	"errors"
+)
+
+// BufPool is the recognized allocator: hotness stops at its methods, so
+// the refill make below is never flagged.
+type BufPool struct{ free [][]byte }
+
+// Get returns a pooled buffer, refilling from the heap when empty.
+func (p *BufPool) Get(n int) []byte {
+	if k := len(p.free); k > 0 {
+		b := p.free[k-1]
+		p.free = p.free[:k-1]
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
+// Put returns a buffer to the freelist.
+func (p *BufPool) Put(b []byte) { p.free = append(p.free, b) }
+
+// Decode is a per-sample hot loop: the direct allocations are flagged, the
+// pooled draw and the error-dominated branch are not.
+//
+//scipp:hotpath
+func Decode(p *BufPool, blob []byte) []byte {
+	tmp := make([]byte, len(blob)) // flagged: make on the hot path
+	scratch := new(int)            // flagged: new on the hot path
+	var grown []byte
+	grown = append(grown, blob...) // flagged: growth of a fresh slice
+	var buf bytes.Buffer           // flagged: growing scratch type
+	buf.Grow(64)
+	out := p.Get(len(blob)) // sanctioned: pool memory
+	copy(out, tmp)
+	_ = scratch
+	_ = grown
+	if err := validate(blob); err != nil {
+		logErr(err) // cold: reachability stops at error-dominated sites
+	}
+	transform(out) // hot propagation into a module-local callee
+	p.Put(out)
+	return tmp
+}
+
+// transform is hot by reachability from Decode, not by annotation.
+func transform(b []byte) {
+	pad := make([]byte, 8) // flagged: hot via root Decode
+	copy(b, pad)
+}
+
+// validate gates the cold branch.
+func validate(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty blob")
+	}
+	return nil
+}
+
+// logErr is only reachable under an error check: its allocations are the
+// failure path's business, not the hot loop's.
+func logErr(err error) {
+	msg := make([]byte, 0, 128) // not flagged: not hot-reachable
+	msg = append(msg, err.Error()...)
+	_ = msg
+}

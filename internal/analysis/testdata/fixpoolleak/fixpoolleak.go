@@ -1,0 +1,93 @@
+// Package fixpoolleak exercises the poolleak analyzer: a pool Get whose
+// value can reach an ordinary return unreleased is flagged; deferred
+// releases, all-paths releases, ownership handoffs, and rebinding are not.
+package fixpoolleak
+
+import "errors"
+
+// Slab is a pooled buffer.
+type Slab struct{ data []byte }
+
+// SlabPool is the recognized pool type.
+type SlabPool struct{ free []*Slab }
+
+// Get pops a slab or refills from the heap.
+func (p *SlabPool) Get() *Slab {
+	if k := len(p.free); k > 0 {
+		s := p.free[k-1]
+		p.free = p.free[:k-1]
+		return s
+	}
+	return &Slab{data: make([]byte, 64)}
+}
+
+// Put returns a slab to the freelist.
+func (p *SlabPool) Put(s *Slab) { p.free = append(p.free, s) }
+
+// LeakOnError forgets the slab on the early error return: flagged.
+func LeakOnError(p *SlabPool, blob []byte) error {
+	s := p.Get() // flagged: the empty-blob return leaks s
+	if len(blob) == 0 {
+		return errors.New("empty blob")
+	}
+	copy(s.data, blob)
+	p.Put(s)
+	return nil
+}
+
+// DeferredRelease is clean: the deferred Put covers every exit at once.
+func DeferredRelease(p *SlabPool, blob []byte) error {
+	s := p.Get()
+	defer p.Put(s)
+	if len(blob) == 0 {
+		return errors.New("empty blob")
+	}
+	copy(s.data, blob)
+	return nil
+}
+
+// ReleasedOnAllPaths is clean: each branch releases before returning.
+func ReleasedOnAllPaths(p *SlabPool, ok bool) {
+	s := p.Get()
+	if !ok {
+		p.Put(s)
+		return
+	}
+	copy(s.data, []byte{1})
+	p.Put(s)
+}
+
+// Handoff is clean: returning the slab transfers the release obligation to
+// the caller.
+func Handoff(p *SlabPool) *Slab {
+	s := p.Get()
+	s.data = s.data[:0]
+	return s
+}
+
+// LeakInSelect loses the slab on the abort arm: flagged. The happy arm is a
+// handoff (the receiver owns it after the send).
+func LeakInSelect(p *SlabPool, out chan *Slab, abort <-chan struct{}) {
+	s := p.Get() // flagged: the abort arm exits still holding s
+	select {
+	case out <- s:
+	case <-abort:
+	}
+}
+
+// ReleaseAcrossLabeledLoops is clean: both the labeled continue and the
+// fallthrough exit of the inner loop release before the next acquisition.
+func ReleaseAcrossLabeledLoops(p *SlabPool, n int) {
+outer:
+	for i := 0; i < n; i++ {
+		s := p.Get()
+		for j := 0; j < n; j++ {
+			if j == 3 {
+				p.Put(s)
+				continue outer
+			}
+			s.data = append(s.data, byte(j))
+		}
+		p.Put(s)
+	}
+}

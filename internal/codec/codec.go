@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"scipp/internal/tensor"
 )
@@ -61,57 +62,110 @@ type Format interface {
 	Open(blob []byte) (ChunkDecoder, error)
 }
 
-// Decode fully decodes blob-opened decoder d serially.
+// Recycler is implemented by decoders whose Open builds reusable scratch
+// (decoded lookup tables, offset indexes). Once every DecodeChunk call has
+// returned, the pipeline hands the decoder back through Recycle so the next
+// Open of the same format can reuse the buffers instead of reallocating them
+// per sample. After Recycle the decoder must not be used again.
+type Recycler interface {
+	Recycle()
+}
+
+// Recycle returns d's reusable buffers to its format's pool, when the
+// decoder supports it. Safe on any decoder; non-Recyclers are ignored.
+func Recycle(d ChunkDecoder) {
+	if r, ok := d.(Recycler); ok {
+		r.Recycle()
+	}
+}
+
+// parallelDecodeMinBytes is the decoded-output size below which
+// DecodeParallelInto stays serial: fanning a sample's chunks out to
+// goroutines costs more (scheduler churn, per-spawn heap allocation) than
+// decoding a small sample in place, and cross-sample parallelism already
+// comes from the pipeline's decode-stage worker pool.
+const parallelDecodeMinBytes = 64 << 10
+
+// Decode fully decodes blob-opened decoder d serially into a new tensor.
+// Hot paths that recycle buffers should use DecodeInto.
 func Decode(d ChunkDecoder) (*tensor.Tensor, error) {
 	dst := tensor.New(d.OutputDType(), d.OutputShape()...)
-	for c := 0; c < d.NumChunks(); c++ {
-		if err := d.DecodeChunk(c, dst); err != nil {
-			return nil, fmt.Errorf("codec: chunk %d: %w", c, err)
-		}
+	if err := DecodeInto(d, dst); err != nil {
+		return nil, err
 	}
 	return dst, nil
 }
 
-// DecodeParallel decodes with up to workers concurrent goroutines, the CPU
-// plugin's execution strategy ("on the CPU we assign different samples to
-// different threads" — and within a sample, chunks to threads).
-func DecodeParallel(d ChunkDecoder, workers int) (*tensor.Tensor, error) {
-	n := d.NumChunks()
-	if workers <= 1 || n <= 1 {
-		return Decode(d)
+// DecodeInto decodes d serially into dst, which must have d's output shape
+// and dtype (DecodeChunk implementations validate).
+//
+//scipp:hotpath
+func DecodeInto(d ChunkDecoder, dst *tensor.Tensor) error {
+	for c := 0; c < d.NumChunks(); c++ {
+		if err := d.DecodeChunk(c, dst); err != nil {
+			return fmt.Errorf("codec: chunk %d: %w", c, err)
+		}
 	}
+	return nil
+}
+
+// DecodeParallel decodes with up to workers concurrent goroutines into a new
+// tensor. Hot paths that recycle buffers should use DecodeParallelInto.
+func DecodeParallel(d ChunkDecoder, workers int) (*tensor.Tensor, error) {
+	dst := tensor.New(d.OutputDType(), d.OutputShape()...)
+	if err := DecodeParallelInto(d, dst, workers); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// DecodeParallelInto decodes into dst with up to workers concurrent
+// goroutines, the CPU plugin's execution strategy ("on the CPU we assign
+// different samples to different threads" — and within a sample, chunks to
+// threads). Small samples decode serially (see parallelDecodeMinBytes);
+// larger ones draw chunks from an atomic cursor, with the calling goroutine
+// working alongside the spawned ones so workers-1 goroutines suffice.
+//
+//scipp:hotpath
+func DecodeParallelInto(d ChunkDecoder, dst *tensor.Tensor, workers int) error {
+	n := d.NumChunks()
 	if workers > n {
 		workers = n
 	}
-	dst := tensor.New(d.OutputDType(), d.OutputShape()...)
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
-		next = make(chan int, n)
-	)
-	for c := 0; c < n; c++ {
-		next <- c
+	if workers <= 1 || n <= 1 || d.Workload().BytesOut < parallelDecodeMinBytes {
+		return DecodeInto(d, dst)
 	}
-	close(next)
-	for w := 0; w < workers; w++ {
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	work := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= n {
+				return
+			}
+			if err := d.DecodeChunk(c, dst); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("codec: chunk %d: %w", c, err)
+				}
+				errMu.Unlock()
+			}
+		}
+	}
+	for w := 1; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for c := range next {
-				if err := d.DecodeChunk(c, dst); err != nil {
-					mu.Lock()
-					errs = append(errs, fmt.Errorf("codec: chunk %d: %w", c, err))
-					mu.Unlock()
-				}
-			}
+			work()
 		}()
 	}
+	work()
 	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
-	}
-	return dst, nil
+	return firstErr
 }
 
 var (

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"scipp/internal/codec"
 	"scipp/internal/fp16"
@@ -387,30 +388,58 @@ func (format) Open(blob []byte) (codec.ChunkDecoder, error) {
 	if len(blob) < need {
 		return nil, errors.New("deltafp: truncated offset table")
 	}
-	offsets := make([]uint32, nLines+1)
+	d := getDecoder(nLines + 1)
+	offsets := d.offsets
 	for i := range offsets {
 		offsets[i] = binary.LittleEndian.Uint32(blob[headerLen+4*i:])
 	}
 	payload := blob[need:]
 	if int(offsets[nLines]) != len(payload) {
+		d.Recycle()
 		return nil, errors.New("deltafp: payload length mismatch")
 	}
 	for i := 0; i < nLines; i++ {
 		if offsets[i] > offsets[i+1] {
+			d.Recycle()
 			return nil, errors.New("deltafp: non-monotonic offsets")
 		}
 	}
-	d := &Decoder{
-		c: c, h: h, w: w,
-		mantBits: 7 - expBits,
-		offsets:  offsets,
-		payload:  payload,
-		blobLen:  len(blob),
-	}
+	d.c, d.h, d.w = c, h, w
+	d.mantBits = 7 - expBits
+	d.payload = payload
+	d.blobLen = len(blob)
 	if err := d.profile(); err != nil {
+		d.Recycle()
 		return nil, err
 	}
 	return d, nil
+}
+
+// decoderPool recycles Decoder structs — and, through them, their offset
+// tables — between samples: the pipeline's decode stage hands finished
+// decoders back via codec.Recycle, so the per-sample Open cost on the hot
+// path is parsing, not heap allocation.
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// getDecoder returns a zeroed Decoder whose offsets table has room for n
+// entries, reusing a recycled one when available.
+func getDecoder(n int) *Decoder {
+	d := decoderPool.Get().(*Decoder)
+	offsets := d.offsets
+	if cap(offsets) < n {
+		offsets = make([]uint32, n)
+	}
+	*d = Decoder{offsets: offsets[:n]}
+	return d
+}
+
+// Recycle implements codec.Recycler: it drops the decoder's blob references
+// and returns it (with its offsets table) to the pool. The decoder must not
+// be used afterwards.
+func (d *Decoder) Recycle() {
+	offsets := d.offsets
+	*d = Decoder{offsets: offsets[:0]}
+	decoderPool.Put(d)
 }
 
 // Decoder decodes a deltafp blob line by line. Lines are independent, so

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"scipp/internal/codec"
 	"scipp/internal/fp16"
@@ -201,6 +202,56 @@ type Decoder struct {
 	blobLen int
 	// subOfZ maps a z-slice to its sub-volume index.
 	subOfZ []int
+	// tables is the decoder's freelist of fused-table backing slices,
+	// scavenged from recycled sub-volumes so a reused Decoder re-fuses its
+	// groups into existing memory.
+	tables [][]fp16.Bits
+}
+
+// decoderPool recycles Decoder structs — with their z-maps, sub-volume
+// slices, and fused-table backing memory — between samples: the pipeline's
+// decode stage hands finished decoders back via codec.Recycle, so a steady
+// decode loop re-fuses each sample's groups into memory it already owns.
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// getDecoder returns a reset Decoder whose subOfZ covers dim z-slices,
+// reusing recycled backing memory when available.
+func getDecoder(dim int) *Decoder {
+	d := decoderPool.Get().(*Decoder)
+	subOfZ := d.subOfZ
+	if cap(subOfZ) < dim {
+		subOfZ = make([]int, dim)
+	}
+	*d = Decoder{subOfZ: subOfZ[:dim], subs: d.subs[:0], tables: d.tables}
+	return d
+}
+
+// getTable returns an n-element fused-table slice, preferring the freelist.
+func (d *Decoder) getTable(n int) []fp16.Bits {
+	for i, t := range d.tables {
+		if cap(t) >= n {
+			last := len(d.tables) - 1
+			d.tables[i] = d.tables[last]
+			d.tables = d.tables[:last]
+			return t[:n]
+		}
+	}
+	return make([]fp16.Bits, n)
+}
+
+// Recycle implements codec.Recycler: it drops every blob reference, keeps
+// the fused-table memory on the decoder's freelist, and returns the decoder
+// to the pool. The decoder must not be used afterwards.
+func (d *Decoder) Recycle() {
+	for i := range d.subs {
+		if d.subs[i].decoded != nil {
+			d.tables = append(d.tables, d.subs[i].decoded)
+		}
+		d.subs[i] = sub{}
+	}
+	subOfZ, subs, tables := d.subOfZ, d.subs[:0], d.tables
+	*d = Decoder{subOfZ: subOfZ[:0], subs: subs, tables: tables}
+	decoderPool.Put(d)
 }
 
 func (f format) Open(blob []byte) (codec.ChunkDecoder, error) {
@@ -223,7 +274,8 @@ func (f format) Open(blob []byte) (codec.ChunkDecoder, error) {
 	if dim > 4096 || int64(len(blob)) < int64(dim)*int64(dim)*int64(dim) {
 		return nil, fmt.Errorf("lut: dim %d implausible for a %d-byte blob", dim, len(blob))
 	}
-	d := &Decoder{dim: dim, op: f.op, fused: f.fused, blobLen: len(blob), subOfZ: make([]int, dim)}
+	d := getDecoder(dim)
+	d.dim, d.op, d.fused, d.blobLen = dim, f.op, f.fused, len(blob)
 	for i := range d.subOfZ {
 		d.subOfZ[i] = -1
 	}
@@ -231,6 +283,7 @@ func (f format) Open(blob []byte) (codec.ChunkDecoder, error) {
 	pos := 12
 	for i := 0; i < nsub; i++ {
 		if pos+13 > len(blob) {
+			d.Recycle()
 			return nil, errors.New("lut: truncated sub-volume header")
 		}
 		z0 := int(binary.LittleEndian.Uint32(blob[pos:]))
@@ -239,14 +292,17 @@ func (f format) Open(blob []byte) (codec.ChunkDecoder, error) {
 		ng := int(binary.LittleEndian.Uint32(blob[pos+9:]))
 		pos += 13
 		if z0 < 0 || z1 <= z0 || z1 > dim || (kw != 1 && kw != 2) || ng <= 0 || ng > math.MaxUint16+1 {
+			d.Recycle()
 			return nil, fmt.Errorf("lut: invalid sub-volume z=[%d,%d) kw=%d ng=%d", z0, z1, kw, ng)
 		}
 		if kw == 1 && ng > 256 {
+			d.Recycle()
 			return nil, errors.New("lut: 1-byte keys with >256 groups")
 		}
 		tlen := ng * 8
 		klen := (z1 - z0) * plane * kw
 		if pos+tlen+klen > len(blob) {
+			d.Recycle()
 			return nil, errors.New("lut: truncated sub-volume payload")
 		}
 		s := sub{
@@ -258,7 +314,7 @@ func (f format) Open(blob []byte) (codec.ChunkDecoder, error) {
 		if f.fused {
 			// The fused-operator optimization: op + FP16 cast on the unique
 			// groups only.
-			s.decoded = make([]fp16.Bits, ng*4)
+			s.decoded = d.getTable(ng * 4)
 			for g := 0; g < ng; g++ {
 				for c := 0; c < 4; c++ {
 					count := int16(binary.LittleEndian.Uint16(s.rawTable[g*8+c*2:]))
@@ -268,6 +324,8 @@ func (f format) Open(blob []byte) (codec.ChunkDecoder, error) {
 		}
 		for z := z0; z < z1; z++ {
 			if d.subOfZ[z] != -1 {
+				d.subs = append(d.subs, s)
+				d.Recycle()
 				return nil, fmt.Errorf("lut: overlapping sub-volumes at z=%d", z)
 			}
 			d.subOfZ[z] = len(d.subs)
@@ -275,10 +333,12 @@ func (f format) Open(blob []byte) (codec.ChunkDecoder, error) {
 		d.subs = append(d.subs, s)
 	}
 	if pos != len(blob) {
+		d.Recycle()
 		return nil, errors.New("lut: trailing bytes")
 	}
 	for z, si := range d.subOfZ {
 		if si == -1 {
+			d.Recycle()
 			return nil, fmt.Errorf("lut: z=%d not covered by any sub-volume", z)
 		}
 	}

@@ -125,6 +125,20 @@ func CopyTime(link platform.Link, bytes int, concurrent int) float64 {
 // decoded tensor together with the simulated kernel time. The decoded bytes
 // are bit-identical to a serial decode; only the clock is simulated.
 func (d *Device) Execute(cd codec.ChunkDecoder) (*tensor.Tensor, float64, error) {
+	out := tensor.New(cd.OutputDType(), cd.OutputShape()...)
+	kt, err := d.ExecuteInto(cd, out)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, kt, nil
+}
+
+// ExecuteInto decodes cd into dst on the device's worker pool and returns
+// the simulated kernel time — the hot-path variant of Execute, for callers
+// that recycle sample buffers.
+//
+//scipp:hotpath
+func (d *Device) ExecuteInto(cd codec.ChunkDecoder, dst *tensor.Tensor) (float64, error) {
 	workers := d.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -132,11 +146,10 @@ func (d *Device) Execute(cd codec.ChunkDecoder) (*tensor.Tensor, float64, error)
 	if workers > d.GPU.SMs {
 		workers = d.GPU.SMs
 	}
-	out, err := codec.DecodeParallel(cd, workers)
-	if err != nil {
-		return nil, 0, err
+	if err := codec.DecodeParallelInto(cd, dst, workers); err != nil {
+		return 0, err
 	}
-	return out, d.KernelTime(cd.Workload()), nil
+	return d.KernelTime(cd.Workload()), nil
 }
 
 // SpeedupVsNaive reports the modeled kernel-time ratio naive/hierarchical

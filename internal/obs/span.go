@@ -10,6 +10,11 @@ import (
 // come from the tracer's trace.Clock, so a trace.VirtualClock makes every
 // recorded duration exact. A nil *Tracer (the disabled path) starts and ends
 // spans for the cost of a nil check.
+//
+// Hot loops should resolve a *StageTimer once per stage and start spans from
+// it: Tracer.Start re-resolves the stage's instruments (two registry lookups
+// and two name concatenations) on every End, which the per-sample path
+// cannot afford.
 type Tracer struct {
 	reg      *Registry
 	clock    trace.Clock
@@ -47,32 +52,67 @@ func (t *Tracer) Clock() trace.Clock {
 	return t.clock
 }
 
-// Span is one in-flight stage activity. The zero Span (from a nil tracer)
-// ends as a no-op.
+// StageTimer is a per-stage span factory with its instruments resolved once:
+// starting and ending a span through it touches no registry locks and
+// allocates nothing, which is what lets the stage DAG afford a span per
+// sample. A nil *StageTimer (from a nil tracer) is a true no-op.
+type StageTimer struct {
+	clock    trace.Clock
+	hist     *Histogram
+	spans    *Counter
+	timeline *trace.Timeline
+	resource string
+	stage    string
+}
+
+// Stage resolves the named stage's instruments into a reusable StageTimer.
+// Nil on a nil receiver.
+func (t *Tracer) Stage(stage string) *StageTimer {
+	if t == nil {
+		return nil
+	}
+	return &StageTimer{
+		clock:    t.clock,
+		hist:     t.reg.Histogram(stage+".seconds", DurationBuckets()),
+		spans:    t.reg.Counter(stage + ".spans"),
+		timeline: t.timeline,
+		resource: t.resource,
+		stage:    stage,
+	}
+}
+
+// Start opens a span on the pre-resolved stage. On a nil timer it returns
+// the zero Span without touching any clock.
+func (st *StageTimer) Start() Span {
+	if st == nil {
+		return Span{}
+	}
+	return Span{st: st, start: st.clock.Now()}
+}
+
+// Span is one in-flight stage activity. The zero Span (from a nil tracer or
+// nil StageTimer) ends as a no-op.
 type Span struct {
-	t     *Tracer
-	stage string
+	st    *StageTimer
 	start float64
 }
 
-// Start opens a span for the named stage. On a nil tracer it returns the
-// zero Span without touching any clock.
+// Start opens a span for the named stage, resolving its instruments on the
+// spot. On a nil tracer it returns the zero Span without touching any clock.
+// Per-sample call sites should resolve a StageTimer once instead.
 func (t *Tracer) Start(stage string) Span {
-	if t == nil {
-		return Span{}
-	}
-	return Span{t: t, stage: stage, start: t.clock.Now()}
+	return t.Stage(stage).Start()
 }
 
 // End closes the span, recording its duration. Safe on the zero Span.
 func (s Span) End() {
-	if s.t == nil {
+	if s.st == nil {
 		return
 	}
-	end := s.t.clock.Now()
-	s.t.reg.Histogram(s.stage+".seconds", DurationBuckets()).Observe(end - s.start)
-	s.t.reg.Counter(s.stage + ".spans").Inc()
-	if s.t.timeline != nil {
-		s.t.timeline.Add(s.t.resource, s.stage, s.start, end)
+	end := s.st.clock.Now()
+	s.st.hist.Observe(end - s.start)
+	s.st.spans.Inc()
+	if s.st.timeline != nil {
+		s.st.timeline.Add(s.st.resource, s.st.stage, s.start, end)
 	}
 }

@@ -15,8 +15,10 @@ type AugmentStage struct {
 func (s *AugmentStage) Name() string { return "augment" }
 
 // Process implements Stage[decodedSample, decodedSample].
+//
+//scipp:hotpath
 func (s *AugmentStage) Process(index int, in decodedSample) (decodedSample, error) {
-	sp := s.ob.tr.Start("pipeline.augment")
+	sp := s.ob.augment.Start()
 	data, err := s.fn(in.data)
 	sp.End()
 	if err != nil {

@@ -217,9 +217,13 @@ type CacheStage struct {
 // Name implements Stage.
 func (s *CacheStage) Name() string { return "read" }
 
-// Process implements Stage[struct{}, rawSample].
+// Process implements Stage[struct{}, rawSample]. The hit path hands out the
+// cache's resident blob and label without copying — decode only reads the
+// blob, and the copydiscipline analyzer keeps clone idioms off this path.
+//
+//scipp:hotpath
 func (s *CacheStage) Process(index int, _ struct{}) (rawSample, error) {
-	sp := s.ob.tr.Start("pipeline.read")
+	sp := s.ob.read.Start()
 	defer sp.End()
 	if blob, label, ok := s.cache.Get(index); ok {
 		s.ob.cacheHits.Inc()

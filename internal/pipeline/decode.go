@@ -19,13 +19,20 @@ type decodedSample struct {
 // pool (cpuWorkers-wide, intra-sample); the GPU placement submits the
 // sample's chunk workload to the simulated device. Open runs outside the
 // decode span, exactly as the monolithic loader had it.
+//
+// The stage decodes into tensors drawn from the loader's SlabPool and hands
+// them downstream inside the decodedSample (ownership travels with the
+// sample until Batch.Release recycles it); decoder scratch goes back to the
+// format through codec.Recycle as soon as the decode returns.
 type DecodeStage struct {
 	format     codec.Format
 	plugin     Plugin
 	device     *gpusim.Device
 	cpuWorkers int
+	pool       *SlabPool
 	clock      trace.Clock
 	timeline   *trace.Timeline
+	tag        string // timeline tag, "decode-"+plugin, precomputed
 	ob         iterObs
 }
 
@@ -33,26 +40,30 @@ type DecodeStage struct {
 func (s *DecodeStage) Name() string { return "decode." + s.plugin.String() }
 
 // Process implements Stage[rawSample, decodedSample].
+//
+//scipp:hotpath
 func (s *DecodeStage) Process(index int, in rawSample) (decodedSample, error) {
 	cd, err := s.format.Open(in.blob)
 	if err != nil {
 		return decodedSample{}, err
 	}
-	sp := s.ob.tr.Start("pipeline." + s.Name())
+	dst := s.pool.GetTensor(cd.OutputDType(), cd.OutputShape())
+	sp := s.ob.decode.Start()
 	t0 := s.clock.Now()
-	var data *tensor.Tensor
 	switch s.plugin {
 	case GPUPlugin:
-		data, _, err = s.device.Execute(cd)
+		_, err = s.device.ExecuteInto(cd, dst)
 	default:
-		data, err = codec.DecodeParallel(cd, s.cpuWorkers)
+		err = codec.DecodeParallelInto(cd, dst, s.cpuWorkers)
 	}
 	sp.End()
+	codec.Recycle(cd)
 	if err != nil {
+		s.pool.PutTensor(dst)
 		return decodedSample{}, err
 	}
 	if s.timeline != nil {
-		s.timeline.Add("loader", "decode-"+s.plugin.String(), t0, s.clock.Now())
+		s.timeline.Add("loader", s.tag, t0, s.clock.Now())
 	}
-	return decodedSample{data: data, label: in.label}, nil
+	return decodedSample{data: dst, label: in.label}, nil
 }

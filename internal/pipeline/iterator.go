@@ -15,6 +15,7 @@ import (
 // cache, so uncached runs snapshot exactly the metric set they always did.
 type iterObs struct {
 	tr                                     *obs.Tracer
+	read, decode, augment, prefetchWait    *obs.StageTimer
 	decoded, skipped, bad                  *obs.Counter
 	retried, batches                       *obs.Counter
 	errTransient, errPermanent             *obs.Counter
@@ -22,12 +23,21 @@ type iterObs struct {
 	cacheHits, cacheMisses, cacheEvictions *obs.Counter
 }
 
-func newIterObs(reg *obs.Registry, clock trace.Clock, cached bool) iterObs {
+// newIterObs resolves every handle the iterator's stages will touch, once.
+// The stage timers are pre-resolved StageTimers so the per-sample span sites
+// never hit the registry; the augment timer is resolved only when an augment
+// stage will actually run, and the decode timer carries the configured
+// plugin's stage name, so snapshots list exactly the stages of this DAG.
+func newIterObs(reg *obs.Registry, clock trace.Clock, cached bool, decodeStage string, augmented bool) iterObs {
 	if reg == nil {
 		return iterObs{}
 	}
+	tr := obs.NewTracer(reg, clock)
 	ob := iterObs{
-		tr:           obs.NewTracer(reg, clock),
+		tr:           tr,
+		read:         tr.Stage("pipeline.read"),
+		decode:       tr.Stage("pipeline." + decodeStage),
+		prefetchWait: tr.Stage("pipeline.prefetch_wait"),
 		decoded:      reg.Counter("pipeline.samples.decoded"),
 		skipped:      reg.Counter("pipeline.samples.skipped"),
 		bad:          reg.Counter("pipeline.samples.bad"),
@@ -36,6 +46,9 @@ func newIterObs(reg *obs.Registry, clock trace.Clock, cached bool) iterObs {
 		errTransient: reg.Counter("pipeline.errors.transient"),
 		errPermanent: reg.Counter("pipeline.errors.permanent"),
 		queueDepth:   reg.Gauge("pipeline.queue_depth"),
+	}
+	if augmented {
+		ob.augment = tr.Stage("pipeline.augment")
 	}
 	if cached {
 		ob.cacheHits = reg.Counter("pipeline.cache.hits")
@@ -137,7 +150,8 @@ func (it *Iterator) start() {
 	// Decode stage, emitting into augment when configured, else the sink.
 	dec := &DecodeStage{
 		format: cfg.Format, plugin: cfg.Plugin, device: cfg.Device,
-		cpuWorkers: cfg.CPUWorkers, clock: it.clock, timeline: cfg.Trace, ob: it.ob,
+		cpuWorkers: cfg.CPUWorkers, pool: l.pool, clock: it.clock,
+		timeline: cfg.Trace, tag: "decode-" + cfg.Plugin.String(), ob: it.ob,
 	}
 	emitDecoded := toOutcome
 	if cfg.Augment != nil {
@@ -191,21 +205,28 @@ func (it *Iterator) start() {
 
 // Next returns the next batch, or (nil, nil) at the end of the epoch.
 //
+// Batches are drawn from the loader's slab pool: call Batch.Release once a
+// batch's tensors are dead to recycle them into later batches (consumers
+// that retain tensors just skip Release). Batches Next never returns —
+// empty at end of epoch, dropped partials, error exits — release here.
+//
 // Sample failures surface as typed errors: with the zero Resilience policy
 // the first failed sample ends the epoch with a *SampleError carrying its
 // dataset index; with MaxBadSamples > 0 failed samples are skipped and
 // accounted in Stats until the quota is exceeded, at which point Next
 // returns an *EpochError naming every bad sample. Either way the iterator
 // is closed, and Close/Drain remain safe to call afterwards.
+//
+//scipp:hotpath
 func (it *Iterator) Next() (*Batch, error) {
 	it.mu.Lock()
 	defer it.mu.Unlock()
-	b := &Batch{}
 	pol := it.loader.cfg.Resilience
 	want := it.loader.cfg.Batch
+	b := it.loader.pool.getBatch(want)
 	for len(b.Data) < want {
 		it.ob.queueDepth.Set(float64(len(it.batcher.ordered)))
-		wsp := it.ob.tr.Start("pipeline.prefetch_wait")
+		wsp := it.ob.prefetchWait.Start()
 		o, ok := <-it.batcher.ordered
 		wsp.End()
 		if !ok {
@@ -220,6 +241,7 @@ func (it *Iterator) Next() (*Batch, error) {
 			if it.recordBad(se, pol.MaxBadSamples) {
 				continue // skipped within quota: the batch draws the next sample
 			}
+			b.Release()
 			it.Close()
 			if pol.MaxBadSamples > 0 {
 				st := it.Stats()
@@ -234,9 +256,11 @@ func (it *Iterator) Next() (*Batch, error) {
 		it.pos++
 	}
 	if len(b.Data) == 0 {
+		b.Release()
 		return nil, nil
 	}
 	if len(b.Data) < want && it.loader.cfg.DropLast {
+		b.Release()
 		return nil, nil
 	}
 	it.ob.batches.Inc()
@@ -250,8 +274,9 @@ func (it *Iterator) Close() {
 	it.stopOnce.Do(func() { close(it.abort) })
 }
 
-// Drain runs the full epoch, discarding batches, and returns the number of
-// samples decoded. Used by throughput measurements.
+// Drain runs the full epoch, releasing each batch back to the slab pool,
+// and returns the number of samples decoded. Used by throughput
+// measurements, which it keeps allocation-steady.
 func (it *Iterator) Drain() (int, error) {
 	n := 0
 	for {
@@ -263,5 +288,6 @@ func (it *Iterator) Drain() (int, error) {
 			return n, nil
 		}
 		n += b.Size()
+		b.Release()
 	}
 }

@@ -175,6 +175,7 @@ type Loader struct {
 	ds    Dataset
 	cfg   Config
 	cache *SampleCache // nil unless cfg.Cache is enabled; shared by epochs
+	pool  *SlabPool    // recycles sample tensors and batches across epochs
 }
 
 // New validates the configuration and returns a Loader.
@@ -194,7 +195,7 @@ func New(ds Dataset, cfg Config) (*Loader, error) {
 			return nil, err
 		}
 	}
-	l := &Loader{ds: ds, cfg: cfg}
+	l := &Loader{ds: ds, cfg: cfg, pool: NewSlabPool()}
 	if cfg.Cache.enabled() {
 		l.cache = NewSampleCache(cfg.Cache)
 	}
@@ -203,6 +204,10 @@ func New(ds Dataset, cfg Config) (*Loader, error) {
 
 // Cache returns the loader's sample cache, or nil when caching is disabled.
 func (l *Loader) Cache() *SampleCache { return l.cache }
+
+// Pool returns the loader's slab pool — the recycler behind the decoded
+// sample tensors and batches its iterators hand out (see Batch.Release).
+func (l *Loader) Pool() *SlabPool { return l.pool }
 
 // Schedule returns the sample order for an epoch, as derived by the
 // configured Source (default: sequential, or seeded per-epoch shuffle when
@@ -231,7 +236,7 @@ func (l *Loader) Epoch(epoch int) *Iterator {
 		loader:  l,
 		order:   order,
 		clock:   clock,
-		ob:      newIterObs(l.cfg.Obs, clock, l.cache != nil),
+		ob:      newIterObs(l.cfg.Obs, clock, l.cache != nil, "decode."+l.cfg.Plugin.String(), l.cfg.Augment != nil),
 		abort:   make(chan struct{}),
 		tokens:  make(chan struct{}, l.cfg.Prefetch),
 		batcher: newBatchStage(len(order), l.cfg.Stages.QueueDepth),

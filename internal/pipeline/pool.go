@@ -1,0 +1,149 @@
+package pipeline
+
+import (
+	"sync"
+
+	"scipp/internal/tensor"
+)
+
+// slabClass is the recycling key of a sample slab: tensors are interchangeable
+// exactly when their dtype and element count match (the shape header is
+// patched on reuse when it differs).
+type slabClass struct {
+	dt    tensor.DType
+	elems int
+}
+
+// maxPooledPerClass bounds each class's freelist. The pipeline's steady
+// state holds at most Prefetch samples plus a few assembled batches in
+// flight, so the cap never binds in normal operation; it only stops a
+// misbehaving caller from growing the pool without bound.
+const maxPooledPerClass = 1024
+
+// SlabPool recycles the pipeline's per-sample buffers: the decoded sample
+// tensors the decode stage writes into, and the Batch structs (with their
+// backing slices) that Iterator.Next assembles. It is the allocator the
+// hotalloc analyzer recognizes — hot-path stages must draw sample-sized
+// memory from here rather than the heap, and every Get must be balanced by
+// a Put on all paths (the poolleak analyzer's must-release rule), either
+// directly or by handing the buffer downstream.
+//
+// Ownership protocol: the decode stage Gets a tensor and hands it to the
+// batch sink inside its decodedSample (ownership moves with the sample);
+// Iterator.Next hands it to the consumer inside a Batch; Batch.Release
+// returns the batch's sample tensors — never its labels, which the Dataset
+// owns — and the Batch itself. A consumer that retains tensors simply skips
+// Release and the pool refills from the heap, so recycling is strictly
+// opt-in and never aliases live data.
+//
+// A SlabPool is safe for concurrent use by the stage worker pools. Reused
+// tensors have unspecified contents: decode covers every element, which is
+// why the pool can skip zeroing.
+type SlabPool struct {
+	mu      sync.Mutex
+	tensors map[slabClass][]*tensor.Tensor
+	batches []*Batch
+
+	gets, hits int64
+}
+
+// NewSlabPool returns an empty pool.
+func NewSlabPool() *SlabPool {
+	return &SlabPool{tensors: make(map[slabClass][]*tensor.Tensor)}
+}
+
+// GetTensor returns a tensor of the given dtype and shape with unspecified
+// contents, reusing a recycled slab when one of the same class is free.
+func (p *SlabPool) GetTensor(dt tensor.DType, shape tensor.Shape) *tensor.Tensor {
+	class := slabClass{dt: dt, elems: shape.Elems()}
+	p.mu.Lock()
+	p.gets++
+	free := p.tensors[class]
+	if n := len(free); n > 0 {
+		t := free[n-1]
+		free[n-1] = nil
+		p.tensors[class] = free[:n-1]
+		p.hits++
+		p.mu.Unlock()
+		if !t.Shape.Equal(shape) {
+			t.Shape = shape.Clone()
+		}
+		return t
+	}
+	p.mu.Unlock()
+	return tensor.New(dt, shape...)
+}
+
+// PutTensor returns t to its class's freelist. Nil tensors are ignored. The
+// caller must not use t afterwards.
+func (p *SlabPool) PutTensor(t *tensor.Tensor) {
+	if t == nil {
+		return
+	}
+	class := slabClass{dt: t.DT, elems: t.Shape.Elems()}
+	p.mu.Lock()
+	if len(p.tensors[class]) < maxPooledPerClass {
+		p.tensors[class] = append(p.tensors[class], t)
+	}
+	p.mu.Unlock()
+}
+
+// getBatch returns a reset Batch whose slices have at least the given
+// capacity available, reusing a released one when possible.
+func (p *SlabPool) getBatch(capacity int) *Batch {
+	p.mu.Lock()
+	if n := len(p.batches); n > 0 {
+		b := p.batches[n-1]
+		p.batches[n-1] = nil
+		p.batches = p.batches[:n-1]
+		p.mu.Unlock()
+		b.pool = p
+		b.released = false
+		return b
+	}
+	p.mu.Unlock()
+	return &Batch{
+		Data:    make([]*tensor.Tensor, 0, capacity),
+		Labels:  make([]*tensor.Tensor, 0, capacity),
+		Indices: make([]int, 0, capacity),
+		pool:    p,
+	}
+}
+
+// putBatch clears b's slices (keeping their capacity) and shelves it.
+func (p *SlabPool) putBatch(b *Batch) {
+	for i := range b.Data {
+		b.Data[i] = nil
+	}
+	for i := range b.Labels {
+		b.Labels[i] = nil
+	}
+	b.Data = b.Data[:0]
+	b.Labels = b.Labels[:0]
+	b.Indices = b.Indices[:0]
+	p.mu.Lock()
+	if len(p.batches) < maxPooledPerClass {
+		p.batches = append(p.batches, b)
+	}
+	p.mu.Unlock()
+}
+
+// PoolStats is a point-in-time snapshot of a SlabPool's reuse accounting.
+type PoolStats struct {
+	// Gets counts GetTensor calls; Hits counts the ones served from the
+	// freelist rather than the heap.
+	Gets, Hits int64
+	// FreeTensors and FreeBatches are current freelist occupancy.
+	FreeTensors, FreeBatches int
+}
+
+// Stats returns a snapshot of the pool's accounting.
+func (p *SlabPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PoolStats{Gets: p.gets, Hits: p.hits, FreeBatches: len(p.batches)}
+	for _, free := range p.tensors {
+		s.FreeTensors += len(free)
+	}
+	return s
+}

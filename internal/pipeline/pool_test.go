@@ -1,0 +1,178 @@
+package pipeline
+
+import (
+	"testing"
+
+	"scipp/internal/tensor"
+)
+
+func TestSlabPoolTensorReuse(t *testing.T) {
+	p := NewSlabPool()
+	a := p.GetTensor(tensor.F32, tensor.Shape{2, 3})
+	if got := p.Stats(); got.Gets != 1 || got.Hits != 0 {
+		t.Fatalf("fresh get stats = %+v", got)
+	}
+	p.PutTensor(a)
+	b := p.GetTensor(tensor.F32, tensor.Shape{2, 3})
+	if b != a {
+		t.Error("same-class get did not reuse the released tensor")
+	}
+	if got := p.Stats(); got.Hits != 1 {
+		t.Errorf("hits = %d, want 1", got.Hits)
+	}
+}
+
+func TestSlabPoolReshapesSameClass(t *testing.T) {
+	p := NewSlabPool()
+	a := p.GetTensor(tensor.F32, tensor.Shape{2, 3})
+	p.PutTensor(a)
+	// Same element count, different shape: the slab is reused with its
+	// shape header patched.
+	b := p.GetTensor(tensor.F32, tensor.Shape{6})
+	if b != a {
+		t.Fatal("equal-elems get did not reuse the released tensor")
+	}
+	if !b.Shape.Equal(tensor.Shape{6}) {
+		t.Errorf("reused tensor shape = %v, want [6]", b.Shape)
+	}
+	if len(b.F32s) != 6 {
+		t.Errorf("reused tensor has %d elems, want 6", len(b.F32s))
+	}
+}
+
+func TestSlabPoolClassesDoNotMix(t *testing.T) {
+	p := NewSlabPool()
+	a := p.GetTensor(tensor.F32, tensor.Shape{4})
+	p.PutTensor(a)
+	if b := p.GetTensor(tensor.F32, tensor.Shape{8}); b == a {
+		t.Error("different elem count reused the same slab")
+	}
+	if c := p.GetTensor(tensor.F16, tensor.Shape{4}); c == a {
+		t.Error("different dtype reused the same slab")
+	}
+}
+
+func TestSlabPoolPutNil(t *testing.T) {
+	p := NewSlabPool()
+	p.PutTensor(nil) // must not panic
+	if got := p.Stats(); got.FreeTensors != 0 {
+		t.Errorf("nil put changed occupancy: %+v", got)
+	}
+}
+
+func TestBatchReleaseRecyclesTensorsNotLabels(t *testing.T) {
+	p := NewSlabPool()
+	data := p.GetTensor(tensor.F32, tensor.Shape{4})
+	label := tensor.New(tensor.F32, 1)
+	b := p.getBatch(1)
+	b.Data = append(b.Data, data)
+	b.Labels = append(b.Labels, label)
+	b.Indices = append(b.Indices, 7)
+	b.Release()
+
+	if got := p.Stats(); got.FreeTensors != 1 || got.FreeBatches != 1 {
+		t.Fatalf("after release: %+v, want 1 free tensor and 1 free batch", got)
+	}
+	// The data tensor is recycled; the label must never be.
+	if r := p.GetTensor(tensor.F32, tensor.Shape{4}); r != data {
+		t.Error("released data tensor was not recycled")
+	}
+	if r := p.GetTensor(tensor.F32, tensor.Shape{1}); r == label {
+		t.Error("label tensor leaked into the pool")
+	}
+
+	b2 := p.getBatch(1)
+	if b2 != b {
+		t.Error("released batch struct was not recycled")
+	}
+	if len(b2.Data) != 0 || len(b2.Labels) != 0 || len(b2.Indices) != 0 {
+		t.Errorf("recycled batch not reset: %d/%d/%d entries",
+			len(b2.Data), len(b2.Labels), len(b2.Indices))
+	}
+}
+
+func TestBatchReleaseIdempotentAndNilSafe(t *testing.T) {
+	var nilBatch *Batch
+	nilBatch.Release() // must not panic
+
+	(&Batch{Data: []*tensor.Tensor{tensor.New(tensor.F32, 1)}}).Release() // poolless: no-op
+
+	p := NewSlabPool()
+	b := p.getBatch(1)
+	b.Data = append(b.Data, p.GetTensor(tensor.F32, tensor.Shape{2}))
+	b.Release()
+	b.Release() // second release must not double-free
+	if got := p.Stats(); got.FreeTensors != 1 || got.FreeBatches != 1 {
+		t.Errorf("double release changed occupancy: %+v", got)
+	}
+}
+
+// TestEpochReusesSlabsAcrossEpochs drives the real DAG for two epochs with
+// the consumer releasing every batch, and checks both that the pool serves
+// later decodes from its freelist and that recycled tensors still carry the
+// right decoded contents.
+func TestEpochReusesSlabsAcrossEpochs(t *testing.T) {
+	ds := testDataset(12)
+	l, err := New(ds, Config{Format: countFormat{}, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 2; epoch++ {
+		it := l.Epoch(epoch)
+		for {
+			b, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				break
+			}
+			for k, idx := range b.Indices {
+				if b.Data[k].F32s[0] != float32(idx) {
+					t.Fatalf("epoch %d sample %d decoded wrong content", epoch, idx)
+				}
+			}
+			b.Release()
+		}
+	}
+	st := l.Pool().Stats()
+	if st.Gets != 24 {
+		t.Errorf("pool gets = %d, want 24", st.Gets)
+	}
+	if st.Hits == 0 {
+		t.Error("two released epochs never hit the pool freelist")
+	}
+}
+
+// TestUnreleasedBatchesStayValid pins the opt-in contract: a consumer that
+// never calls Release keeps every tensor it was handed, bit-exact, even
+// after the loader has produced many more batches.
+func TestUnreleasedBatchesStayValid(t *testing.T) {
+	ds := testDataset(20)
+	l, err := New(ds, Config{Format: countFormat{}, Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := l.Epoch(0)
+	var kept []*Batch
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		kept = append(kept, b)
+	}
+	if len(kept) != 10 {
+		t.Fatalf("got %d batches, want 10", len(kept))
+	}
+	for _, b := range kept {
+		for k, idx := range b.Indices {
+			if b.Data[k].F32s[0] != float32(idx) {
+				t.Fatalf("retained sample %d was clobbered", idx)
+			}
+		}
+	}
+}

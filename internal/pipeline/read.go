@@ -23,8 +23,10 @@ type ReadStage struct {
 func (s *ReadStage) Name() string { return "read" }
 
 // Process implements Stage[struct{}, rawSample].
+//
+//scipp:hotpath
 func (s *ReadStage) Process(index int, _ struct{}) (rawSample, error) {
-	sp := s.ob.tr.Start("pipeline.read")
+	sp := s.ob.read.Start()
 	defer sp.End()
 	return s.fetch(index)
 }

@@ -47,6 +47,8 @@ type outcome struct {
 // the stage machinery goes through here (or an equivalent select): a bare
 // send could block forever once the consumer is gone, wedging the epoch —
 // the same discipline the distsend rule enforces in internal/dist.
+//
+//scipp:hotpath
 func sendItem[T any](out chan<- T, v T, abort <-chan struct{}) bool {
 	select {
 	case out <- v:
@@ -62,6 +64,8 @@ func sendItem[T any](out chan<- T, v T, abort <-chan struct{}) bool {
 // accounting). Workers exit when the epoch aborts or when done closes —
 // done only closes after every scheduled sample reached a terminal outcome,
 // so no worker can still hold an item by then and nothing is lost.
+//
+//scipp:hotpath
 func runPool[In, Out any](st Stage[In, Out], workers int,
 	in, retry <-chan item[In],
 	emit func(item[Out]) bool, fail chan<- failure,

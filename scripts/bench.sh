@@ -7,12 +7,26 @@
 # refactor that regresses ns_per_op materially against the committed numbers
 # (same machine class) needs a written justification.
 #
+# The committed JSON is also a regression gate: after the run, each
+# benchmark's ns_per_op and allocs_per_op are compared against the previous
+# committed numbers and the script fails if either regressed by more than
+# 10%. A justified regression (or a different machine class) re-baselines
+# with SCIPP_BENCH_NOGATE=1 scripts/bench.sh, plus the written rationale the
+# header above asks for. An improved run should be committed so the gate
+# ratchets forward.
+#
 # Usage: scripts/bench.sh [count]   (count = -count repetitions, default 1)
 set -eu
 
 cd "$(dirname "$0")/.."
 count="${1:-1}"
 out=BENCH_pipeline.json
+
+# Snapshot the committed baseline before the run overwrites it.
+baseline=""
+if [ -f "$out" ]; then
+	baseline=$(cat "$out")
+fi
 
 raw=$(go test -run '^$' -bench 'BenchmarkPipeline' -benchmem -count="$count" ./internal/pipeline/)
 printf '%s\n' "$raw"
@@ -49,3 +63,45 @@ printf '%s\n' "$raw" | awk -v count="$count" '
 ' >"$out"
 
 echo "wrote $out"
+
+# Regression gate: fail if any benchmark got >10% worse on ns_per_op or
+# allocs_per_op relative to the previously committed baseline.
+if [ -n "$baseline" ] && [ "${SCIPP_BENCH_NOGATE:-0}" != "1" ]; then
+	base_tmp=$(mktemp)
+	printf '%s\n' "$baseline" >"$base_tmp"
+	gate_status=0
+	awk '
+		function field_num(line, key,    pat) {
+			pat = "\"" key "\": [0-9]+"
+			if (match(line, pat)) return substr(line, RSTART + length(key) + 4, RLENGTH - length(key) - 4) + 0
+			return -1
+		}
+		/"name":/ {
+			if (match($0, /"name": "[^"]*"/)) {
+				name = substr($0, RSTART + 9, RLENGTH - 10)
+				if (FNR == NR) {
+					base_ns[name] = field_num($0, "ns_per_op")
+					base_allocs[name] = field_num($0, "allocs_per_op")
+				} else {
+					ns = field_num($0, "ns_per_op")
+					allocs = field_num($0, "allocs_per_op")
+					if (name in base_ns && base_ns[name] > 0 && ns > base_ns[name] * 1.10) {
+						printf "bench gate: %s ns_per_op regressed %.0f -> %.0f (>10%%)\n", name, base_ns[name], ns
+						bad = 1
+					}
+					if (name in base_allocs && base_allocs[name] > 0 && allocs > base_allocs[name] * 1.10) {
+						printf "bench gate: %s allocs_per_op regressed %.0f -> %.0f (>10%%)\n", name, base_allocs[name], allocs
+						bad = 1
+					}
+				}
+			}
+		}
+		END { exit bad }
+	' "$base_tmp" "$out" || gate_status=1
+	rm -f "$base_tmp"
+	if [ "$gate_status" -ne 0 ]; then
+		echo "bench gate: FAILED against committed baseline (SCIPP_BENCH_NOGATE=1 to re-baseline with justification)" >&2
+		exit 1
+	fi
+	echo "bench gate: ok (within 10% of committed baseline)"
+fi
