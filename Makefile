@@ -14,13 +14,15 @@ test:
 # and its sample cache, ring allreduce, data-parallel trainer, fault
 # injector, metrics registry, checkpoint codec, chaos-training sweep).
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/iosim/... ./internal/dist/... ./internal/train/... ./internal/fault/... ./internal/obs/... ./internal/nn/... ./cmd/chaostrain/...
+	$(GO) test -race ./internal/pipeline/... ./internal/iosim/... ./internal/dist/... ./internal/train/... ./internal/fault/... ./internal/obs/... ./internal/nn/... ./cmd/chaostrain/... ./cmd/chaosloader/...
 
 # Fault-injection and resilience suite: injector determinism, retry/backoff,
-# skip quotas, the end-to-end faulted DeepCAM acceptance run, and the
-# elastic rank-failure / checkpoint-resume suite.
+# skip quotas, the end-to-end faulted DeepCAM acceptance run, the elastic
+# rank-failure / checkpoint-resume suite, the self-healing supervisor and
+# cache-integrity tests, and the chaosloader sweep smoke.
 fault:
-	$(GO) test -race -run 'Fault|Resilien|Retr|Backoff|Quota|SampleError|Transient|SameSeed|SameSample|Kind|FormatInjector|Summary|Elastic|Checkpoint|Rank' ./internal/fault/... ./internal/pipeline/... ./internal/train/... ./internal/dist/...
+	$(GO) test -race -run 'Fault|Resilien|Retr|Backoff|Quota|SampleError|Transient|SameSeed|SameSample|Kind|FormatInjector|Summary|Elastic|Checkpoint|Rank|Supervis|Stall|Panic|Quarantine|Integrity|Chaos|BitRot' ./internal/fault/... ./internal/pipeline/... ./internal/train/... ./internal/dist/...
+	$(GO) test -race ./cmd/chaosloader/
 
 # scipplint is the repo's own stdlib-only static analyzer (internal/analysis);
 # it must exit 0 on the whole module.
@@ -45,11 +47,14 @@ cover:
 
 # Short fuzz smoke over every codec fuzz target: seeds plus a few seconds
 # of exploration each. `go test -fuzz` takes one target at a time, so loop.
+# The pipeline's cache-integrity fuzzer lives in its own package, so it
+# gets its own invocation after the codec loop.
 FUZZ_TARGETS = FuzzFormatsOpenDecode FuzzDeltaFPRoundTrip FuzzLUTRoundTrip \
 	FuzzRawCosmoRoundTrip FuzzRawDeepCAMRoundTrip FuzzZfpcRoundTrip
 fuzz:
 	@for t in $(FUZZ_TARGETS); do \
 		$(GO) test -run=NONE -fuzz="^$$t$$" -fuzztime=10s ./internal/codec/ || exit 1; \
 	done
+	$(GO) test -run=NONE -fuzz='^FuzzCacheIntegrity$$' -fuzztime=10s ./internal/pipeline/
 
 verify: build vet lint test race cover

@@ -1,0 +1,261 @@
+// Command chaosloader sweeps the self-healing stage DAG under seeded
+// pipeline faults: worker panics and stalls injected into the read stage,
+// and bit rot injected into the resident sample cache, crossed with cache
+// configuration and decode placement (CPU/GPU plugin). Every faulted cell
+// must deliver batches bit-identical to its fault-free twin — panic
+// recovery, stall abandonment, and quarantine re-decodes are transparent —
+// with the iterator's supervision counters and the cache's quarantine
+// tally reconciling exactly against the injector logs.
+//
+//	chaosloader -samples 32 -epochs 3 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"scipp/internal/core"
+	"scipp/internal/fault"
+	"scipp/internal/gpusim"
+	"scipp/internal/obs"
+	"scipp/internal/pipeline"
+	"scipp/internal/platform"
+	"scipp/internal/synthetic"
+)
+
+// mix is one fault mixture of the sweep.
+type mix struct {
+	name          string
+	panicP, stall float64 // stage-fault probabilities (read stage)
+	bitRot        float64 // cache bit-rot probability (cached cells only)
+}
+
+func mixes() []mix {
+	return []mix{
+		{name: "clean"},
+		{name: "panic", panicP: 0.15},
+		{name: "stall", stall: 0.08},
+		{name: "bitrot", bitRot: 0.15},
+		{name: "all", panicP: 0.1, stall: 0.05, bitRot: 0.1},
+	}
+}
+
+// cell is one sweep configuration.
+type cell struct {
+	mix    mix
+	plugin pipeline.Plugin
+	cached bool
+}
+
+func (c cell) String() string {
+	cache := "uncached"
+	if c.cached {
+		cache = "cached"
+	}
+	return fmt.Sprintf("%s/%s/%s", c.mix.name, c.plugin, cache)
+}
+
+// result is everything one cell's run observed.
+type result struct {
+	digest    uint64
+	decoded   int
+	panics    int // summed over epochs
+	stalls    int
+	retried   int
+	quarObs   int64 // pipeline.cache.quarantined counter
+	quarCache int64 // SampleCache.Stats().Quarantined
+	stageLog  []fault.Injection
+	cacheLog  []fault.Injection
+}
+
+// sweep enumerates the cells: fault mix x decode placement x cache config,
+// skipping bit-rot mixes on uncached cells (nothing resident to rot).
+func sweep() []cell {
+	var cells []cell
+	for _, m := range mixes() {
+		for _, plug := range []pipeline.Plugin{pipeline.CPUPlugin, pipeline.GPUPlugin} {
+			for _, cached := range []bool{false, true} {
+				if m.bitRot > 0 && !cached {
+					continue
+				}
+				cells = append(cells, cell{mix: m, plugin: plug, cached: cached})
+			}
+		}
+	}
+	return cells
+}
+
+// run executes one cell: epochs full passes over a synthetic CosmoFlow
+// dataset, digesting every delivered sample. Faulted runs must match the
+// digest of the clean run with the same placement and cache configuration.
+func run(c cell, samples, epochs int, seed uint64) (result, error) {
+	cfg := synthetic.DefaultCosmoConfig()
+	cfg.Dim = 8
+	ds, err := core.BuildCosmoDataset(cfg, samples, core.Plugin)
+	if err != nil {
+		return result{}, err
+	}
+
+	var injector *fault.StageInjector
+	var pds pipeline.Dataset = ds
+	if c.mix.panicP > 0 || c.mix.stall > 0 {
+		injector = fault.WrapStage(ds, fault.StageFaultConfig{
+			Seed: seed + 3, Panic: c.mix.panicP, Stall: c.mix.stall,
+		})
+		defer injector.Release() // unwedge abandoned workers so they exit
+		pds = injector
+	}
+
+	reg := obs.NewRegistry()
+	pcfg := pipeline.Config{
+		Format:     core.FormatFor(core.CosmoFlow, core.Plugin),
+		Plugin:     c.plugin,
+		Batch:      4,
+		Shuffle:    true,
+		Seed:       seed,
+		Resilience: pipeline.Resilience{MaxRetries: 2},
+		Supervise: pipeline.SupervisorConfig{
+			MaxRestarts:   256,
+			StallDeadline: 0.05,
+			StallRestart:  true,
+		},
+		Obs: reg,
+	}
+	if c.plugin == pipeline.GPUPlugin {
+		pcfg.Device = gpusim.New(platform.Summit().GPU)
+	}
+	if c.cached {
+		pcfg.Cache = pipeline.CacheConfig{HostMemBytes: 64 << 20}
+	}
+	l, err := pipeline.New(pds, pcfg)
+	if err != nil {
+		return result{}, err
+	}
+
+	var ci *fault.CacheInjector
+	if c.mix.bitRot > 0 {
+		ci = fault.NewCacheInjector(fault.CacheFaultConfig{Seed: seed + 5, BitRot: c.mix.bitRot})
+		l.Cache().SetTamper(ci)
+	}
+
+	res := result{digest: 0xcbf29ce484222325}
+	for e := 0; e < epochs; e++ {
+		it := l.Epoch(e)
+		for {
+			b, err := it.Next()
+			if err != nil {
+				return res, fmt.Errorf("epoch %d: %w", e, err)
+			}
+			if b == nil {
+				break
+			}
+			for s := range b.Data {
+				res.digest = fold(res.digest, uint64(b.Indices[s]))
+				t := b.Data[s]
+				for i := 0; i < t.Elems(); i++ {
+					res.digest = fold(res.digest, uint64(math.Float32bits(t.At32(i))))
+				}
+			}
+			res.decoded += b.Size()
+			b.Release()
+		}
+		st := it.Stats()
+		res.panics += st.Panics
+		res.stalls += st.Stalls
+		res.retried += st.Retried
+	}
+	s := reg.Snapshot()
+	res.quarObs = s.Counter("pipeline.cache.quarantined")
+	if l.Cache() != nil {
+		res.quarCache = l.Cache().Stats().Quarantined
+	}
+	if injector != nil {
+		res.stageLog = injector.Log()
+	}
+	if ci != nil {
+		res.cacheLog = ci.Log()
+	}
+	return res, nil
+}
+
+// fold is one FNV-1a step over a 64-bit word.
+func fold(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ (v >> s & 0xFF)) * 0x100000001b3
+	}
+	return h
+}
+
+// reconcile cross-checks a cell's pipeline accounting against the injector
+// ground truth: every injected panic was recovered and retried, every
+// injected stall was abandoned and re-admitted, every injected rot event
+// was quarantined — and nothing was counted that was not injected.
+func reconcile(c cell, res result, samples, epochs int) error {
+	if res.decoded != samples*epochs {
+		return fmt.Errorf("delivered %d samples, want %d", res.decoded, samples*epochs)
+	}
+	var panics, stalls int
+	for _, in := range res.stageLog {
+		switch in.Kind {
+		case fault.StagePanic:
+			panics++
+		case fault.StageStall:
+			stalls++
+		}
+	}
+	if res.panics != panics {
+		return fmt.Errorf("recovered %d panics, injector logged %d", res.panics, panics)
+	}
+	if res.stalls != stalls {
+		return fmt.Errorf("abandoned %d stalls, injector logged %d", res.stalls, stalls)
+	}
+	if res.retried != panics {
+		return fmt.Errorf("retried %d, want %d (one retry per panic; stalls re-admit outside the retry budget)", res.retried, panics)
+	}
+	rots := int64(len(res.cacheLog))
+	if res.quarCache != rots {
+		return fmt.Errorf("cache quarantined %d, injector logged %d", res.quarCache, rots)
+	}
+	if res.quarObs != rots {
+		return fmt.Errorf("pipeline.cache.quarantined = %d, injector logged %d", res.quarObs, rots)
+	}
+	if c.mix.name != "clean" && panics+stalls+int(rots) == 0 {
+		return fmt.Errorf("fault mix %q injected nothing", c.mix.name)
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaosloader: ")
+	samples := flag.Int("samples", 32, "dataset size")
+	epochs := flag.Int("epochs", 3, "epochs per cell")
+	seed := flag.Uint64("seed", 1, "base seed (schedule and faults)")
+	flag.Parse()
+
+	fmt.Printf("%-22s %8s %7s %7s %7s %7s %17s %6s\n",
+		"cell", "decoded", "panics", "stalls", "quar", "retry", "digest", "ident")
+	baseline := map[string]uint64{}
+	for _, c := range sweep() {
+		res, err := run(c, *samples, *epochs, *seed)
+		if err != nil {
+			log.Fatalf("%s: %v", c, err)
+		}
+		if err := reconcile(c, res, *samples, *epochs); err != nil {
+			log.Fatalf("%s: %v", c, err)
+		}
+		key := fmt.Sprintf("%s/%v", c.plugin, c.cached)
+		ident := "-"
+		if c.mix.name == "clean" {
+			baseline[key] = res.digest
+		} else if res.digest == baseline[key] {
+			ident = "yes"
+		} else {
+			log.Fatalf("%s: digest %016x diverged from clean twin %016x", c, res.digest, baseline[key])
+		}
+		fmt.Printf("%-22s %8d %7d %7d %7d %7d  %016x %6s\n",
+			c, res.decoded, res.panics, res.stalls, res.quarCache, res.retried, res.digest, ident)
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"scipp/internal/fault"
+)
+
+// TestSweepCells runs the real sweep, small enough for the -race merge
+// gate: every faulted cell must deliver bit-identical batches to its clean
+// twin on the same placement/cache axis, and its counters must reconcile
+// exactly against the injector logs.
+func TestSweepCells(t *testing.T) {
+	const (
+		samples = 24
+		epochs  = 2
+		seed    = uint64(1)
+	)
+	before := runtime.NumGoroutine()
+	baseline := map[string]uint64{}
+	for _, c := range sweep() {
+		t.Run(c.String(), func(t *testing.T) {
+			res, err := run(c, samples, epochs, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reconcile(c, res, samples, epochs); err != nil {
+				t.Fatal(err)
+			}
+			key := c.plugin.String() + "/cached"
+			if !c.cached {
+				key = c.plugin.String() + "/uncached"
+			}
+			if c.mix.name == "clean" {
+				baseline[key] = res.digest
+			} else if res.digest != baseline[key] {
+				t.Fatalf("digest %016x diverged from clean twin %016x", res.digest, baseline[key])
+			}
+		})
+	}
+	// Zero goroutine leaks: every worker — including ones abandoned by the
+	// stall watchdog and unwedged by injector.Release — must have exited.
+	// Allow a short settling window for drains racing iterator teardown.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before sweep, %d after\n%s", before, after, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDeterministicAcrossRuns pins the seeded-chaos contract the sweep
+// relies on: repeating a faulted cell reproduces the same digest, the same
+// counters, and the same injector log.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	c := cell{mix: mixes()[4], plugin: 0, cached: true} // "all": panic+stall+bitrot
+	if c.mix.name != "all" {
+		t.Fatalf("mix table changed: got %q, want all", c.mix.name)
+	}
+	a, err := run(c, 24, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(c, 24, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.digest != b.digest {
+		t.Fatalf("digest not reproducible: %016x vs %016x", a.digest, b.digest)
+	}
+	if a.panics != b.panics || a.stalls != b.stalls || a.quarCache != b.quarCache {
+		t.Fatalf("counters not reproducible: %+v vs %+v", a, b)
+	}
+	if len(a.stageLog) != len(b.stageLog) || len(a.cacheLog) != len(b.cacheLog) {
+		t.Fatalf("injector logs not reproducible: %d/%d vs %d/%d",
+			len(a.stageLog), len(a.cacheLog), len(b.stageLog), len(b.cacheLog))
+	}
+	for i := range a.stageLog {
+		if a.stageLog[i] != b.stageLog[i] {
+			t.Fatalf("stage log entry %d differs: %+v vs %+v", i, a.stageLog[i], b.stageLog[i])
+		}
+	}
+}
+
+// TestReconcileDetectsMismatch pins the cross-check's failure modes:
+// unrecovered panics, untallied stalls, and quarantine drift must all be
+// reported rather than silently absorbed.
+func TestReconcileDetectsMismatch(t *testing.T) {
+	c := cell{mix: mix{name: "panic", panicP: 0.2}, cached: true}
+	pan := fault.Injection{Sample: 3, Kind: fault.StagePanic}
+	stall := fault.Injection{Sample: 5, Kind: fault.StageStall}
+	good := result{
+		decoded: 8, panics: 1, stalls: 1, retried: 1,
+		quarCache: 1, quarObs: 1,
+		stageLog: []fault.Injection{pan, stall},
+		cacheLog: []fault.Injection{{Sample: 2, Kind: fault.CacheBitRot}},
+	}
+	cases := []struct {
+		name   string
+		mutate func(r *result)
+		ok     bool
+	}{
+		{"matched", func(r *result) {}, true},
+		{"short delivery", func(r *result) { r.decoded = 7 }, false},
+		{"panic drift", func(r *result) { r.panics = 0 }, false},
+		{"stall drift", func(r *result) { r.stalls = 2 }, false},
+		{"retry drift", func(r *result) { r.retried = 0 }, false},
+		{"cache quarantine drift", func(r *result) { r.quarCache = 0 }, false},
+		{"obs quarantine drift", func(r *result) { r.quarObs = 2 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := good
+			tc.mutate(&r)
+			err := reconcile(c, r, 4, 2)
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("mismatch not reported")
+			}
+		})
+	}
+}

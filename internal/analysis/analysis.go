@@ -238,5 +238,6 @@ func All() []*Analyzer {
 		HotAlloc,
 		PoolLeak,
 		CopyDiscipline,
+		WorkerGuard,
 	}
 }

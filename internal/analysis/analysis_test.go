@@ -30,6 +30,7 @@ var fixtures = []struct {
 	{"fixhotalloc", "scipp/internal/fixhotalloc"},
 	{"fixpoolleak", "scipp/internal/fixpoolleak"},
 	{"fixcopydiscipline", "scipp/internal/fixcopydiscipline"},
+	{"fixworkerguard", "scipp/internal/pipeline"}, // pipeline scope for the supervised-goroutine rule
 }
 
 func moduleRoot(t *testing.T) string {

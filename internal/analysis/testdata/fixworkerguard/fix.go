@@ -1,0 +1,36 @@
+// Package fixworkerguard is a lint fixture for the pipeline's goroutine
+// supervision discipline. The analysis tests load it under
+// scipp/internal/pipeline so the workerguard rule applies: every goroutine
+// must launch through StageSupervisor.Go.
+package fixworkerguard
+
+// StageSupervisor mirrors the pipeline's supervisor: its methods are the
+// only place `go` statements are allowed.
+type StageSupervisor struct{}
+
+// Go launches fn supervised; the `go` here is the sanctioned launcher.
+func (s *StageSupervisor) Go(name string, fn func()) {
+	go fn()
+}
+
+// watch spawns a helper from a supervisor method; lint-clean.
+func (s *StageSupervisor) watch(tick func()) {
+	go tick()
+}
+
+// Bare launches an unsupervised goroutine from a plain function.
+func Bare(fn func()) {
+	go fn()
+}
+
+// nested hides the launch inside a closure; still unsupervised.
+func nested(fn func()) func() {
+	return func() {
+		go fn()
+	}
+}
+
+// Proper routes the launch through the supervisor; lint-clean.
+func Proper(s *StageSupervisor, fn func()) {
+	s.Go("worker", fn)
+}

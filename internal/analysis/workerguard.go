@@ -1,0 +1,58 @@
+package analysis
+
+import "go/ast"
+
+// WorkerGuard closes the supervision loophole in the staged pipeline: every
+// goroutine launched in scipp/internal/pipeline must go through
+// StageSupervisor.Go, which fences it with panic recovery and converts an
+// escaped panic into a clean typed epoch abort. A bare `go` statement
+// anywhere else in the package creates a goroutine whose panic would kill
+// the process — or whose silent death would wedge the epoch — outside the
+// supervisor's restart accounting. The only `go` statements allowed are
+// therefore inside methods with a StageSupervisor receiver (the launcher
+// itself). Test files are exempt (the loader skips them).
+var WorkerGuard = &Analyzer{
+	Name: "workerguard",
+	Doc:  "flag go statements in internal/pipeline outside StageSupervisor methods",
+	Run:  runWorkerGuard,
+}
+
+func runWorkerGuard(pass *Pass) {
+	if pass.Path != "scipp/internal/pipeline" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if receiverTypeName(fn) == "StageSupervisor" {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					pass.Reportf(Error, g.Pos(),
+						"goroutine launched outside the stage supervisor: use StageSupervisor.Go so panics are recovered and restarts accounted")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// receiverTypeName returns the bare receiver type name of a method ("" for
+// plain functions), unwrapping a pointer receiver.
+func receiverTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

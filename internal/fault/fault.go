@@ -79,6 +79,19 @@ const (
 	// (thermal throttling, noisy neighbor), feeding straggler detection.
 	SlowRank
 
+	// StagePanic crashes a pipeline stage worker mid-sample (a decoder bug,
+	// an OOM-killed helper): the worker panics while holding the sample, so
+	// only the stage supervisor's recovery path can save the epoch.
+	StagePanic
+	// StageStall wedges a pipeline stage worker indefinitely (a hung NFS
+	// read, a dead stage-in daemon): the sample never completes, so only
+	// the stall watchdog can detect and route around it.
+	StageStall
+	// CacheBitRot silently flips bytes of a sample resident in the staged
+	// sample cache (NVMe bit rot, DMA corruption): the storage copy stays
+	// intact, so cache-integrity verification must catch it on the hit.
+	CacheBitRot
+
 	numKinds
 )
 
@@ -101,6 +114,12 @@ func (k Kind) String() string {
 		return "hang-rank"
 	case SlowRank:
 		return "slow-rank"
+	case StagePanic:
+		return "stage-panic"
+	case StageStall:
+		return "stage-stall"
+	case CacheBitRot:
+		return "cache-bitrot"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }

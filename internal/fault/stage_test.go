@@ -1,0 +1,234 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"scipp/internal/tensor"
+	"scipp/internal/trace"
+)
+
+// stageDS is a minimal in-memory Dataset for the stage-injector tests.
+type stageDS struct{ n int }
+
+func (d stageDS) Len() int { return d.n }
+func (d stageDS) Blob(i int) ([]byte, error) {
+	return []byte{byte(i), byte(i + 1)}, nil
+}
+func (d stageDS) Label(i int) (*tensor.Tensor, error) {
+	lb := tensor.New(tensor.F32, 1)
+	lb.F32s[0] = float32(i)
+	return lb, nil
+}
+
+// panickedIndices sweeps the dataset once, recovering injected panics, and
+// returns which samples panicked.
+func panickedIndices(t *testing.T, in *StageInjector) []int {
+	t.Helper()
+	var panicked []int
+	for i := 0; i < in.Len(); i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if !strings.Contains(r.(string), "injected stage panic") {
+						t.Fatalf("unexpected panic value %v", r)
+					}
+					panicked = append(panicked, i)
+				}
+			}()
+			if _, err := in.Blob(i); err != nil {
+				t.Fatalf("Blob(%d): %v", i, err)
+			}
+		}()
+	}
+	return panicked
+}
+
+func TestStageInjectorPanicRecoversAfterBudget(t *testing.T) {
+	in := WrapStage(stageDS{n: 64}, StageFaultConfig{Seed: 11, Panic: 0.25})
+	first := panickedIndices(t, in)
+	if len(first) == 0 {
+		t.Fatal("no panics injected at p=0.25 over 64 samples")
+	}
+	// Second access of every sample: PanicEvents defaults to 1, so every
+	// panicked sample now reads cleanly and returns the pristine blob.
+	for _, i := range first {
+		blob, err := in.Blob(i)
+		if err != nil || blob[0] != byte(i) {
+			t.Fatalf("sample %d after recovery: blob %v err %v", i, blob, err)
+		}
+	}
+	if got := len(in.Log()); got != len(first) {
+		t.Fatalf("log has %d events, want %d", got, len(first))
+	}
+	ev, samples := in.Summary().Of(StagePanic)
+	if ev != len(first) || samples != len(first) {
+		t.Fatalf("summary (%d events, %d samples), want %d each", ev, samples, len(first))
+	}
+}
+
+func TestStageInjectorDeterministicAcrossRuns(t *testing.T) {
+	cfg := StageFaultConfig{Seed: 7, Panic: 0.2, Stall: 0}
+	a := panickedIndices(t, WrapStage(stageDS{n: 96}, cfg))
+	b := panickedIndices(t, WrapStage(stageDS{n: 96}, cfg))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different panic sets: %v vs %v", a, b)
+	}
+	if got := panickedIndices(t, WrapStage(stageDS{n: 96}, StageFaultConfig{Seed: 8, Panic: 0.2})); reflect.DeepEqual(a, got) && len(a) > 0 {
+		t.Fatalf("different seeds produced identical panic sets: %v", a)
+	}
+}
+
+func TestStageInjectorStallBlocksUntilRelease(t *testing.T) {
+	// Find a stalling sample first via the pure decision function.
+	cfg := StageFaultConfig{Seed: 3, Stall: 0.3}
+	stallIdx := -1
+	for i := 0; i < 64; i++ {
+		if k, ok := cfg.decide(i); ok && k == StageStall {
+			stallIdx = i
+			break
+		}
+	}
+	if stallIdx < 0 {
+		t.Fatal("no stalling sample at p=0.3 over 64 samples")
+	}
+	in := WrapStage(stageDS{n: 64}, cfg)
+	done := make(chan []byte, 1)
+	go func() {
+		blob, _ := in.Blob(stallIdx)
+		done <- blob
+	}()
+	select {
+	case <-done:
+		t.Fatal("stalled access returned before Release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	in.Release()
+	in.Release() // idempotent
+	select {
+	case blob := <-done:
+		if blob[0] != byte(stallIdx) {
+			t.Fatalf("released blob = %v, want pristine sample %d", blob, stallIdx)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled access did not return after Release")
+	}
+	// Second access is clean (StallEvents defaults to 1).
+	if _, err := in.Blob(stallIdx); err != nil {
+		t.Fatal(err)
+	}
+	if ev, _ := in.Summary().Of(StageStall); ev != 1 {
+		t.Fatalf("stall events = %d, want 1", ev)
+	}
+}
+
+func TestStageInjectorStallBoundedByAlarmClock(t *testing.T) {
+	clock := &trace.VirtualClock{}
+	cfg := StageFaultConfig{Seed: 3, Stall: 0.3, StallSeconds: 5, Clock: clock}
+	stallIdx := -1
+	for i := 0; i < 64; i++ {
+		if _, ok := cfg.decide(i); ok {
+			stallIdx = i
+			break
+		}
+	}
+	in := WrapStage(stageDS{n: 64}, cfg)
+	done := make(chan struct{})
+	go func() {
+		if _, err := in.Blob(stallIdx); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("stall returned before the virtual bound elapsed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	clock.Advance(5)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stall did not release when the virtual bound elapsed")
+	}
+}
+
+func TestStageInjectorLabelsPassThrough(t *testing.T) {
+	in := WrapStage(stageDS{n: 4}, StageFaultConfig{Seed: 1, Panic: 1})
+	lb, err := in.Label(2)
+	if err != nil || lb.F32s[0] != 2 {
+		t.Fatalf("label = %v, %v", lb, err)
+	}
+	if in.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", in.Len())
+	}
+}
+
+func TestCacheInjectorTampersOnceDeterministically(t *testing.T) {
+	ci := NewCacheInjector(CacheFaultConfig{Seed: 5, BitRot: 0.3})
+	rotIdx := -1
+	for i := 0; i < 64; i++ {
+		if ci.decide(i) {
+			rotIdx = i
+			break
+		}
+	}
+	if rotIdx < 0 {
+		t.Fatal("no rotting sample at p=0.3 over 64 samples")
+	}
+	pristine := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	blob := append([]byte(nil), pristine...)
+	if !ci.Tamper(rotIdx, blob) {
+		t.Fatal("first hit of a rotting sample was not tampered")
+	}
+	if reflect.DeepEqual(blob, pristine) {
+		t.Fatal("tamper reported true but blob unchanged")
+	}
+	damaged := append([]byte(nil), blob...)
+	// Second hit: BitRotEvents defaults to 1, so the blob stays as-is.
+	if ci.Tamper(rotIdx, blob) {
+		t.Fatal("second hit tampered beyond BitRotEvents")
+	}
+	if !reflect.DeepEqual(blob, damaged) {
+		t.Fatal("untampered hit modified the blob")
+	}
+	// A clean sample is never touched.
+	cleanIdx := -1
+	for i := 0; i < 64; i++ {
+		if !ci.decide(i) {
+			cleanIdx = i
+			break
+		}
+	}
+	clean := append([]byte(nil), pristine...)
+	if ci.Tamper(cleanIdx, clean) || !reflect.DeepEqual(clean, pristine) {
+		t.Fatal("clean sample tampered")
+	}
+	// Same seed, same damage: a fresh injector flips the same bytes.
+	ci2 := NewCacheInjector(CacheFaultConfig{Seed: 5, BitRot: 0.3})
+	blob2 := append([]byte(nil), pristine...)
+	ci2.Tamper(rotIdx, blob2)
+	if !reflect.DeepEqual(blob2, damaged) {
+		t.Fatalf("same seed flipped different bytes: %v vs %v", blob2, damaged)
+	}
+	if ev, samples := ci.Summary().Of(CacheBitRot); ev != 1 || samples != 1 {
+		t.Fatalf("summary (%d, %d), want (1, 1)", ev, samples)
+	}
+	if ci.Tamper(rotIdx, nil) {
+		t.Fatal("empty blob tampered")
+	}
+}
+
+func TestStageKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		StagePanic:  "stage-panic",
+		StageStall:  "stage-stall",
+		CacheBitRot: "cache-bitrot",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -66,17 +66,25 @@ func newBatchStage(total, depth int) *BatchStage {
 // run consumes terminal outcomes until every scheduled sample is accounted,
 // releasing them to the ordered channel in schedule order. It owns both
 // ordered (closed on exit, so Next observes end-of-epoch) and done (closed
-// only on full accounting, so an abort never signals completion).
+// only on full accounting, so an abort never signals completion). Progress
+// is counted on released schedule positions, not received messages, so a
+// duplicate outcome for an already-released seq — impossible while the
+// supervisor's exactly-one-emit-per-seq invariant holds, but the invariant
+// the sink must not silently depend on — is dropped instead of stealing a
+// later sample's accounting slot and wedging the epoch one short.
 func (bs *BatchStage) run(completions <-chan outcome, abort <-chan struct{}) {
 	defer close(bs.ordered)
 	pending := make(map[int]outcome, 8)
 	next := 0
-	for accounted := 0; accounted < bs.total; accounted++ {
+	for next < bs.total {
 		var o outcome
 		select {
 		case o = <-completions:
 		case <-abort:
 			return
+		}
+		if o.seq < next {
+			continue // duplicate of a released position: drop, don't miscount
 		}
 		pending[o.seq] = o
 		for {

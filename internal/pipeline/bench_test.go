@@ -111,3 +111,11 @@ func BenchmarkPipelineCachedEpoch(b *testing.B) {
 func BenchmarkPipelineUncachedEpoch(b *testing.B) {
 	benchCacheEpochs(b, CacheConfig{})
 }
+
+// BenchmarkPipelineCachedEpochIntegrityOff isolates what the end-to-end
+// checksum verification costs on the cached hit path: the delta between
+// this and BenchmarkPipelineCachedEpoch is the integrity overhead, budgeted
+// at under ~5% of the cached epoch.
+func BenchmarkPipelineCachedEpochIntegrityOff(b *testing.B) {
+	benchCacheEpochs(b, CacheConfig{HostMemBytes: 64 << 20, DisableIntegrity: true})
+}

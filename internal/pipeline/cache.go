@@ -2,6 +2,8 @@ package pipeline
 
 import (
 	"container/list"
+	"encoding/binary"
+	"math"
 	"sync"
 
 	"scipp/internal/iosim"
@@ -20,6 +22,12 @@ type CacheConfig struct {
 	// NVMeBytes is the NVMe spill tier capacity; 0 disables the tier.
 	// Host-tier LRU evictions demote into it instead of dropping.
 	NVMeBytes int64
+	// DisableIntegrity turns off end-to-end integrity verification: by
+	// default every admission checksums the sample (both tiers) and every
+	// hit verifies it, quarantining corrupted entries so they re-decode
+	// from the dataset instead of poisoning a batch. Disable only to
+	// measure the verification overhead.
+	DisableIntegrity bool
 }
 
 func (c CacheConfig) enabled() bool { return c.HostMemBytes > 0 || c.NVMeBytes > 0 }
@@ -44,6 +52,12 @@ type CacheStats struct {
 	// Demotions counts host-tier LRU evictions that moved into the NVMe
 	// tier; Evictions counts samples dropped from the cache entirely.
 	Demotions, Evictions int64
+	// Quarantined counts hits whose payload failed integrity verification:
+	// the entry was dropped and the Get reported a miss, forcing a clean
+	// re-read from the dataset. Each corrupted resident counts once per
+	// corrupting event, so the tally reconciles against a fault injector's
+	// log.
+	Quarantined int64
 	// HostBytes/NVMeBytes and HostSamples/NVMeSamples are current occupancy.
 	HostBytes, NVMeBytes     int64
 	HostSamples, NVMeSamples int
@@ -54,9 +68,70 @@ type cacheEntry struct {
 	index int
 	blob  []byte
 	label *tensor.Tensor
+	// sum is the admission-time checksum over blob and label, verified on
+	// every hit while integrity is enabled.
+	sum   uint64
 	bytes int64
 	level iosim.Level // HostMem or NVMe
 	elem  *list.Element
+}
+
+// CacheTamper corrupts resident cache payloads in place — the hook a
+// seeded bit-rot injector (fault.CacheInjector) attaches through SetTamper
+// to model silent corruption on the staged NVMe/host-memory tiers. Tamper
+// is called with the resident blob on every hit, before verification, and
+// reports whether it modified the blob.
+type CacheTamper interface {
+	Tamper(index int, blob []byte) bool
+}
+
+// cacheSum is the integrity checksum over a resident sample's payload: an
+// FNV-1a-style fold taken 8 bytes at a time over the blob, then over the
+// label's raw element bits. It detects the byte flips bit-rot injects
+// without competing with the decode stage for time on the hit path.
+//
+// Each word is avalanched through a splitmix64-style finalizer before it
+// touches the state. Folding raw words in by XOR is not enough, however the
+// state is stirred afterwards: corrupting word k shifts the state by some
+// delta, and XOR-ing that same delta into word k+1 cancels it exactly —
+// FuzzCacheIntegrity found such two-word cancellations twice (first against
+// plain xor-multiply, then against xor-multiply-xorshift; the crashers are
+// committed as regression seeds). With the input avalanche, cancelling
+// requires a full 64-bit preimage of the mixer, which random rot — and
+// mutation search — cannot produce.
+//
+//scipp:hotpath
+func cacheSum(blob []byte, label *tensor.Tensor) uint64 {
+	const prime = 0x100000001b3
+	mix := func(h, v uint64) uint64 {
+		v *= 0xbf58476d1ce4e5b9
+		v ^= v >> 31
+		v *= 0x94d049bb133111eb
+		v ^= v >> 27
+		h = (h ^ v) * prime
+		return h ^ h>>31
+	}
+	h := uint64(0xcbf29ce484222325)
+	i := 0
+	for ; i+8 <= len(blob); i += 8 {
+		h = mix(h, binary.LittleEndian.Uint64(blob[i:]))
+	}
+	for ; i < len(blob); i++ {
+		h = mix(h, uint64(blob[i]))
+	}
+	if label != nil {
+		h = mix(h, uint64(label.DT))
+		for _, f := range label.F32s {
+			h = mix(h, uint64(math.Float32bits(f)))
+		}
+		for _, b := range label.F16s {
+			h = mix(h, uint64(b))
+		}
+		for _, v := range label.I16s {
+			h = mix(h, uint64(uint16(v)))
+		}
+	}
+	return h
 }
 
 // SampleCache is the capacity-bounded sample store behind CacheStage: a
@@ -71,6 +146,7 @@ type SampleCache struct {
 	cfg CacheConfig
 
 	mu        sync.Mutex
+	tamper    CacheTamper // nil outside fault-injection runs
 	entries   map[int]*cacheEntry
 	host      *list.List // front = most recently used
 	nvme      *list.List
@@ -89,14 +165,37 @@ func NewSampleCache(cfg CacheConfig) *SampleCache {
 	}
 }
 
+// SetTamper installs (or, with nil, removes) the cache's corruption hook.
+// Chaos harnesses attach a fault.CacheInjector here so seeded bit rot hits
+// the resident copies exactly where real media corruption would.
+func (c *SampleCache) SetTamper(t CacheTamper) {
+	c.mu.Lock()
+	c.tamper = t
+	c.mu.Unlock()
+}
+
 // Get returns sample i if resident, refreshing its recency within its tier.
-func (c *SampleCache) Get(i int) ([]byte, *tensor.Tensor, bool) {
+// While integrity is enabled the resident payload is verified against its
+// admission checksum first: a corrupted entry is quarantined — dropped and
+// counted, with quarantined reporting the drop — and the Get is a miss, so
+// the caller re-reads the sample from the dataset and batch output stays
+// bit-identical to an uncorrupted run.
+func (c *SampleCache) Get(i int) (blob []byte, label *tensor.Tensor, ok, quarantined bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[i]
-	if !ok {
+	e, found := c.entries[i]
+	if !found {
 		c.stats.Misses++
-		return nil, nil, false
+		return nil, nil, false, false
+	}
+	if c.tamper != nil {
+		c.tamper.Tamper(i, e.blob)
+	}
+	if !c.cfg.DisableIntegrity && cacheSum(e.blob, e.label) != e.sum {
+		c.removeLocked(e)
+		c.stats.Quarantined++
+		c.stats.Misses++
+		return nil, nil, false, true
 	}
 	c.stats.Hits++
 	if e.level == iosim.HostMem {
@@ -106,7 +205,7 @@ func (c *SampleCache) Get(i int) ([]byte, *tensor.Tensor, bool) {
 		c.stats.NVMeHits++
 		c.nvme.MoveToFront(e.elem)
 	}
-	return e.blob, e.label, true
+	return e.blob, e.label, true, false
 }
 
 // Put inserts sample i, evicting least-recently-used residents as needed.
@@ -114,19 +213,24 @@ func (c *SampleCache) Get(i int) ([]byte, *tensor.Tensor, bool) {
 // cannot fit host memory at all); overflow demotes host LRU entries to the
 // NVMe tier and drops NVMe LRU entries. Samples larger than every tier are
 // not cached. Re-putting a resident index refreshes its payload in place.
-// It returns the number of samples dropped from the cache by this call, so
-// callers can feed eviction metrics without re-reading shared state.
+// The blob is copied at admission: the cache must own its resident bytes so
+// that corruption of a cached copy (bit rot, injected or real) can never
+// reach the dataset's memory and survive a quarantine re-read. It returns
+// the number of samples dropped from the cache by this call, so callers can
+// feed eviction metrics without re-reading shared state.
 func (c *SampleCache) Put(i int, blob []byte, label *tensor.Tensor) int {
 	size := int64(len(blob))
 	if label != nil {
 		size += int64(label.Bytes())
 	}
+	//lint:ignore hotalloc the cache must own its resident bytes: tamper/rot must never reach dataset memory
+	blob = append([]byte(nil), blob...)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[i]; ok {
 		c.removeLocked(e)
 	}
-	e := &cacheEntry{index: i, blob: blob, label: label, bytes: size}
+	e := &cacheEntry{index: i, blob: blob, label: label, bytes: size, sum: cacheSum(blob, label)}
 	switch {
 	case size <= c.cfg.HostMemBytes:
 		e.level = iosim.HostMem
@@ -219,15 +323,22 @@ func (s *CacheStage) Name() string { return "read" }
 
 // Process implements Stage[struct{}, rawSample]. The hit path hands out the
 // cache's resident blob and label without copying — decode only reads the
-// blob, and the copydiscipline analyzer keeps clone idioms off this path.
+// blob, and the copydiscipline analyzer keeps clone idioms off this path. A
+// hit that fails integrity verification becomes a miss: the quarantined
+// entry re-reads from the dataset and re-admits, so a corrupted resident
+// can never reach a batch.
 //
 //scipp:hotpath
 func (s *CacheStage) Process(index int, _ struct{}) (rawSample, error) {
 	sp := s.ob.read.Start()
 	defer sp.End()
-	if blob, label, ok := s.cache.Get(index); ok {
+	blob, label, ok, quarantined := s.cache.Get(index)
+	if ok {
 		s.ob.cacheHits.Inc()
 		return rawSample{blob: blob, label: label}, nil
+	}
+	if quarantined {
+		s.ob.cacheQuarantined.Inc()
 	}
 	s.ob.cacheMisses.Inc()
 	r, err := s.read.fetch(index)

@@ -28,7 +28,7 @@ func TestSampleCacheFillToCapacity(t *testing.T) {
 		}
 	}
 	for i := 0; i < 5; i++ {
-		blob, label, ok := c.Get(i)
+		blob, label, ok, _ := c.Get(i)
 		if !ok {
 			t.Fatalf("sample %d not resident after fill", i)
 		}
@@ -62,7 +62,7 @@ func TestSampleCacheDeterministicEviction(t *testing.T) {
 		putSample(c, 3)
 		putSample(c, 4)
 		for i := 0; i < 5; i++ {
-			if _, _, ok := c.Get(i); !ok {
+			if _, _, ok, _ := c.Get(i); !ok {
 				victims = append(victims, i)
 			}
 		}
@@ -96,14 +96,14 @@ func TestSampleCacheDemotion(t *testing.T) {
 	if st.NVMeSamples != 2 {
 		t.Fatalf("NVMe holds %d samples, want 2", st.NVMeSamples)
 	}
-	if _, _, ok := c.Get(0); !ok {
+	if _, _, ok, _ := c.Get(0); !ok {
 		t.Error("demoted sample 0 should still be resident (NVMe)")
 	}
 	if c.Stats().NVMeHits != 1 {
 		t.Error("demoted hit not accounted to the NVMe tier")
 	}
 	putSample(c, 5) // demotes 2; NVMe {2,0,1} overflows, dropping LRU = 1
-	if _, _, ok := c.Get(1); ok {
+	if _, _, ok, _ := c.Get(1); ok {
 		t.Error("NVMe LRU entry 1 should have been dropped")
 	}
 	if st := c.Stats(); st.Evictions != 1 || st.Demotions != 3 {
@@ -120,7 +120,7 @@ func TestSampleCacheOversizedSampleUncacheable(t *testing.T) {
 	if c.Len() != 0 {
 		t.Error("oversized sample was cached")
 	}
-	if _, _, ok := c.Get(0); ok {
+	if _, _, ok, _ := c.Get(0); ok {
 		t.Error("oversized sample resident")
 	}
 }

@@ -19,8 +19,10 @@ type iterObs struct {
 	decoded, skipped, bad                  *obs.Counter
 	retried, batches                       *obs.Counter
 	errTransient, errPermanent             *obs.Counter
+	panics, stalls                         *obs.Counter
 	queueDepth                             *obs.Gauge
 	cacheHits, cacheMisses, cacheEvictions *obs.Counter
+	cacheQuarantined                       *obs.Counter
 }
 
 // newIterObs resolves every handle the iterator's stages will touch, once.
@@ -45,6 +47,8 @@ func newIterObs(reg *obs.Registry, clock trace.Clock, cached bool, decodeStage s
 		batches:      reg.Counter("pipeline.batches"),
 		errTransient: reg.Counter("pipeline.errors.transient"),
 		errPermanent: reg.Counter("pipeline.errors.permanent"),
+		panics:       reg.Counter("pipeline.worker.panics"),
+		stalls:       reg.Counter("pipeline.worker.stalls"),
 		queueDepth:   reg.Gauge("pipeline.queue_depth"),
 	}
 	if augmented {
@@ -54,6 +58,7 @@ func newIterObs(reg *obs.Registry, clock trace.Clock, cached bool, decodeStage s
 		ob.cacheHits = reg.Counter("pipeline.cache.hits")
 		ob.cacheMisses = reg.Counter("pipeline.cache.misses")
 		ob.cacheEvictions = reg.Counter("pipeline.cache.evictions")
+		ob.cacheQuarantined = reg.Counter("pipeline.cache.quarantined")
 	}
 	return ob
 }
@@ -81,6 +86,7 @@ type Iterator struct {
 	order  []int
 	clock  trace.Clock
 	ob     iterObs
+	sup    *StageSupervisor
 
 	// abort tears the DAG down on Close; tokens caps in-flight samples at
 	// Prefetch; batcher restores schedule order over stage completions.
@@ -92,8 +98,27 @@ type Iterator struct {
 	mu  sync.Mutex // serializes batch assembly and pos
 	pos int
 
-	statsMu sync.Mutex // guards stats (written by stage goroutines and Next)
-	stats   Stats
+	statsMu  sync.Mutex // guards stats (written by stage goroutines and Next)
+	stats    Stats
+	fatalErr error // first supervisor abort; surfaced by Next after teardown
+}
+
+// fatal records the supervision layer's terminal error (first one wins) and
+// tears the epoch down. Next surfaces the error once the ordered channel
+// drains: the epoch ends loudly, never by hanging.
+func (it *Iterator) fatal(err error) {
+	it.statsMu.Lock()
+	if it.fatalErr == nil {
+		it.fatalErr = err
+	}
+	it.statsMu.Unlock()
+	it.Close()
+}
+
+func (it *Iterator) fatalError() error {
+	it.statsMu.Lock()
+	defer it.statsMu.Unlock()
+	return it.fatalErr
 }
 
 // start assembles and launches the epoch's DAG:
@@ -112,6 +137,7 @@ func (it *Iterator) start() {
 	l := it.loader
 	cfg := l.cfg
 	depth := cfg.Stages.QueueDepth
+	sup := it.sup
 
 	readq := make(chan item[struct{}], depth)
 	retryq := make(chan item[struct{}], cfg.Prefetch)
@@ -120,12 +146,31 @@ func (it *Iterator) start() {
 	completionq := make(chan outcome, depth)
 	abort, done := it.abort, it.batcher.done
 
+	// Supervisor wiring: terminal aborts surface through Next; abandoned
+	// (stalled) samples re-enter the head stage at a fresh generation with a
+	// reset attempt count — the wedge was the stage's fault, not the
+	// sample's, so its retry budget survives intact.
+	sup.fatalFn = it.fatal
+	sup.onPanic = it.notePanicked
+	sup.onStall = it.noteStalled
+	sup.readmit = func(seq, index, attempt, gen int) bool {
+		return sendItem(retryq, item[struct{}]{seq: seq, index: index, attempt: attempt, gen: gen}, abort)
+	}
+	sup.probe("read", func() int { return len(readq) })
+	sup.probe("retry", func() int { return len(retryq) })
+	sup.probe("decode", func() int { return len(decodeq) })
+	sup.probe("fail", func() int { return len(failq) })
+	sup.probe("completion", func() int { return len(completionq) })
+
 	toOutcome := func(v item[decodedSample]) bool {
 		return sendItem(completionq, outcome{seq: v.seq, index: v.index, data: v.val.data, label: v.val.label}, abort)
 	}
+	// discardDecoded recycles the pooled tensor of an abandoned attempt's
+	// decoded output — the re-admitted generation decodes into a fresh one.
+	discardDecoded := func(v decodedSample) { l.pool.PutTensor(v.data) }
 
 	// Source: admit scheduled samples while tokens (in-flight budget) last.
-	go func() {
+	sup.Go("source", func() {
 		for seq, idx := range it.order {
 			select {
 			case it.tokens <- struct{}{}:
@@ -136,16 +181,16 @@ func (it *Iterator) start() {
 				return
 			}
 		}
-	}()
+	})
 
 	// Read (or cache) stage: the only stage fed by the retry queue.
 	var head Stage[struct{}, rawSample] = &ReadStage{ds: l.ds, ob: it.ob}
 	if l.cache != nil {
 		head = &CacheStage{read: &ReadStage{ds: l.ds, ob: it.ob}, cache: l.cache, ob: it.ob}
 	}
-	runPool(head, cfg.Stages.ReadWorkers, readq, retryq,
+	runPool(sup, head, cfg.Stages.ReadWorkers, readq, retryq,
 		func(v item[rawSample]) bool { return sendItem(decodeq, v, abort) },
-		failq, abort, done, it.ob.noteError)
+		failq, abort, done, it.ob.noteError, nil)
 
 	// Decode stage, emitting into augment when configured, else the sink.
 	dec := &DecodeStage{
@@ -156,17 +201,18 @@ func (it *Iterator) start() {
 	emitDecoded := toOutcome
 	if cfg.Augment != nil {
 		augmentq := make(chan item[decodedSample], depth)
+		sup.probe("augment", func() int { return len(augmentq) })
 		emitDecoded = func(v item[decodedSample]) bool { return sendItem(augmentq, v, abort) }
-		runPool[decodedSample, decodedSample](&AugmentStage{fn: cfg.Augment, ob: it.ob},
-			cfg.Stages.AugmentWorkers, augmentq, nil, toOutcome, failq, abort, done, it.ob.noteError)
+		runPool[decodedSample, decodedSample](sup, &AugmentStage{fn: cfg.Augment, ob: it.ob},
+			cfg.Stages.AugmentWorkers, augmentq, nil, toOutcome, failq, abort, done, it.ob.noteError, discardDecoded)
 	}
-	runPool[rawSample, decodedSample](dec, cfg.Stages.DecodeWorkers, decodeq, nil,
-		emitDecoded, failq, abort, done, it.ob.noteError)
+	runPool[rawSample, decodedSample](sup, dec, cfg.Stages.DecodeWorkers, decodeq, nil,
+		emitDecoded, failq, abort, done, it.ob.noteError, discardDecoded)
 
 	// Retry judge: transient failures with retry budget left re-enter the
 	// read stage (after their backoff elapses on the iterator's clock);
 	// everything else is terminal and takes its schedule slot in the sink.
-	go func() {
+	sup.Go("retry-judge", func() {
 		pol := cfg.Resilience
 		for {
 			var f failure
@@ -179,13 +225,13 @@ func (it *Iterator) start() {
 			}
 			if errors.Is(f.err, fault.Transient) && f.attempt < pol.MaxRetries {
 				it.noteRetried()
-				retry := item[struct{}]{seq: f.seq, index: f.index, attempt: f.attempt + 1}
+				retry := item[struct{}]{seq: f.seq, index: f.index, attempt: f.attempt + 1, gen: f.gen}
 				if s, ok := it.clock.(trace.Sleeper); ok {
 					if delay := pol.backoff(f.attempt); delay > 0 {
-						go func() {
+						sup.Go("retry-backoff", func() {
 							s.Sleep(delay)
 							sendItem(retryq, retry, abort)
-						}()
+						})
 						continue
 					}
 				}
@@ -198,9 +244,17 @@ func (it *Iterator) start() {
 				return
 			}
 		}
-	}()
+	})
 
-	go it.batcher.run(completionq, abort)
+	sup.Go("batch-sink", func() { it.batcher.run(completionq, abort) })
+
+	// Stall watchdog: runs only with a deadline and an alarm-capable clock
+	// (wall clocks and trace.VirtualClock both qualify).
+	if cfg.Supervise.StallDeadline > 0 {
+		if alarm, ok := it.clock.(trace.Alarm); ok {
+			sup.Go("watchdog", func() { sup.watch(alarm, abort, done) })
+		}
+	}
 }
 
 // Next returns the next batch, or (nil, nil) at the end of the epoch.
@@ -217,6 +271,10 @@ func (it *Iterator) start() {
 // returns an *EpochError naming every bad sample. Either way the iterator
 // is closed, and Close/Drain remain safe to call afterwards.
 //
+// Supervision failures — a stage over its restart budget (*SupervisorError)
+// or a stall the watchdog may not route around (*StallError) — tear the DAG
+// down and surface here as the epoch's terminal error.
+//
 //scipp:hotpath
 func (it *Iterator) Next() (*Batch, error) {
 	it.mu.Lock()
@@ -230,6 +288,10 @@ func (it *Iterator) Next() (*Batch, error) {
 		o, ok := <-it.batcher.ordered
 		wsp.End()
 		if !ok {
+			if err := it.fatalError(); err != nil {
+				b.Release()
+				return nil, err
+			}
 			break
 		}
 		select { // one terminal outcome consumed: admit the next sample

@@ -132,6 +132,12 @@ type Config struct {
 	// errors and the per-epoch bad-sample skip quota. The zero value keeps
 	// strict semantics (first bad sample fails the epoch).
 	Resilience Resilience
+	// Supervise tunes the supervision layer: per-stage worker restart
+	// budgets for recovered panics and the stall watchdog deadline. The
+	// zero value recovers panics under the default budget and leaves the
+	// watchdog off. Resilience decides a sample's fate after its worker was
+	// revived; Supervise decides whether the worker is revived at all.
+	Supervise SupervisorConfig
 	// Augment, when non-nil, runs on every decoded sample tensor before
 	// batch assembly — the per-sample augmentation stage of the reference
 	// pipelines. It executes as its own DAG stage, overlapped with read and
@@ -237,6 +243,7 @@ func (l *Loader) Epoch(epoch int) *Iterator {
 		order:   order,
 		clock:   clock,
 		ob:      newIterObs(l.cfg.Obs, clock, l.cache != nil, "decode."+l.cfg.Plugin.String(), l.cfg.Augment != nil),
+		sup:     newSupervisor(l.cfg.Supervise, clock, l.cfg.Obs),
 		abort:   make(chan struct{}),
 		tokens:  make(chan struct{}, l.cfg.Prefetch),
 		batcher: newBatchStage(len(order), l.cfg.Stages.QueueDepth),

@@ -106,6 +106,12 @@ type Stats struct {
 	Retried int
 	// Skipped counts undecodable samples dropped under MaxBadSamples.
 	Skipped int
+	// Panics counts stage-worker panics recovered by the supervisor; each
+	// consumed one unit of its stage's restart budget.
+	Panics int
+	// Stalls counts wedged stage attempts the stall watchdog abandoned and
+	// re-admitted; each consumed one unit of its stage's restart budget.
+	Stalls int
 	// BadSamples are the dataset indices of skipped (and, on epoch
 	// failure, quota-exceeding) samples, in consumption order.
 	BadSamples []int
@@ -136,6 +142,20 @@ func (it *Iterator) noteRetried() {
 	it.stats.Retried++
 	it.statsMu.Unlock()
 	it.ob.retried.Inc()
+}
+
+func (it *Iterator) notePanicked() {
+	it.statsMu.Lock()
+	it.stats.Panics++
+	it.statsMu.Unlock()
+	it.ob.panics.Inc()
+}
+
+func (it *Iterator) noteStalled() {
+	it.statsMu.Lock()
+	it.stats.Stalls++
+	it.statsMu.Unlock()
+	it.ob.stalls.Inc()
 }
 
 // recordBad logs a failed sample and reports whether the epoch may continue:

@@ -25,14 +25,18 @@ type item[T any] struct {
 	index int
 	// attempt counts the retries consumed so far (0 on the first pass).
 	attempt int
+	// gen is the supervision generation: bumped each time the stall
+	// watchdog abandons a wedged attempt of this seq and re-admits it, so
+	// the abandoned attempt's late output can be recognized and suppressed.
+	gen int
 	// val is the stage payload.
 	val T
 }
 
 // failure is one failed stage attempt, routed to the retry judge.
 type failure struct {
-	seq, index, attempt int
-	err                 error
+	seq, index, attempt, gen int
+	err                      error
 }
 
 // outcome is a sample's terminal result entering batch assembly: decoded
@@ -58,43 +62,57 @@ func sendItem[T any](out chan<- T, v T, abort <-chan struct{}) bool {
 	}
 }
 
-// runPool launches the worker pool of one stage. Workers pull items from in
-// (and, for the head stage, the retry feed), apply st, and hand successes to
-// emit and failures to fail. onErr observes every failed attempt (error-kind
-// accounting). Workers exit when the epoch aborts or when done closes —
-// done only closes after every scheduled sample reached a terminal outcome,
-// so no worker can still hold an item by then and nothing is lost.
+// runPool launches the worker pool of one stage under sup. Workers pull
+// items from in (and, for the head stage, the retry feed), apply st through
+// superviseProcess — panic recovery plus inflight registration for the stall
+// watchdog — and hand successes to emit and failures to fail. onErr observes
+// every failed attempt (error-kind accounting). discard, when non-nil,
+// disposes the output of an attempt the watchdog abandoned while it ran (the
+// sample was re-admitted; this copy's pooled buffers must recycle, not
+// emit). Workers exit when the epoch aborts or when done closes — done only
+// closes after every scheduled sample reached a terminal outcome, so no
+// worker can still hold an item by then and nothing is lost.
 //
 //scipp:hotpath
-func runPool[In, Out any](st Stage[In, Out], workers int,
+func runPool[In, Out any](sup *StageSupervisor, st Stage[In, Out], workers int,
 	in, retry <-chan item[In],
 	emit func(item[Out]) bool, fail chan<- failure,
-	abort, done <-chan struct{}, onErr func(error)) {
+	abort, done <-chan struct{}, onErr func(error), discard func(Out)) {
 
-	for w := 0; w < workers; w++ {
-		go func() {
-			for {
-				var v item[In]
-				select {
-				case v = <-in:
-				case v = <-retry: // nil for every stage but the head: blocks forever
-				case <-abort:
-					return
-				case <-done:
-					return
-				}
-				out, err := st.Process(v.index, v.val)
-				if err != nil {
-					onErr(err)
-					if !sendItem(fail, failure{seq: v.seq, index: v.index, attempt: v.attempt, err: err}, abort) {
-						return
-					}
-					continue
-				}
-				if !emit(item[Out]{seq: v.seq, index: v.index, attempt: v.attempt, val: out}) {
-					return
-				}
+	name := st.Name()
+	work := func() {
+		for {
+			var v item[In]
+			select {
+			case v = <-in:
+			case v = <-retry: // nil for every stage but the head: blocks forever
+			case <-abort:
+				return
+			case <-done:
+				return
 			}
-		}()
+			out, err, ok := superviseProcess(sup, st, name, v)
+			if !ok {
+				// Abandoned attempt: a newer generation owns this seq.
+				if err == nil && discard != nil {
+					discard(out)
+				}
+				continue
+			}
+			if err != nil {
+				onErr(err)
+				if !sendItem(fail, failure{seq: v.seq, index: v.index, attempt: v.attempt, gen: v.gen, err: err}, abort) {
+					return
+				}
+				continue
+			}
+			if !emit(item[Out]{seq: v.seq, index: v.index, attempt: v.attempt, gen: v.gen, val: out}) {
+				return
+			}
+		}
+	}
+	sup.registerWorker(name, work)
+	for w := 0; w < workers; w++ {
+		sup.Go(name, work)
 	}
 }

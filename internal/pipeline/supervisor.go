@@ -1,0 +1,392 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+
+	"scipp/internal/fault"
+	"scipp/internal/obs"
+	"scipp/internal/trace"
+)
+
+// SupervisorConfig tunes the pipeline's supervision layer: panic recovery
+// and stall detection over every stage worker of the DAG. The zero value
+// enables panic recovery with a default restart budget and disables the
+// stall watchdog (no deadline to judge stalls against).
+type SupervisorConfig struct {
+	// MaxRestarts is the per-stage budget of worker restarts in one epoch —
+	// a restart is a worker revived after a recovered panic, or a stalled
+	// sample abandoned and re-admitted by the watchdog. Exceeding the budget
+	// aborts the epoch with a typed error (*SupervisorError for panics,
+	// *StallError for stalls) rather than looping or hanging. <= 0 selects
+	// the default of 8.
+	MaxRestarts int
+	// StallDeadline is the per-sample progress deadline in seconds: a
+	// sample held by one stage longer than this with no completion is
+	// flagged as stalled. 0 disables the watchdog. The deadline is judged
+	// on the loader's clock, so virtual-clock runs detect stalls in virtual
+	// time; the clock must implement trace.Alarm for the watchdog to run.
+	StallDeadline float64
+	// StallRestart selects the watchdog's response to a stalled sample:
+	// true abandons the wedged attempt (its eventual output is suppressed
+	// and its pooled buffers recycled) and re-admits the sample at the head
+	// stage, consuming a restart; false aborts the epoch immediately with a
+	// *StallError naming the culprit stage and sample.
+	StallRestart bool
+}
+
+func (c SupervisorConfig) maxRestarts() int {
+	if c.MaxRestarts <= 0 {
+		return 8
+	}
+	return c.MaxRestarts
+}
+
+// WorkerPanicError reports a panic recovered inside a stage worker, carrying
+// the stage and the dataset index of the sample the worker held. It is
+// marked transient: the supervisor restarted the worker in place, so the
+// sample deserves a fresh attempt under the resilience retry budget — with
+// the zero Resilience policy it fails the epoch as a *SampleError instead.
+type WorkerPanicError struct {
+	// Stage names the stage whose worker panicked.
+	Stage string
+	// Index is the dataset index of the sample in flight, or -1 when the
+	// panic hit pipeline machinery outside any sample.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+// Error implements error.
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("pipeline: %s stage worker panicked on sample %d: %v", e.Stage, e.Index, e.Value)
+}
+
+// Unwrap marks the error transient so the resilience policy may retry the
+// sample on the restarted worker.
+func (e *WorkerPanicError) Unwrap() error { return fault.Transient }
+
+// SupervisorError reports a stage that exhausted its restart budget: the
+// supervisor stops reviving its workers and fails the epoch loudly instead
+// of crash-looping.
+type SupervisorError struct {
+	// Stage names the stage over budget.
+	Stage string
+	// Restarts is the number of restarts consumed.
+	Restarts int
+	// Cause is the failure that broke the budget.
+	Cause error
+}
+
+// Error implements error.
+func (e *SupervisorError) Error() string {
+	return fmt.Sprintf("pipeline: %s stage exceeded its restart budget (%d restarts): %v", e.Stage, e.Restarts, e.Cause)
+}
+
+// Unwrap exposes the budget-breaking failure to errors.Is/As.
+func (e *SupervisorError) Unwrap() error { return e.Cause }
+
+// StallError reports a stage that stopped making progress: a sample sat in
+// it past the watchdog deadline and the configuration (or the exhausted
+// restart budget) forbids routing around it.
+type StallError struct {
+	// Stage names the stalled stage.
+	Stage string
+	// Index is the dataset index of the wedged sample.
+	Index int
+	// Seconds is how long the sample had been in flight when flagged.
+	Seconds float64
+}
+
+// Error implements error.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("pipeline: %s stage stalled on sample %d (no progress for %.3fs)", e.Stage, e.Index, e.Seconds)
+}
+
+// flightKey identifies one attempt of one scheduled sample: seq is the
+// schedule slot, gen the supervision generation (bumped each time the
+// watchdog abandons a wedged attempt and re-admits the sample).
+type flightKey struct{ seq, gen int }
+
+// flight is one sample attempt currently inside a stage's Process call.
+type flight struct {
+	stage string
+	index int
+	since float64
+}
+
+// queueProbe exposes one inter-stage queue's occupancy to the watchdog so a
+// stall report can snapshot the DAG's queue state into obs gauges.
+type queueProbe struct {
+	name   string
+	length func() int
+}
+
+// StageSupervisor is the pipeline's supervision layer. Every goroutine the
+// pipeline launches goes through Go (the workerguard analyzer enforces
+// this), which fences it with panic recovery; every stage Process call runs
+// between begin/end so the supervisor knows which samples are in flight,
+// where, and for how long. A watchdog goroutine turns overdue flights into
+// restarts or typed aborts; recovered worker panics consume the same
+// per-stage restart budget. The supervisor never hangs the epoch: every
+// failure path ends in a clean typed error through Iterator.Next.
+type StageSupervisor struct {
+	cfg   SupervisorConfig
+	clock trace.Clock
+	reg   *obs.Registry // stall queue-state gauges; nil disables
+
+	// fatalFn aborts the epoch with a terminal error (set by the iterator).
+	fatalFn func(error)
+	// readmit re-enters an abandoned sample at the head stage.
+	readmit func(seq, index, attempt, gen int) bool
+	// onPanic/onStall feed Iterator.Stats and the obs counters.
+	onPanic func()
+	onStall func()
+
+	// passive is set when no stall watchdog can run (no deadline): nothing
+	// ever abandons an attempt, so the per-sample flight bookkeeping would
+	// be pure hot-path overhead and begin/end short-circuit instead. Panic
+	// recovery is unaffected — it lives in the workers' deferred recovers.
+	passive bool
+
+	mu       sync.Mutex
+	inflight map[flightKey]flight
+	valid    map[int]int // seq -> minimum still-valid generation
+	restarts map[string]int
+	workers  map[string]func() // stage -> one fresh worker body
+	probes   []queueProbe
+}
+
+// newSupervisor returns a supervisor for one epoch of the DAG.
+func newSupervisor(cfg SupervisorConfig, clock trace.Clock, reg *obs.Registry) *StageSupervisor {
+	return &StageSupervisor{
+		cfg:      cfg,
+		clock:    clock,
+		reg:      reg,
+		passive:  cfg.StallDeadline <= 0,
+		fatalFn:  func(error) {},
+		readmit:  func(int, int, int, int) bool { return false },
+		onPanic:  func() {},
+		onStall:  func() {},
+		inflight: make(map[flightKey]flight),
+		valid:    make(map[int]int),
+		restarts: make(map[string]int),
+		workers:  make(map[string]func()),
+	}
+}
+
+// registerWorker records how to spawn one fresh worker of a stage, so the
+// watchdog can restart a stage whose worker it wrote off as wedged — without
+// a replacement, a stage whose entire pool stalls would starve even after
+// its samples were re-admitted.
+func (s *StageSupervisor) registerWorker(stage string, body func()) {
+	s.mu.Lock()
+	s.workers[stage] = body
+	s.mu.Unlock()
+}
+
+// probe registers one inter-stage queue for stall-time state snapshots.
+func (s *StageSupervisor) probe(name string, length func() int) {
+	s.mu.Lock()
+	s.probes = append(s.probes, queueProbe{name: name, length: length})
+	s.mu.Unlock()
+}
+
+// Go launches fn as a supervised pipeline goroutine. A panic escaping fn is
+// machinery failure (not a stage transform crash, which superviseProcess
+// absorbs earlier): it is recovered and converted into a clean epoch abort
+// with a typed *WorkerPanicError, so a bug in the pipeline itself can never
+// wedge a training run waiting on a dead goroutine.
+func (s *StageSupervisor) Go(name string, fn func()) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.fatalFn(&WorkerPanicError{Stage: name, Index: -1, Value: r, Stack: string(debug.Stack())})
+			}
+		}()
+		fn()
+	}()
+}
+
+// begin registers an attempt entering a stage. It reports false when the
+// attempt was already abandoned by the watchdog (a newer generation of the
+// sample is in flight), in which case the worker must drop the item without
+// processing it.
+func (s *StageSupervisor) begin(stage string, seq, index, gen int) bool {
+	if s.passive {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen < s.valid[seq] {
+		return false
+	}
+	s.inflight[flightKey{seq: seq, gen: gen}] = flight{stage: stage, index: index, since: s.clock.Now()}
+	return true
+}
+
+// end deregisters an attempt leaving a stage and reports whether its result
+// may be emitted: false means the watchdog abandoned the attempt while it
+// ran, so the worker must discard the output (recycling pooled buffers)
+// instead of sending it downstream. Once end returns true the attempt can
+// no longer be abandoned — it is out of the inflight table — so exactly one
+// generation of each sample ever emits.
+func (s *StageSupervisor) end(seq, gen int) bool {
+	if s.passive {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.inflight, flightKey{seq: seq, gen: gen})
+	return gen >= s.valid[seq]
+}
+
+// recovered converts a stage-worker panic into a typed error and charges
+// the stage's restart budget; over budget, it aborts the epoch with a
+// *SupervisorError. The worker that recovered continues its loop — it is
+// logically restarted in place.
+func (s *StageSupervisor) recovered(stage string, index int, r any) error {
+	perr := &WorkerPanicError{Stage: stage, Index: index, Value: r, Stack: string(debug.Stack())}
+	s.mu.Lock()
+	s.restarts[stage]++
+	n := s.restarts[stage]
+	s.mu.Unlock()
+	s.onPanic()
+	if n > s.cfg.maxRestarts() {
+		s.fatalFn(&SupervisorError{Stage: stage, Restarts: n, Cause: perr})
+	}
+	return perr
+}
+
+// watch is the stall watchdog: it scans the inflight table every half
+// deadline and routes overdue attempts per StallRestart. It exits with the
+// epoch (abort or done) and requires an Alarm-capable clock; without one
+// (or with no deadline) the caller never starts it.
+func (s *StageSupervisor) watch(alarm trace.Alarm, abort, done <-chan struct{}) {
+	tick := s.cfg.StallDeadline / 2
+	for {
+		ch, cancel := alarm.After(s.clock.Now() + tick)
+		select {
+		case <-ch:
+		case <-abort:
+			cancel()
+			return
+		case <-done:
+			cancel()
+			return
+		}
+		if !s.scan(abort) {
+			return
+		}
+	}
+}
+
+// stalledFlight is one overdue attempt found by a watchdog scan.
+type stalledFlight struct {
+	key flightKey
+	fl  flight
+	age float64
+}
+
+// scan flags every attempt in flight past the deadline, abandons and
+// re-admits it while restart budget lasts, and aborts the epoch otherwise.
+// It returns false once the epoch is over (fatal raised or abort observed).
+func (s *StageSupervisor) scan(abort <-chan struct{}) bool {
+	now := s.clock.Now()
+	var stalled []stalledFlight
+	var fatal *StallError
+	s.mu.Lock()
+	for k, f := range s.inflight {
+		if now-f.since < s.cfg.StallDeadline || k.gen < s.valid[k.seq] {
+			continue
+		}
+		stalled = append(stalled, stalledFlight{key: k, fl: f, age: now - f.since})
+	}
+	// Deterministic handling order: map iteration must not decide which
+	// stall breaks the budget.
+	sort.Slice(stalled, func(i, j int) bool { return stalled[i].key.seq < stalled[j].key.seq })
+	for _, sf := range stalled {
+		if !s.cfg.StallRestart || s.restarts[sf.fl.stage] >= s.cfg.maxRestarts() {
+			fatal = &StallError{Stage: sf.fl.stage, Index: sf.fl.index, Seconds: sf.age}
+			break
+		}
+		s.restarts[sf.fl.stage]++
+		s.valid[sf.key.seq] = sf.key.gen + 1
+	}
+	s.mu.Unlock()
+
+	if len(stalled) > 0 {
+		s.snapshotQueues()
+	}
+	for _, sf := range stalled {
+		if fatal != nil && sf.fl.stage == fatal.Stage && sf.fl.index == fatal.Index {
+			break // this and later stalls were not abandoned
+		}
+		s.onStall()
+		// Restart the stage: the wedged worker is written off, so a fresh
+		// one takes its slot — otherwise a stage whose whole pool stalled
+		// could never consume its re-admitted samples.
+		s.mu.Lock()
+		body := s.workers[sf.fl.stage]
+		s.mu.Unlock()
+		if body != nil {
+			s.Go(sf.fl.stage, body)
+		}
+		if !s.readmit(sf.key.seq, sf.fl.index, 0, sf.key.gen+1) {
+			return false // epoch aborted while re-admitting
+		}
+	}
+	if fatal != nil {
+		s.fatalFn(fatal)
+		return false
+	}
+	select {
+	case <-abort:
+		return false
+	default:
+	}
+	return true
+}
+
+// snapshotQueues records every registered queue's occupancy and the inflight
+// population into obs gauges (pipeline.stall.queue.<name> and
+// pipeline.stall.inflight), so a stall report carries the DAG's congestion
+// state at detection time.
+func (s *StageSupervisor) snapshotQueues() {
+	if s.reg == nil {
+		return
+	}
+	s.mu.Lock()
+	probes := append([]queueProbe(nil), s.probes...)
+	inflight := len(s.inflight)
+	s.mu.Unlock()
+	for _, p := range probes {
+		s.reg.Gauge("pipeline.stall.queue." + p.name).Set(float64(p.length()))
+	}
+	s.reg.Gauge("pipeline.stall.inflight").Set(float64(inflight))
+}
+
+// superviseProcess runs one stage attempt under the supervisor: inflight
+// registration around the Process call, panic recovery inside it. ok
+// reports whether the attempt is still valid — false means it was abandoned
+// (before or during processing) and the caller must discard out without
+// emitting or routing err.
+func superviseProcess[In, Out any](sup *StageSupervisor, st Stage[In, Out], name string, v item[In]) (out Out, err error, ok bool) {
+	if !sup.begin(name, v.seq, v.index, v.gen) {
+		return out, nil, false
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = sup.recovered(name, v.index, r)
+			}
+		}()
+		out, err = st.Process(v.index, v.val)
+	}()
+	ok = sup.end(v.seq, v.gen)
+	return out, err, ok
+}
