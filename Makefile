@@ -11,18 +11,19 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent subsystems (staged pipeline DAG
-# and its sample cache, ring allreduce, data-parallel trainer, fault
-# injector, metrics registry, checkpoint codec, chaos-training sweep).
+# and its sample cache, multi-tenant data service, ring allreduce,
+# data-parallel trainer, fault injector, metrics registry, checkpoint
+# codec, chaos-training sweep).
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/iosim/... ./internal/dist/... ./internal/train/... ./internal/fault/... ./internal/obs/... ./internal/nn/... ./cmd/chaostrain/... ./cmd/chaosloader/...
+	$(GO) test -race ./internal/pipeline/... ./internal/iosim/... ./internal/dataserve/... ./internal/dist/... ./internal/train/... ./internal/fault/... ./internal/obs/... ./internal/nn/... ./cmd/chaostrain/... ./cmd/chaosloader/... ./cmd/dataserve/...
 
 # Fault-injection and resilience suite: injector determinism, retry/backoff,
 # skip quotas, the end-to-end faulted DeepCAM acceptance run, the elastic
 # rank-failure / checkpoint-resume suite, the self-healing supervisor and
 # cache-integrity tests, and the chaosloader sweep smoke.
 fault:
-	$(GO) test -race -run 'Fault|Resilien|Retr|Backoff|Quota|SampleError|Transient|SameSeed|SameSample|Kind|FormatInjector|Summary|Elastic|Checkpoint|Rank|Supervis|Stall|Panic|Quarantine|Integrity|Chaos|BitRot' ./internal/fault/... ./internal/pipeline/... ./internal/train/... ./internal/dist/...
-	$(GO) test -race ./cmd/chaosloader/
+	$(GO) test -race -run 'Fault|Resilien|Retr|Backoff|Quota|SampleError|Transient|SameSeed|SameSample|Kind|FormatInjector|Summary|Elastic|Checkpoint|Rank|Supervis|Stall|Panic|Quarantine|Integrity|Chaos|BitRot' ./internal/fault/... ./internal/pipeline/... ./internal/train/... ./internal/dist/... ./internal/dataserve/...
+	$(GO) test -race ./cmd/chaosloader/ ./cmd/dataserve/
 
 # scipplint is the repo's own stdlib-only static analyzer (internal/analysis);
 # it must exit 0 on the whole module.
@@ -56,5 +57,6 @@ fuzz:
 		$(GO) test -run=NONE -fuzz="^$$t$$" -fuzztime=10s ./internal/codec/ || exit 1; \
 	done
 	$(GO) test -run=NONE -fuzz='^FuzzCacheIntegrity$$' -fuzztime=10s ./internal/pipeline/
+	$(GO) test -run=NONE -fuzz='^FuzzTenantCache$$' -fuzztime=10s ./internal/dataserve/
 
 verify: build vet lint test race cover

@@ -1,0 +1,431 @@
+// Command dataserve sweeps the multi-tenant data service: N concurrent
+// tenants multiplexed over shared datasets through one decoded-sample
+// cache, crossed with dataset (CosmoFlow LUT, DeepCAM delta-FP) and fault
+// mix (transient reads, cache bit rot). Every tenant must deliver batches
+// bit-identical to a private single-tenant loader with the same schedule,
+// the service must decode each distinct sample exactly once (plus one
+// re-decode per injected rot event), and the per-tenant and service
+// accounting must reconcile exactly against the injector logs. The summary
+// line reports aggregate multi-tenant throughput and the shared-vs-private
+// decode ratio — the work sharing a private-loader-per-job deployment
+// would have duplicated.
+//
+//	dataserve -tenants 3 -samples 32 -epochs 2 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+	"time"
+
+	"scipp/internal/codec"
+	"scipp/internal/core"
+	"scipp/internal/dataserve"
+	"scipp/internal/fault"
+	"scipp/internal/obs"
+	"scipp/internal/pipeline"
+	"scipp/internal/synthetic"
+)
+
+// mix is one fault mixture of the sweep.
+type mix struct {
+	name      string
+	transient float64 // per-sample probability of transient read failures
+	bitRot    float64 // cache bit-rot probability (one rot per decided sample)
+}
+
+func mixes() []mix {
+	return []mix{
+		{name: "clean"},
+		{name: "transient", transient: 0.25},
+		{name: "bitrot", bitRot: 0.2},
+		{name: "all", transient: 0.15, bitRot: 0.1},
+	}
+}
+
+// dataset is one shared-dataset axis of the sweep.
+type dataset struct {
+	name   string
+	build  func(samples int) (*pipeline.MemDataset, error)
+	format func() codec.Format
+}
+
+func datasets() []dataset {
+	return []dataset{
+		{
+			name: "cosmo",
+			build: func(samples int) (*pipeline.MemDataset, error) {
+				cfg := synthetic.DefaultCosmoConfig()
+				cfg.Dim = 8
+				return core.BuildCosmoDataset(cfg, samples, core.Plugin)
+			},
+			format: func() codec.Format { return core.FormatFor(core.CosmoFlow, core.Plugin) },
+		},
+		{
+			name: "climate",
+			build: func(samples int) (*pipeline.MemDataset, error) {
+				cfg := synthetic.DefaultClimateConfig()
+				cfg.Channels = 4
+				cfg.Height = 16
+				cfg.Width = 16
+				return core.BuildClimateDataset(cfg, samples, core.Plugin)
+			},
+			format: func() codec.Format { return core.FormatFor(core.DeepCAM, core.Plugin) },
+		},
+	}
+}
+
+// cell is one sweep configuration.
+type cell struct {
+	mix mix
+	ds  dataset
+}
+
+func (c cell) String() string { return fmt.Sprintf("%s/%s", c.mix.name, c.ds.name) }
+
+// sweep enumerates the cells: fault mix x shared dataset.
+func sweep() []cell {
+	var cells []cell
+	for _, m := range mixes() {
+		for _, d := range datasets() {
+			cells = append(cells, cell{mix: m, ds: d})
+		}
+	}
+	return cells
+}
+
+// result is everything one cell's run observed.
+type result struct {
+	digests   []uint64 // per-tenant digest over delivered batches
+	twins     []uint64 // private single-tenant loader digests, same schedules
+	delivered int64    // samples delivered across all tenants
+
+	svc     dataserve.ServiceStats
+	tenants []dataserve.TenantStats
+
+	obsDecodes, obsDedup, obsRetries, obsQuar int64
+
+	transientLog []fault.Injection // dataset injector ground truth
+	rotLog       []fault.Injection // cache injector ground truth
+
+	elapsed time.Duration
+}
+
+// throughput is the aggregate multi-tenant delivery rate in samples/sec.
+func (r result) throughput() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.delivered) / r.elapsed.Seconds()
+}
+
+// decodeRatio is shared decodes over the T*S a private-cached-loader-per-
+// tenant deployment performs: ~1/tenants when the shared cache absorbs all
+// cross-tenant reuse (slightly above when quarantines force re-decodes).
+func (r result) decodeRatio(tenants, samples int) float64 {
+	return float64(r.svc.Decodes) / float64(tenants*samples)
+}
+
+// tenantSeed derives tenant i's shuffle seed: distinct per tenant so the
+// sweep exercises interleaved schedules, and shared with the private twin.
+func tenantSeed(seed uint64, i int) uint64 { return seed + uint64(i)*101 }
+
+// run executes one cell: tenants concurrent jobs, each a full multi-epoch
+// pass over the shared dataset, digesting every delivered sample — then the
+// private single-tenant twin of each schedule over a clean copy of the same
+// dataset.
+func run(c cell, tenants, samples, epochs int, seed uint64) (result, error) {
+	const batch = 4
+	ds, err := c.ds.build(samples)
+	if err != nil {
+		return result{}, err
+	}
+
+	var injector *fault.Injector
+	var sds pipeline.Dataset = ds
+	if c.mix.transient > 0 {
+		injector = fault.Wrap(ds, fault.Config{
+			Seed: seed + 3, Transient: c.mix.transient,
+		})
+		sds = injector
+	}
+
+	reg := obs.NewRegistry()
+	svc := dataserve.New(dataserve.Config{Obs: reg})
+	defer svc.Close()
+	err = svc.Register(dataserve.DatasetConfig{
+		Name:       c.ds.name,
+		Data:       sds,
+		Format:     c.ds.format(),
+		Cache:      pipeline.CacheConfig{HostMemBytes: 64 << 20},
+		MaxRetries: 2, // fault.Config default fails each transient sample twice
+	})
+	if err != nil {
+		return result{}, err
+	}
+
+	var ci *fault.CacheInjector
+	if c.mix.bitRot > 0 {
+		ci = fault.NewCacheInjector(fault.CacheFaultConfig{Seed: seed + 5, BitRot: c.mix.bitRot})
+		svc.Cache(c.ds.name).SetTamper(ci)
+	}
+
+	res := result{
+		digests: make([]uint64, tenants),
+		twins:   make([]uint64, tenants),
+	}
+	jobs := make([]*dataserve.Tenant, tenants)
+	for i := range jobs {
+		jobs[i], err = svc.Attach(dataserve.TenantConfig{
+			Name:     fmt.Sprintf("t%d", i),
+			Dataset:  c.ds.name,
+			Batch:    batch,
+			Shuffle:  true,
+			Seed:     tenantSeed(seed, i),
+			Inflight: 8,
+		})
+		if err != nil {
+			return result{}, err
+		}
+	}
+
+	start := time.Now()
+	errs := make([]error, tenants)
+	var wg sync.WaitGroup
+	for i, tn := range jobs {
+		wg.Add(1)
+		go func(i int, tn *dataserve.Tenant) {
+			defer wg.Done()
+			res.digests[i], errs[i] = digestEpochs(tenantIter{tn}, epochs)
+		}(i, tn)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("tenant %d: %w", i, err)
+		}
+	}
+	res.svc = svc.Stats()
+	res.tenants = make([]dataserve.TenantStats, tenants)
+	for i, tn := range jobs {
+		res.tenants[i] = tn.Stats()
+		res.delivered += res.tenants[i].Samples
+	}
+	s := reg.Snapshot()
+	res.obsDecodes = s.Counter("dataserve.decode.count")
+	res.obsDedup = s.Counter("dataserve.decode.dedup")
+	res.obsRetries = s.Counter("dataserve.retries")
+	res.obsQuar = s.Counter("dataserve.cache.quarantined")
+	if injector != nil {
+		res.transientLog = injector.Log()
+	}
+	if ci != nil {
+		res.rotLog = ci.Log()
+	}
+
+	// Private twins: one clean single-tenant loader per schedule. A fresh
+	// dataset build keeps the twin independent of the faulted run.
+	tds, err := c.ds.build(samples)
+	if err != nil {
+		return res, err
+	}
+	for i := range res.twins {
+		l, err := pipeline.New(tds, pipeline.Config{
+			Format:  c.ds.format(),
+			Batch:   batch,
+			Shuffle: true,
+			Seed:    tenantSeed(seed, i),
+		})
+		if err != nil {
+			return res, err
+		}
+		res.twins[i], err = digestEpochs(loaderIter{l}, epochs)
+		if err != nil {
+			return res, fmt.Errorf("twin %d: %w", i, err)
+		}
+	}
+	return res, nil
+}
+
+// batchIter is the slice of both iterators' contracts the digest needs.
+type batchIter interface {
+	Next() (*pipeline.Batch, error)
+	Close()
+}
+
+// epochIter abstracts the two batch sources the digest walks.
+type epochIter interface {
+	epoch(e int) batchIter
+}
+
+type tenantIter struct{ t *dataserve.Tenant }
+
+func (s tenantIter) epoch(e int) batchIter {
+	if it := s.t.Epoch(e); it != nil {
+		return it
+	}
+	return nil
+}
+
+type loaderIter struct{ l *pipeline.Loader }
+
+func (s loaderIter) epoch(e int) batchIter { return s.l.Epoch(e) }
+
+// digestEpochs folds an FNV-1a digest over every delivered sample (index
+// then data bits) across the given number of epochs.
+func digestEpochs(src epochIter, epochs int) (uint64, error) {
+	h := uint64(0xcbf29ce484222325)
+	for e := 0; e < epochs; e++ {
+		it := src.epoch(e)
+		if it == nil {
+			return h, fmt.Errorf("epoch %d: nil iterator", e)
+		}
+		for {
+			b, err := it.Next()
+			if err != nil {
+				it.Close()
+				return h, fmt.Errorf("epoch %d: %w", e, err)
+			}
+			if b == nil {
+				break
+			}
+			for s := range b.Data {
+				h = fold(h, uint64(b.Indices[s]))
+				t := b.Data[s]
+				for i := 0; i < t.Elems(); i++ {
+					h = fold(h, uint64(math.Float32bits(t.At32(i))))
+				}
+			}
+			b.Release()
+		}
+		it.Close()
+	}
+	return h, nil
+}
+
+// fold is one FNV-1a step over a 64-bit word.
+func fold(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ (v >> s & 0xFF)) * 0x100000001b3
+	}
+	return h
+}
+
+// reconcile cross-checks a cell's accounting against the injector ground
+// truth and the single-flight contract: each distinct sample decoded once
+// (plus exactly one re-decode per injected rot), every retry matching a
+// logged transient failure, every quarantine matching a logged rot, and the
+// obs counters agreeing with the stats structs they mirror.
+func reconcile(c cell, res result, tenants, samples, epochs int) error {
+	perTenant := int64(samples * epochs)
+	if want := perTenant * int64(tenants); res.delivered != want {
+		return fmt.Errorf("delivered %d samples, want %d", res.delivered, want)
+	}
+	for i := range res.digests {
+		if res.digests[i] != res.twins[i] {
+			return fmt.Errorf("tenant %d digest %016x diverged from private twin %016x",
+				i, res.digests[i], res.twins[i])
+		}
+	}
+
+	rots := int64(len(res.rotLog))
+	if want := int64(samples) + rots; res.svc.Decodes != want {
+		return fmt.Errorf("decodes %d, want %d (%d samples + %d rot re-decodes)",
+			res.svc.Decodes, want, samples, rots)
+	}
+	fullDedup := int64((tenants - 1) * samples)
+	if c.mix.bitRot == 0 {
+		if res.svc.Dedup != fullDedup {
+			return fmt.Errorf("dedup %d, want (tenants-1)*samples = %d", res.svc.Dedup, fullDedup)
+		}
+	} else if res.svc.Dedup > fullDedup || res.svc.Dedup < fullDedup-rots {
+		// A rot discovered on a tenant's first access to the sample turns
+		// that first touch from a dedup into an owned re-decode.
+		return fmt.Errorf("dedup %d outside [%d, %d] under %d rots",
+			res.svc.Dedup, fullDedup-rots, fullDedup, rots)
+	}
+	if res.svc.Retries != int64(len(res.transientLog)) {
+		return fmt.Errorf("retries %d, injector logged %d transient failures",
+			res.svc.Retries, len(res.transientLog))
+	}
+	if res.svc.CacheQuarantined != rots {
+		return fmt.Errorf("quarantined %d, injector logged %d rots", res.svc.CacheQuarantined, rots)
+	}
+	if want := perTenant * int64(tenants); res.svc.Dispatched != want {
+		return fmt.Errorf("dispatched %d requests, want %d", res.svc.Dispatched, want)
+	}
+
+	var decodes, dedup, retries int64
+	for i, ts := range res.tenants {
+		if ts.Samples != perTenant {
+			return fmt.Errorf("tenant %d delivered %d samples, want %d", i, ts.Samples, perTenant)
+		}
+		if served := ts.Decodes + ts.HitsOwned + ts.HitsBorrowed + ts.Joins; served != perTenant {
+			return fmt.Errorf("tenant %d served %d (decodes %d + hits %d/%d + joins %d), want %d",
+				i, served, ts.Decodes, ts.HitsOwned, ts.HitsBorrowed, ts.Joins, perTenant)
+		}
+		decodes += ts.Decodes
+		dedup += ts.Dedup
+		retries += ts.Retries
+	}
+	if decodes != res.svc.Decodes {
+		return fmt.Errorf("tenant decode sum %d != service %d", decodes, res.svc.Decodes)
+	}
+	if dedup != res.svc.Dedup {
+		return fmt.Errorf("tenant dedup sum %d != service %d", dedup, res.svc.Dedup)
+	}
+	if retries != res.svc.Retries {
+		return fmt.Errorf("tenant retry sum %d != service %d", retries, res.svc.Retries)
+	}
+
+	if res.obsDecodes != res.svc.Decodes {
+		return fmt.Errorf("dataserve.decode.count %d != stats %d", res.obsDecodes, res.svc.Decodes)
+	}
+	if res.obsDedup != res.svc.Dedup {
+		return fmt.Errorf("dataserve.decode.dedup %d != stats %d", res.obsDedup, res.svc.Dedup)
+	}
+	if res.obsRetries != res.svc.Retries {
+		return fmt.Errorf("dataserve.retries %d != stats %d", res.obsRetries, res.svc.Retries)
+	}
+	if res.obsQuar != res.svc.CacheQuarantined {
+		return fmt.Errorf("dataserve.cache.quarantined %d != stats %d", res.obsQuar, res.svc.CacheQuarantined)
+	}
+
+	if c.mix.name != "clean" && len(res.transientLog)+len(res.rotLog) == 0 {
+		return fmt.Errorf("fault mix %q injected nothing", c.mix.name)
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dataserve: ")
+	tenants := flag.Int("tenants", 3, "concurrent tenants per cell")
+	samples := flag.Int("samples", 32, "shared dataset size")
+	epochs := flag.Int("epochs", 2, "epochs per tenant")
+	seed := flag.Uint64("seed", 1, "base seed (schedules and faults)")
+	flag.Parse()
+	if *tenants < 1 {
+		log.Fatal("-tenants must be >= 1")
+	}
+
+	fmt.Printf("%-18s %8s %8s %7s %7s %7s %7s %10s %6s\n",
+		"cell", "served", "decodes", "dedup", "retry", "quar", "ratio", "samples/s", "ident")
+	for _, c := range sweep() {
+		res, err := run(c, *tenants, *samples, *epochs, *seed)
+		if err != nil {
+			log.Fatalf("%s: %v", c, err)
+		}
+		if err := reconcile(c, res, *tenants, *samples, *epochs); err != nil {
+			log.Fatalf("%s: %v", c, err)
+		}
+		fmt.Printf("%-18s %8d %8d %7d %7d %7d %7.3f %10.0f %6s\n",
+			c, res.delivered, res.svc.Decodes, res.svc.Dedup, res.svc.Retries,
+			res.svc.CacheQuarantined, res.decodeRatio(*tenants, *samples),
+			res.throughput(), "yes")
+	}
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"scipp/internal/dataserve"
+	"scipp/internal/fault"
+)
+
+// TestSweepCells runs the real sweep, small enough for the -race merge
+// gate: every tenant of every cell must deliver batches bit-identical to
+// its private single-tenant twin, and all accounting must reconcile against
+// the injector logs.
+func TestSweepCells(t *testing.T) {
+	const (
+		tenants = 3
+		samples = 24
+		epochs  = 2
+		seed    = uint64(1)
+	)
+	before := runtime.NumGoroutine()
+	for _, c := range sweep() {
+		t.Run(c.String(), func(t *testing.T) {
+			res, err := run(c, tenants, samples, epochs, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reconcile(c, res, tenants, samples, epochs); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// Zero goroutine leaks: every service's dispatcher, workers, and epoch
+	// goroutines must have exited with its Close. Allow a short settling
+	// window for drains racing teardown.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before sweep, %d after\n%s", before, after, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDeterministicAcrossRuns pins the seeded contract the sweep relies
+// on: repeating a faulted multi-tenant cell reproduces the same per-tenant
+// digests, the same counters, and the same injector logs, despite the
+// schedules interleaving differently across goroutines.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	c := cell{mix: mixes()[3], ds: datasets()[0]} // "all"/cosmo: transient+bitrot
+	if c.mix.name != "all" {
+		t.Fatalf("mix table changed: got %q, want all", c.mix.name)
+	}
+	a, err := run(c, 3, 24, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(c, 3, 24, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.digests {
+		if a.digests[i] != b.digests[i] {
+			t.Errorf("tenant %d digest not reproducible: %016x vs %016x", i, a.digests[i], b.digests[i])
+		}
+	}
+	if a.svc.Decodes != b.svc.Decodes || a.svc.Retries != b.svc.Retries ||
+		a.svc.CacheQuarantined != b.svc.CacheQuarantined {
+		t.Errorf("counters not reproducible: %+v vs %+v", a.svc, b.svc)
+	}
+	if len(a.transientLog) != len(b.transientLog) || len(a.rotLog) != len(b.rotLog) {
+		t.Errorf("injector logs not reproducible: %d/%d vs %d/%d",
+			len(a.transientLog), len(a.rotLog), len(b.transientLog), len(b.rotLog))
+	}
+}
+
+// TestReconcileDetectsMismatch corrupts one field of a genuine result at a
+// time and checks reconcile rejects each: the sweep's "everything checks
+// out" is only as strong as the checker's ability to notice when it does
+// not.
+func TestReconcileDetectsMismatch(t *testing.T) {
+	const (
+		tenants = 3
+		samples = 16
+		epochs  = 1
+		seed    = uint64(3)
+	)
+	c := cell{mix: mixes()[0], ds: datasets()[0]} // clean/cosmo
+	good, err := run(c, tenants, samples, epochs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reconcile(c, good, tenants, samples, epochs); err != nil {
+		t.Fatalf("genuine result rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(r *result)
+	}{
+		{"digest diverged", func(r *result) { r.digests[1] ^= 1 }},
+		{"decode count", func(r *result) { r.svc.Decodes++ }},
+		{"dedup count", func(r *result) { r.svc.Dedup-- }},
+		{"phantom retry", func(r *result) { r.svc.Retries++ }},
+		{"phantom quarantine", func(r *result) { r.svc.CacheQuarantined++ }},
+		{"dispatched count", func(r *result) { r.svc.Dispatched-- }},
+		{"lost delivery", func(r *result) { r.delivered--; r.tenants[0].Samples-- }},
+		{"tenant decode drift", func(r *result) { r.tenants[2].Decodes++ }},
+		{"obs decode drift", func(r *result) { r.obsDecodes++ }},
+		{"obs dedup drift", func(r *result) { r.obsDedup-- }},
+		{"obs retry drift", func(r *result) { r.obsRetries++ }},
+		{"obs quarantine drift", func(r *result) { r.obsQuar++ }},
+		{"unlogged transient", func(r *result) {
+			r.transientLog = append(r.transientLog, fault.Injection{Sample: 0, Kind: fault.TransientIO})
+		}},
+		{"unlogged rot", func(r *result) {
+			r.rotLog = append(r.rotLog, fault.Injection{Sample: 0, Kind: fault.CacheBitRot})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := good
+			bad.digests = append([]uint64(nil), good.digests...)
+			bad.twins = append([]uint64(nil), good.twins...)
+			bad.tenants = append([]dataserve.TenantStats(nil), good.tenants...)
+			bad.transientLog = append([]fault.Injection(nil), good.transientLog...)
+			bad.rotLog = append([]fault.Injection(nil), good.rotLog...)
+			tc.mutate(&bad)
+			if err := reconcile(c, bad, tenants, samples, epochs); err == nil {
+				t.Fatal("reconcile accepted a corrupted result")
+			}
+		})
+	}
+}

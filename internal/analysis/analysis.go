@@ -235,6 +235,7 @@ func All() []*Analyzer {
 		Retry,
 		DistSend,
 		StageSend,
+		DataserveSend,
 		HotAlloc,
 		PoolLeak,
 		CopyDiscipline,

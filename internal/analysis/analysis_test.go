@@ -25,8 +25,9 @@ var fixtures = []struct {
 	{"fixerr", "scipp/internal/fixerr"},
 	{"fixdir", "scipp/internal/fixdir"},
 	{"fixretry", "scipp/internal/fixretry"},
-	{"fixdistsend", "scipp/internal/dist"},      // dist scope for the abort-escape send rule
-	{"fixstagesend", "scipp/internal/pipeline"}, // pipeline scope for the stage send rule
+	{"fixdistsend", "scipp/internal/dist"},           // dist scope for the abort-escape send rule
+	{"fixstagesend", "scipp/internal/pipeline"},      // pipeline scope for the stage send rule
+	{"fixdataservesend", "scipp/internal/dataserve"}, // dataserve scope for the tenant send rule
 	{"fixhotalloc", "scipp/internal/fixhotalloc"},
 	{"fixpoolleak", "scipp/internal/fixpoolleak"},
 	{"fixcopydiscipline", "scipp/internal/fixcopydiscipline"},

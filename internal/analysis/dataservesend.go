@@ -1,0 +1,24 @@
+package analysis
+
+// DataserveSend applies the send discipline to the multi-tenant data
+// service: every channel send in scipp/internal/dataserve must sit in a
+// select with an escape case — a receive (the iterator's or service's
+// abort channel) or a default. The service's dispatcher, workers, and
+// per-epoch source/sink goroutines all hand work across bounded queues
+// whose consumers can vanish mid-send (tenant detach, iterator close,
+// service shutdown); a bare send on any of those paths blocks forever and
+// leaks the goroutine past Service.Close. Test files are exempt (the
+// loader skips them).
+var DataserveSend = &Analyzer{
+	Name: "dataservesend",
+	Doc:  "flag channel sends in internal/dataserve not guarded by a select with an abort case",
+	Run:  runDataserveSend,
+}
+
+func runDataserveSend(pass *Pass) {
+	if pass.Path != "scipp/internal/dataserve" {
+		return
+	}
+	reportUnguardedSends(pass,
+		"channel send in internal/dataserve without an abort escape: use select { case ch <- v: case <-abort: } or a default case")
+}

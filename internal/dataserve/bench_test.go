@@ -1,0 +1,135 @@
+package dataserve_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"scipp/internal/dataserve"
+	"scipp/internal/pipeline"
+)
+
+// Benchmarks over the multi-tenant data service. One iteration drains one
+// full epoch for every tenant (benchTenants x benchSamples samples), so
+// samples/s is the aggregate multi-tenant delivery rate. The Private twin
+// runs the same jobs on per-job pipeline.Loaders with per-job caches — the
+// deployment the shared service replaces — so the committed pair tracks
+// the shared-vs-private throughput relationship alongside the decode-count
+// ratio cmd/dataserve reports. scripts/bench.sh runs these and commits the
+// result into BENCH_pipeline.json.
+const (
+	benchTenants = 3
+	benchSamples = 256
+	benchBatch   = 8
+)
+
+func BenchmarkDataserveSharedTenants(b *testing.B) {
+	ds := buildDataset(benchSamples, testShape)
+	svc := dataserve.New(dataserve.Config{})
+	defer svc.Close()
+	err := svc.Register(dataserve.DatasetConfig{
+		Name:   "shared",
+		Data:   ds,
+		Format: rawF32Format{testShape},
+		Cache:  pipeline.CacheConfig{HostMemBytes: 64 << 20},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tenants := make([]*dataserve.Tenant, benchTenants)
+	for i := range tenants {
+		tenants[i], err = svc.Attach(dataserve.TenantConfig{
+			Name:     fmt.Sprintf("t%d", i),
+			Dataset:  "shared",
+			Batch:    benchBatch,
+			Inflight: 16,
+			Shuffle:  true,
+			Seed:     uint64(i)*101 + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, tn := range tenants {
+			wg.Add(1)
+			go func(tn *dataserve.Tenant) {
+				defer wg.Done()
+				drainTenantEpoch(b, tn, i)
+			}(tn)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(benchTenants*benchSamples)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+func drainTenantEpoch(b *testing.B, tn *dataserve.Tenant, epoch int) {
+	it := tn.Epoch(epoch)
+	if it == nil {
+		b.Error("nil epoch iterator")
+		return
+	}
+	defer it.Close()
+	n := 0
+	for {
+		batch, err := it.Next()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if batch == nil {
+			break
+		}
+		n += batch.Size()
+		batch.Release()
+	}
+	if n != benchSamples {
+		b.Errorf("epoch delivered %d samples, want %d", n, benchSamples)
+	}
+}
+
+// BenchmarkDataservePrivateLoaders is the deployment baseline: the same
+// three jobs, each on its own pipeline.Loader with a private cache.
+func BenchmarkDataservePrivateLoaders(b *testing.B) {
+	ds := buildDataset(benchSamples, testShape)
+	loaders := make([]*pipeline.Loader, benchTenants)
+	for i := range loaders {
+		l, err := pipeline.New(ds, pipeline.Config{
+			Format:  rawF32Format{testShape},
+			Batch:   benchBatch,
+			Shuffle: true,
+			Seed:    uint64(i)*101 + 1,
+			Cache:   pipeline.CacheConfig{HostMemBytes: 64 << 20},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		loaders[i] = l
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, l := range loaders {
+			wg.Add(1)
+			go func(l *pipeline.Loader) {
+				defer wg.Done()
+				n, err := l.Epoch(i).Drain()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if n != benchSamples {
+					b.Errorf("epoch delivered %d samples, want %d", n, benchSamples)
+				}
+			}(l)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(benchTenants*benchSamples)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}

@@ -1,0 +1,114 @@
+package dataserve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"scipp/internal/fp16"
+	"scipp/internal/tensor"
+)
+
+// The shared cache stores decoded samples, not encoded blobs: the whole
+// point of sharing is that a sample borrowed from another tenant skips the
+// decode. A decoded tensor is serialized into the cache's []byte payload
+// with a fixed little-endian header — magic, version, dtype, rank, dims —
+// followed by the raw element bits. Element bits are preserved exactly
+// (no float conversion), so a tenant materializing a cached sample is
+// bit-identical to the tenant that decoded it, and the SampleCache's
+// integrity checksum covers the sample end to end.
+
+const (
+	blobMagic   = 0x53434453 // "SCDS"
+	blobVersion = 1
+)
+
+// encodedSize returns the serialized size of t in bytes.
+func encodedSize(t *tensor.Tensor) int {
+	return 4 + 1 + 1 + 1 + 4*len(t.Shape) + t.Bytes()
+}
+
+// encodeTensor serializes a decoded sample tensor for cache residency.
+func encodeTensor(t *tensor.Tensor) []byte {
+	buf := make([]byte, 0, encodedSize(t))
+	buf = binary.LittleEndian.AppendUint32(buf, blobMagic)
+	buf = append(buf, blobVersion, byte(t.DT))
+	buf = append(buf, byte(len(t.Shape)))
+	for _, d := range t.Shape {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	switch t.DT {
+	case tensor.F32:
+		for _, f := range t.F32s {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(f))
+		}
+	case tensor.F16:
+		for _, b := range t.F16s {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(b))
+		}
+	case tensor.I16:
+		for _, v := range t.I16s {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(v))
+		}
+	}
+	return buf
+}
+
+// decodeTensorHeader validates a serialized sample's header and returns the
+// dtype and shape a destination tensor must have — what the materializing
+// tenant asks its pool for.
+func decodeTensorHeader(enc []byte) (tensor.DType, tensor.Shape, error) {
+	if len(enc) < 7 {
+		return 0, nil, fmt.Errorf("dataserve: sample payload truncated at %d bytes", len(enc))
+	}
+	if m := binary.LittleEndian.Uint32(enc); m != blobMagic {
+		return 0, nil, fmt.Errorf("dataserve: bad sample payload magic %#x", m)
+	}
+	if v := enc[4]; v != blobVersion {
+		return 0, nil, fmt.Errorf("dataserve: unsupported sample payload version %d", v)
+	}
+	dt := tensor.DType(enc[5])
+	if dt != tensor.F32 && dt != tensor.F16 && dt != tensor.I16 {
+		return 0, nil, fmt.Errorf("dataserve: unknown sample dtype %d", int(dt))
+	}
+	rank := int(enc[6])
+	if len(enc) < 7+4*rank {
+		return 0, nil, fmt.Errorf("dataserve: sample header truncated (rank %d, %d bytes)", rank, len(enc))
+	}
+	shape := make(tensor.Shape, rank)
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(enc[7+4*i:]))
+	}
+	if want := 7 + 4*rank + shape.Elems()*dt.Size(); len(enc) != want {
+		return 0, nil, fmt.Errorf("dataserve: sample payload is %d bytes, want %d for %s%v", len(enc), want, dt, shape)
+	}
+	return dt, shape, nil
+}
+
+// decodeTensorInto deserializes enc into dst, which must already have the
+// header's dtype and shape (the caller sized it via decodeTensorHeader).
+func decodeTensorInto(dst *tensor.Tensor, enc []byte) error {
+	dt, shape, err := decodeTensorHeader(enc)
+	if err != nil {
+		return err
+	}
+	if dst.DT != dt || !dst.Shape.Equal(shape) {
+		return fmt.Errorf("dataserve: destination %s%v does not match payload %s%v", dst.DT, dst.Shape, dt, shape)
+	}
+	p := enc[7+4*len(shape):]
+	switch dt {
+	case tensor.F32:
+		for i := range dst.F32s {
+			dst.F32s[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:]))
+		}
+	case tensor.F16:
+		for i := range dst.F16s {
+			dst.F16s[i] = fp16.Bits(binary.LittleEndian.Uint16(p[2*i:]))
+		}
+	case tensor.I16:
+		for i := range dst.I16s {
+			dst.I16s[i] = int16(binary.LittleEndian.Uint16(p[2*i:]))
+		}
+	}
+	return nil
+}

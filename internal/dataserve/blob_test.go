@@ -1,0 +1,93 @@
+package dataserve
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"scipp/internal/fp16"
+	"scipp/internal/tensor"
+)
+
+// blobSamples covers every dtype the cache payload supports, including
+// non-finite float bit patterns that must survive exactly (NaN payloads,
+// negative zero, infinities): the serialization preserves element bits,
+// never values.
+func blobSamples() []*tensor.Tensor {
+	return []*tensor.Tensor{
+		tensor.FromF32([]float32{
+			0, -0.0 * -1, 1.5, -2.25,
+			float32(math.Inf(1)), float32(math.Inf(-1)),
+			math.Float32frombits(0x7FC00001), // NaN with a payload bit set
+			math.Float32frombits(0x80000000), // -0
+		}, 2, 4),
+		tensor.FromF16([]fp16.Bits{0x0000, 0x8000, 0x3C00, 0x7E01, 0xFC00, 0x0001}, 6),
+		tensor.FromI16([]int16{-32768, -1, 0, 1, 32767, 12345}, 3, 2),
+		tensor.FromF32([]float32{42}), // rank-0-adjacent: single element, rank 1
+	}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	for _, src := range blobSamples() {
+		enc := encodeTensor(src)
+		if len(enc) != encodedSize(src) {
+			t.Errorf("%s%v: encoded %d bytes, encodedSize says %d", src.DT, src.Shape, len(enc), encodedSize(src))
+		}
+		dt, shape, err := decodeTensorHeader(enc)
+		if err != nil {
+			t.Fatalf("%s%v: header: %v", src.DT, src.Shape, err)
+		}
+		if dt != src.DT || !shape.Equal(src.Shape) {
+			t.Fatalf("%s%v: header decoded as %s%v", src.DT, src.Shape, dt, shape)
+		}
+		dst := tensor.New(dt, shape...)
+		if err := decodeTensorInto(dst, enc); err != nil {
+			t.Fatalf("%s%v: decode: %v", src.DT, src.Shape, err)
+		}
+		// Compare raw element bits, not values: NaN != NaN under ==.
+		if !bytes.Equal(encodeTensor(dst), enc) {
+			t.Errorf("%s%v: round trip not bit-identical", src.DT, src.Shape)
+		}
+	}
+}
+
+func TestBlobHeaderErrors(t *testing.T) {
+	good := encodeTensor(tensor.FromF32([]float32{1, 2, 3, 4}, 2, 2))
+	corrupt := func(mutate func([]byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return mutate(b)
+	}
+	cases := []struct {
+		name string
+		enc  []byte
+	}{
+		{"empty", nil},
+		{"short header", good[:5]},
+		{"bad magic", corrupt(func(b []byte) []byte { b[0] ^= 0xFF; return b })},
+		{"bad version", corrupt(func(b []byte) []byte { b[4] = 99; return b })},
+		{"bad dtype", corrupt(func(b []byte) []byte { b[5] = 0xEE; return b })},
+		{"rank overruns", corrupt(func(b []byte) []byte { b[6] = 40; return b })},
+		{"truncated payload", good[:len(good)-2]},
+		{"oversized payload", append(append([]byte(nil), good...), 0, 0)},
+		{"dim mismatch", corrupt(func(b []byte) []byte { b[7] = 3; return b })},
+	}
+	for _, tc := range cases {
+		if _, _, err := decodeTensorHeader(tc.enc); err == nil {
+			t.Errorf("%s: decodeTensorHeader accepted corrupt payload", tc.name)
+		}
+		dst := tensor.New(tensor.F32, 2, 2)
+		if err := decodeTensorInto(dst, tc.enc); err == nil {
+			t.Errorf("%s: decodeTensorInto accepted corrupt payload", tc.name)
+		}
+	}
+}
+
+func TestBlobDecodeIntoMismatch(t *testing.T) {
+	enc := encodeTensor(tensor.FromF32([]float32{1, 2, 3, 4}, 2, 2))
+	if err := decodeTensorInto(tensor.New(tensor.F32, 4), enc); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if err := decodeTensorInto(tensor.New(tensor.I16, 2, 2), enc); err == nil {
+		t.Error("dtype mismatch accepted")
+	}
+}

@@ -1,0 +1,341 @@
+// Package dataserve is the in-process multi-tenant data service: one
+// long-running service multiplexes N concurrent training jobs (tenants)
+// over shared datasets, decoding every distinct sample exactly once.
+//
+// It is the disaggregated data-service architecture of Uber's
+// high-throughput pipeline work mapped onto this repo's primitives: the
+// decoded-sample store is a pipeline.SampleCache (two-tier HostMem/NVMe
+// LRU with end-to-end integrity checksums and quarantine), decode work
+// runs on a shared worker pool fed by a deficit-weighted fair-queueing
+// dispatcher, and concurrent requests for the same sample collapse into
+// a single flight — waiters block on the one decode instead of
+// duplicating it. Each tenant keeps the single-owner loader contract it
+// would have had with a private pipeline.Loader: a deterministic
+// per-epoch schedule (same Source derivation, so batches are
+// bit-identical to a single-tenant run), an independent admission budget
+// whose backpressure reaches that tenant's source alone, and per-tenant
+// accounting (dataserve.tenant.* metrics, Stats) that reconciles exactly
+// against the service totals and any fault-injector log.
+package dataserve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"scipp/internal/obs"
+	"scipp/internal/pipeline"
+)
+
+// Config sizes the service's shared machinery.
+type Config struct {
+	// Workers is the decode worker pool width. Defaults to GOMAXPROCS,
+	// floored at 2 so single-flight waiters always leave a runnable owner.
+	Workers int
+	// QueueDepth bounds the dispatched-work queue between the fair-queueing
+	// dispatcher and the workers. Defaults to 2*Workers.
+	QueueDepth int
+	// Quantum is the deficit replenished per dispatcher visit, in samples
+	// per unit of tenant weight: a tenant with weight w is served up to
+	// Quantum*w requests each round before the dispatcher moves on.
+	// Defaults to 2.
+	Quantum int
+	// Obs, when non-nil, receives the dataserve.* service metrics and the
+	// dataserve.tenant.<name>.* per-tenant metrics.
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 2 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 2
+	}
+	return c
+}
+
+// request is one tenant sample request queued for dispatch.
+type request struct {
+	it    *Iterator
+	seq   int   // schedule position within the iterator's epoch
+	index int   // dataset sample index
+	enq   int64 // service dispatch count at enqueue, for queue-wait lag
+}
+
+// Service is the multi-tenant data service. Construct with New, register
+// datasets with Register, attach tenants with Attach, and Close when done.
+// All methods are safe for concurrent use.
+type Service struct {
+	cfg Config
+	ob  serviceObs
+
+	mu          sync.Mutex
+	datasets    map[string]*sharedDataset
+	tenants     map[string]*Tenant
+	order       []*Tenant // dispatcher visiting order (attach order)
+	cursor      int       // round-robin position in order
+	deficit     int       // remaining serve budget of order[cursor]
+	dispatchSeq int64     // total requests dispatched, drives queue-wait lag
+	closed      bool
+
+	notify chan struct{} // capacity 1: wakes an idle dispatcher
+	abort  chan struct{} // closed by Close
+	workq  chan request
+	wg     sync.WaitGroup
+}
+
+// New starts a service: the fair-queueing dispatcher plus cfg.Workers
+// decode workers.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		datasets: make(map[string]*sharedDataset),
+		tenants:  make(map[string]*Tenant),
+		notify:   make(chan struct{}, 1),
+		abort:    make(chan struct{}),
+		workq:    make(chan request, cfg.QueueDepth),
+	}
+	s.ob = newServiceObs(cfg.Obs)
+	s.wg.Add(1 + cfg.Workers)
+	go s.dispatch()
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close detaches every tenant, stops the dispatcher and workers, and waits
+// for them to exit. Idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	tenants := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+	for _, t := range tenants {
+		t.Detach()
+	}
+	close(s.abort)
+	s.wg.Wait()
+}
+
+// enqueue appends a request to its tenant's pending queue and wakes the
+// dispatcher. It reports false when the service is closed or the tenant
+// detached, so the caller's source loop stops feeding.
+func (s *Service) enqueue(it *Iterator, seq, index int) bool {
+	t := it.t
+	s.mu.Lock()
+	if s.closed || t.detached {
+		s.mu.Unlock()
+		return false
+	}
+	t.pend = append(t.pend, request{it: it, seq: seq, index: index, enq: s.dispatchSeq})
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// dispatch is the fair-queueing loop: deficit round robin over the attached
+// tenants with unit sample cost — each visit replenishes the tenant's
+// deficit by Quantum*Weight and serves up to that many of its pending
+// requests before moving on, so a tenant flooding requests is bounded to
+// its weight share per round and cannot starve a light tenant. Queue wait
+// is measured in dispatch lag (requests the service dispatched between a
+// request's enqueue and its own dispatch): a deterministic fairness signal
+// that does not depend on wall time.
+func (s *Service) dispatch() {
+	defer s.wg.Done()
+	for {
+		r, ok := s.nextRequest()
+		if !ok {
+			select {
+			case <-s.notify:
+				continue
+			case <-s.abort:
+				return
+			}
+		}
+		select {
+		case s.workq <- r:
+		case <-s.abort:
+			return
+		}
+	}
+}
+
+// nextRequest picks the next request under deficit round robin. The first
+// visit is the cursor's tenant with its leftover deficit; each further
+// visit advances the cursor and replenishes the visited tenant's deficit,
+// so one call scans at most a full round (n+1 visits) before reporting
+// that no request is pending anywhere. A tenant whose backlog drains with
+// deficit left forfeits the leftover — the standard DRR empty-queue reset.
+func (s *Service) nextRequest() (request, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.order)
+	if n == 0 {
+		return request{}, false
+	}
+	if s.cursor >= n {
+		s.cursor = 0 // a detach shrank the ring under the cursor
+	}
+	for visit := 0; visit <= n; visit++ {
+		t := s.order[s.cursor]
+		if visit > 0 {
+			s.deficit = s.cfg.Quantum * t.cfg.Weight
+		}
+		if len(t.pend) > 0 && s.deficit >= 1 {
+			r := t.pend[0]
+			t.pend[0] = request{}
+			t.pend = t.pend[1:]
+			if len(t.pend) == 0 {
+				t.pend = nil // reclaim the drained backlog's backing array
+			}
+			s.deficit--
+			lag := s.dispatchSeq - r.enq
+			s.dispatchSeq++
+			s.ob.dispatched.Inc()
+			t.noteLag(lag)
+			return r, true
+		}
+		s.cursor = (s.cursor + 1) % n
+	}
+	return request{}, false
+}
+
+// worker consumes dispatched requests: fetch the sample through the shared
+// cache / single-flight layer, then deliver the outcome to the request's
+// iterator. Deliveries race tenant detach, so every send is guarded by the
+// iterator's abort and the service's; a dropped delivery recycles its
+// pooled tensor.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		var r request
+		select {
+		case r = <-s.workq:
+		case <-s.abort:
+			return
+		}
+		s.process(r)
+	}
+}
+
+// process serves one request end to end.
+func (s *Service) process(r request) {
+	select {
+	case <-r.it.abort:
+		return // stale: iterator closed between dispatch and service
+	default:
+	}
+	data, label, err := r.it.t.sd.fetch(r.it, r.index)
+	o := outcome{seq: r.seq, index: r.index, data: data, label: label, err: err}
+	select {
+	case r.it.completions <- o:
+	case <-r.it.abort:
+		r.it.t.sd.pool.PutTensor(data)
+	case <-s.abort:
+		r.it.t.sd.pool.PutTensor(data)
+	}
+}
+
+// Register adds a shared dataset to the service. Tenants attach to it by
+// name; its decoded samples live in one shared SampleCache.
+func (s *Service) Register(cfg DatasetConfig) error {
+	sd, err := newSharedDataset(s, cfg)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("dataserve: register %q on closed service", cfg.Name)
+	}
+	if _, ok := s.datasets[cfg.Name]; ok {
+		return fmt.Errorf("dataserve: dataset %q already registered", cfg.Name)
+	}
+	s.datasets[cfg.Name] = sd
+	return nil
+}
+
+// Cache returns the shared decoded-sample cache behind a registered
+// dataset — the hook chaos harnesses use to attach a fault.CacheInjector
+// via SetTamper — or nil if the name is unknown.
+func (s *Service) Cache(dataset string) *pipeline.SampleCache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sd, ok := s.datasets[dataset]; ok {
+		return sd.cache
+	}
+	return nil
+}
+
+// Pool returns the slab pool tenant batches of a registered dataset draw
+// from, or nil if the name is unknown.
+func (s *Service) Pool(dataset string) *pipeline.SlabPool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sd, ok := s.datasets[dataset]; ok {
+		return sd.pool
+	}
+	return nil
+}
+
+// ServiceStats is a point-in-time snapshot of the service's shared-path
+// accounting, summed over its registered datasets.
+type ServiceStats struct {
+	// Decodes counts samples decoded (single-flight owners, including any
+	// re-decode after a cache quarantine or eviction); Dedup counts
+	// first-touch accesses a tenant was served without decoding itself —
+	// the work sharing saved. With K tenants over S fully cached samples,
+	// Decodes == S and Dedup == (K-1)*S.
+	Decodes, Dedup int64
+	// CacheHits/CacheMisses/CacheQuarantined aggregate the shared caches'
+	// Get outcomes, and Retries the transient-fault retries absorbed by
+	// flight owners (reconciles against an injector log).
+	CacheHits, CacheMisses, CacheQuarantined, Retries int64
+	// Dispatched counts requests the fair-queueing dispatcher served.
+	Dispatched int64
+	// Tenants is the currently attached tenant count.
+	Tenants int
+}
+
+// Stats returns a snapshot of the service's accounting.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	datasets := make([]*sharedDataset, 0, len(s.datasets))
+	for _, sd := range s.datasets {
+		datasets = append(datasets, sd)
+	}
+	st := ServiceStats{Dispatched: s.dispatchSeq, Tenants: len(s.tenants)}
+	s.mu.Unlock()
+	for _, sd := range datasets {
+		cs := sd.cache.Stats()
+		st.CacheHits += cs.Hits
+		st.CacheMisses += cs.Misses
+		st.CacheQuarantined += cs.Quarantined
+		sd.mu.Lock()
+		st.Decodes += sd.decodes
+		st.Dedup += sd.dedup
+		st.Retries += sd.retries
+		sd.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,241 @@
+package dataserve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"scipp/internal/codec"
+	"scipp/internal/fault"
+	"scipp/internal/pipeline"
+	"scipp/internal/tensor"
+)
+
+// DatasetConfig registers one shared dataset with the service. The cache
+// key of the issue — (dataset, codec, sample) — is realized as
+// Name -> shared SampleCache -> sample index: one registration binds a
+// dataset to exactly one codec, and every tenant attached to it shares the
+// one decoded-sample cache.
+type DatasetConfig struct {
+	// Name is the registration key tenants attach by; required, unique.
+	Name string
+	// Data is the backing dataset (possibly a fault injector). Required.
+	Data pipeline.Dataset
+	// Format decodes Data's blobs. Required.
+	Format codec.Format
+	// Cache sizes the shared decoded-sample cache. The cached payload is
+	// the serialized decoded tensor, so size tiers for decoded bytes (plus
+	// the small header), not encoded bytes. Integrity checksums and
+	// quarantine semantics are the SampleCache's own.
+	Cache pipeline.CacheConfig
+	// MaxRetries bounds the flight owner's re-reads of a sample that fails
+	// with a fault.Transient error before the failure is delivered to
+	// every waiting tenant. Default 0: strict.
+	MaxRetries int
+	// CPUWorkers is the intra-sample decode parallelism (chunk decode is
+	// deterministic, so this never affects output bits). Default 1.
+	CPUWorkers int
+}
+
+// flight is one in-progress decode that concurrent requests for the same
+// sample share: the owner decodes, everyone else blocks on done and takes
+// the serialized result.
+type flight struct {
+	done  chan struct{}
+	enc   []byte
+	label *tensor.Tensor
+	err   error
+}
+
+// sharedDataset is a registered dataset plus the shared decode machinery
+// layered over it: the decoded-sample cache, the single-flight table, and
+// the ownership/first-touch maps that make dedup accounting deterministic.
+type sharedDataset struct {
+	name       string
+	svc        *Service
+	ds         pipeline.Dataset
+	format     codec.Format
+	cache      *pipeline.SampleCache
+	pool       *pipeline.SlabPool
+	maxRetries int
+	cpuWorkers int
+
+	// mu orders the miss/flight/admission races: it may take cache.mu and
+	// tenant mu inside it, never the reverse.
+	mu      sync.Mutex
+	flights map[int]*flight
+	owner   map[int]string              // sample -> tenant whose flight decoded it
+	touched map[string]map[int]struct{} // tenant -> samples it has been served
+	decodes int64
+	dedup   int64
+	retries int64
+}
+
+func newSharedDataset(s *Service, cfg DatasetConfig) (*sharedDataset, error) {
+	if cfg.Name == "" || cfg.Data == nil || cfg.Format == nil {
+		return nil, fmt.Errorf("dataserve: dataset registration needs Name, Data and Format")
+	}
+	if cfg.CPUWorkers <= 0 {
+		cfg.CPUWorkers = 1
+	}
+	return &sharedDataset{
+		name:       cfg.Name,
+		svc:        s,
+		ds:         cfg.Data,
+		format:     cfg.Format,
+		cache:      pipeline.NewSampleCache(cfg.Cache),
+		pool:       pipeline.NewSlabPool(),
+		maxRetries: cfg.MaxRetries,
+		cpuWorkers: cfg.CPUWorkers,
+		flights:    make(map[int]*flight),
+		owner:      make(map[int]string),
+		touched:    make(map[string]map[int]struct{}),
+	}, nil
+}
+
+// fetch serves one sample to one tenant through the shared path: cache hit,
+// single-flight join, or owned decode. The returned data tensor is always
+// the caller's own pooled copy — tenants never alias cache or flight
+// memory, so one tenant releasing a batch can never free another's bytes.
+func (sd *sharedDataset) fetch(it *Iterator, index int) (*tensor.Tensor, *tensor.Tensor, error) {
+	t := it.t
+	sd.mu.Lock()
+	// Hit path: the shared cache verifies integrity under its own lock; a
+	// quarantined resident reports a miss here and re-decodes below.
+	enc, label, hit, quarantined := sd.cache.Get(index)
+	sd.svc.noteCacheGet(hit, quarantined)
+	if hit {
+		owned := sd.owner[index] == t.name
+		first := sd.firstTouchLocked(t.name, index)
+		if first {
+			sd.dedup++
+			sd.svc.ob.decodeDedup.Inc()
+		}
+		sd.mu.Unlock()
+		t.noteHit(owned, first)
+		data, err := sd.materialize(enc)
+		return data, label, err
+	}
+	// Join path: someone is already decoding this sample.
+	if f, ok := sd.flights[index]; ok {
+		sd.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-it.abort:
+			return nil, nil, errDetached
+		case <-sd.svc.abort:
+			return nil, nil, errClosed
+		}
+		if f.err != nil {
+			return nil, nil, &SampleError{Dataset: sd.name, Tenant: t.name, Index: index, Err: f.err}
+		}
+		sd.mu.Lock()
+		first := sd.firstTouchLocked(t.name, index)
+		if first {
+			sd.dedup++
+			sd.svc.ob.decodeDedup.Inc()
+		}
+		sd.mu.Unlock()
+		t.noteJoin(first)
+		data, err := sd.materialize(f.enc)
+		return data, f.label, err
+	}
+	// Owner path: this request decodes for everyone.
+	f := &flight{done: make(chan struct{})}
+	sd.flights[index] = f
+	sd.mu.Unlock()
+
+	data, enc, label, retries, err := sd.decode(index)
+	sd.mu.Lock()
+	if err == nil {
+		// Admit before the flight disappears: a request that misses both
+		// the cache and the flight table must mean the sample is truly
+		// absent, or the decode count would depend on scheduling.
+		if dropped := sd.cache.Put(index, enc, label); dropped > 0 {
+			sd.svc.ob.cacheEvictions.Add(int64(dropped))
+		}
+		sd.owner[index] = t.name
+		sd.firstTouchLocked(t.name, index)
+		sd.decodes++
+	}
+	sd.retries += int64(retries)
+	delete(sd.flights, index)
+	sd.mu.Unlock()
+	f.enc, f.label, f.err = enc, label, err
+	close(f.done)
+	t.noteDecode(retries, err)
+	sd.svc.noteDecode(retries, err)
+	if err != nil {
+		return nil, nil, &SampleError{Dataset: sd.name, Tenant: t.name, Index: index, Err: err}
+	}
+	return data, label, nil
+}
+
+// firstTouchLocked records that tenant has now been served sample index and
+// reports whether this was its first time. Callers hold sd.mu.
+func (sd *sharedDataset) firstTouchLocked(tenant string, index int) bool {
+	m := sd.touched[tenant]
+	if m == nil {
+		m = make(map[int]struct{})
+		sd.touched[tenant] = m
+	}
+	if _, ok := m[index]; ok {
+		return false
+	}
+	m[index] = struct{}{}
+	return true
+}
+
+// decode is the flight owner's work: read, open, chunk-decode into a pooled
+// tensor, serialize for the shared cache. Transient faults retry the whole
+// read up to maxRetries, mirroring the pipeline's resilience re-decode, so
+// an injector's transient log entries reconcile one-to-one with retries.
+func (sd *sharedDataset) decode(index int) (data *tensor.Tensor, enc []byte, label *tensor.Tensor, retries int, err error) {
+	for attempt := 0; ; attempt++ {
+		data, enc, label, err = sd.decodeOnce(index)
+		if err == nil || attempt >= sd.maxRetries || !errors.Is(err, fault.Transient) {
+			return data, enc, label, attempt, err
+		}
+	}
+}
+
+// decodeOnce is one decode attempt, bit-identical to the pipeline's
+// DecodeStage CPU placement: same Open, same pooled destination, same
+// deterministic chunk decomposition.
+func (sd *sharedDataset) decodeOnce(index int) (*tensor.Tensor, []byte, *tensor.Tensor, error) {
+	blob, err := sd.ds.Blob(index)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	label, err := sd.ds.Label(index)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cd, err := sd.format.Open(blob)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dst := sd.pool.GetTensor(cd.OutputDType(), cd.OutputShape())
+	err = codec.DecodeParallelInto(cd, dst, sd.cpuWorkers)
+	codec.Recycle(cd)
+	if err != nil {
+		sd.pool.PutTensor(dst)
+		return nil, nil, nil, err
+	}
+	return dst, encodeTensor(dst), label, nil
+}
+
+// materialize deserializes a cached/flight payload into the caller's own
+// pooled tensor.
+func (sd *sharedDataset) materialize(enc []byte) (*tensor.Tensor, error) {
+	dt, shape, err := decodeTensorHeader(enc)
+	if err != nil {
+		return nil, err
+	}
+	dst := sd.pool.GetTensor(dt, shape)
+	if err := decodeTensorInto(dst, enc); err != nil {
+		sd.pool.PutTensor(dst)
+		return nil, err
+	}
+	return dst, nil
+}

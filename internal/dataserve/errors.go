@@ -1,0 +1,49 @@
+package dataserve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errDetached and errClosed are the sentinel interruptions a request can
+// see when its iterator closes or the whole service shuts down mid-fetch.
+// They surface only through iterators that were torn down, never through a
+// healthy epoch.
+var (
+	errDetached = errors.New("dataserve: tenant detached")
+	errClosed   = errors.New("dataserve: service closed")
+)
+
+// SampleError is a sample whose decode failed terminally — the flight
+// owner exhausted the dataset's transient-retry budget, or the failure was
+// permanent. Every tenant waiting on that flight receives the same
+// underlying error, each wrapped with its own tenant name.
+type SampleError struct {
+	Dataset string
+	Tenant  string
+	Index   int
+	Err     error
+}
+
+// Error implements error.
+func (e *SampleError) Error() string {
+	return fmt.Sprintf("dataserve: tenant %s: sample %d of %s: %v", e.Tenant, e.Index, e.Dataset, e.Err)
+}
+
+// Unwrap exposes the decode failure, so errors.Is sees fault markers.
+func (e *SampleError) Unwrap() error { return e.Err }
+
+// QuotaError reports an epoch truncated by the tenant's sample quota: the
+// admitted prefix was served in full (and its batches already returned),
+// and Denied samples of the schedule were refused. It is returned by Next
+// in place of the clean end-of-epoch nil.
+type QuotaError struct {
+	Tenant string
+	Quota  int64
+	Denied int64
+}
+
+// Error implements error.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("dataserve: tenant %s: quota %d exhausted, %d samples denied", e.Tenant, e.Quota, e.Denied)
+}

@@ -1,0 +1,114 @@
+package dataserve
+
+import "scipp/internal/obs"
+
+// Metric names. Service-wide:
+//
+//	dataserve.decode.count        samples decoded (single-flight owners)
+//	dataserve.decode.dedup        first-touch serves that skipped a decode
+//	dataserve.decode.errors       terminal decode failures
+//	dataserve.retries             transient-fault retries by flight owners
+//	dataserve.cache.hits          shared-cache hits
+//	dataserve.cache.misses        shared-cache misses
+//	dataserve.cache.quarantined   integrity quarantines on the shared cache
+//	dataserve.cache.evictions     samples dropped by cache pressure
+//	dataserve.dispatched          requests served by the fair dispatcher
+//	dataserve.tenants             currently attached tenants (gauge)
+//
+// Per tenant (<t> is the tenant name):
+//
+//	dataserve.tenant.<t>.samples         samples delivered into batches
+//	dataserve.tenant.<t>.batches         batches delivered
+//	dataserve.tenant.<t>.decodes         decodes this tenant performed
+//	dataserve.tenant.<t>.dedup           first-touch serves without own decode
+//	dataserve.tenant.<t>.hits.owned      cache hits on samples it decoded
+//	dataserve.tenant.<t>.hits.borrowed   cache hits on another tenant's decode
+//	dataserve.tenant.<t>.joins           single-flight joins
+//	dataserve.tenant.<t>.retries         transient retries absorbed for it
+//	dataserve.tenant.<t>.errors          terminal sample errors delivered
+//	dataserve.tenant.<t>.quota.denied    schedule samples refused by quota
+//	dataserve.tenant.<t>.queue_wait      dispatch-lag histogram
+//	dataserve.tenant.<t>.queue_wait.max  dispatch-lag high-water gauge
+//
+// Queue wait is measured in dispatch lag — how many requests the service
+// dispatched between this request's enqueue and its own dispatch — not in
+// wall seconds: lag is a deterministic function of the arrival and DRR
+// order, so fairness tests can assert fixed bounds without timer slack.
+// Every name reconciles exactly against TenantStats/ServiceStats: the obs
+// registry and the stats structs are written by the same code paths.
+
+// lagBounds are the queue-wait histogram bucket upper bounds, in dispatches.
+var lagBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+
+// serviceObs bundles the service-wide instruments. With a nil registry
+// every handle is nil and each update is a no-op.
+type serviceObs struct {
+	decodeCount, decodeDedup, decodeErrors, retries *obs.Counter
+	cacheHits, cacheMisses, cacheQuarantined        *obs.Counter
+	cacheEvictions, dispatched                      *obs.Counter
+	tenants                                         *obs.Gauge
+}
+
+func newServiceObs(r *obs.Registry) serviceObs {
+	return serviceObs{
+		decodeCount:      r.Counter("dataserve.decode.count"),
+		decodeDedup:      r.Counter("dataserve.decode.dedup"),
+		decodeErrors:     r.Counter("dataserve.decode.errors"),
+		retries:          r.Counter("dataserve.retries"),
+		cacheHits:        r.Counter("dataserve.cache.hits"),
+		cacheMisses:      r.Counter("dataserve.cache.misses"),
+		cacheQuarantined: r.Counter("dataserve.cache.quarantined"),
+		cacheEvictions:   r.Counter("dataserve.cache.evictions"),
+		dispatched:       r.Counter("dataserve.dispatched"),
+		tenants:          r.Gauge("dataserve.tenants"),
+	}
+}
+
+// tenantObs bundles one tenant's instruments, resolved once at Attach.
+type tenantObs struct {
+	samples, batches, decodes, dedup *obs.Counter
+	hitsOwned, hitsBorrowed, joins   *obs.Counter
+	retries, errors, quotaDenied     *obs.Counter
+	queueWait                        *obs.Histogram
+	queueWaitMax                     *obs.Gauge
+}
+
+func newTenantObs(r *obs.Registry, name string) tenantObs {
+	p := "dataserve.tenant." + name + "."
+	return tenantObs{
+		samples:      r.Counter(p + "samples"),
+		batches:      r.Counter(p + "batches"),
+		decodes:      r.Counter(p + "decodes"),
+		dedup:        r.Counter(p + "dedup"),
+		hitsOwned:    r.Counter(p + "hits.owned"),
+		hitsBorrowed: r.Counter(p + "hits.borrowed"),
+		joins:        r.Counter(p + "joins"),
+		retries:      r.Counter(p + "retries"),
+		errors:       r.Counter(p + "errors"),
+		quotaDenied:  r.Counter(p + "quota.denied"),
+		queueWait:    r.Histogram(p+"queue_wait", lagBounds),
+		queueWaitMax: r.Gauge(p + "queue_wait.max"),
+	}
+}
+
+// noteCacheGet records one shared-cache lookup outcome.
+func (s *Service) noteCacheGet(hit, quarantined bool) {
+	if hit {
+		s.ob.cacheHits.Inc()
+		return
+	}
+	s.ob.cacheMisses.Inc()
+	if quarantined {
+		s.ob.cacheQuarantined.Inc()
+	}
+}
+
+// noteDecode records one finished flight on the service-wide instruments.
+func (s *Service) noteDecode(retries int, err error) {
+	s.ob.retries.Add(int64(retries))
+	if err != nil {
+		s.ob.decodeErrors.Inc()
+		return
+	}
+	s.ob.decodeCount.Inc()
+}

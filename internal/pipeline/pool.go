@@ -88,6 +88,13 @@ func (p *SlabPool) PutTensor(t *tensor.Tensor) {
 	p.mu.Unlock()
 }
 
+// GetBatch returns a reset Batch whose slices have at least the given
+// capacity available, reusing a released one when possible. It is the
+// exported face of the pool's batch freelist for consumers outside the
+// loader (the data service assembles tenant batches from a shared pool);
+// the returned batch's Release hands it back exactly like a loader batch.
+func (p *SlabPool) GetBatch(capacity int) *Batch { return p.getBatch(capacity) }
+
 // getBatch returns a reset Batch whose slices have at least the given
 // capacity available, reusing a released one when possible.
 func (p *SlabPool) getBatch(capacity int) *Batch {

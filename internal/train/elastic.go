@@ -38,6 +38,14 @@ type ElasticConfig struct {
 	// Clock drives collective deadlines, straggler EWMAs and injected
 	// slow-rank stalls. Nil keeps the run clockless (crash-only faults).
 	Clock trace.Clock
+	// Source, when non-nil, overrides the run's data path: instead of
+	// building a private pipeline.Loader the run draws its batches from
+	// this source — typically a dataserve tenant (see NewTenantSource), so
+	// concurrent elastic runs share one decoded-sample cache. The source
+	// owns schedule determinism: configure it with the same batch size,
+	// shuffle seed and drop-last policy the private loader would have used
+	// and the run is bit-identical.
+	Source BatchSource
 }
 
 // ElasticResult is an elastic run's outcome: the loss curve plus the full
@@ -120,18 +128,22 @@ func elasticRun(built pipeline.Dataset, app core.App, cfg Config, ecfg ElasticCo
 	if ecfg.Ranks <= 0 {
 		return nil, fmt.Errorf("train: invalid rank count %d", ecfg.Ranks)
 	}
-	ds, _ := withFaults(built, cfg)
-	loader, err := pipeline.New(ds, pipeline.Config{
-		Format:     core.FormatFor(app, cfg.encoding()),
-		Batch:      cfg.Batch,
-		Shuffle:    true,
-		Seed:       cfg.Seed,
-		DropLast:   true,
-		Cache:      cfg.Cache,
-		Resilience: cfg.Resilience,
-	})
-	if err != nil {
-		return nil, err
+	source := ecfg.Source
+	if source == nil {
+		ds, _ := withFaults(built, cfg)
+		loader, err := pipeline.New(ds, pipeline.Config{
+			Format:     core.FormatFor(app, cfg.encoding()),
+			Batch:      cfg.Batch,
+			Shuffle:    true,
+			Seed:       cfg.Seed,
+			DropLast:   true,
+			Cache:      cfg.Cache,
+			Resilience: cfg.Resilience,
+		})
+		if err != nil {
+			return nil, err
+		}
+		source = loaderSource{loader}
 	}
 
 	replicas := make([]*nn.Sequential, ecfg.Ranks)
@@ -151,6 +163,7 @@ func elasticRun(built pipeline.Dataset, app core.App, cfg Config, ecfg ElasticCo
 	// wait on ghosts. Every replica restores from the same snapshot (weights
 	// and optimizer state are identical across ranks by construction).
 	var meta CheckpointMeta
+	var err error
 	for r := 0; r < ecfg.Ranks; r++ {
 		meta, err = cfg.resumeInto(spec.app, replicas[r], opts[r])
 		if err != nil {
@@ -183,7 +196,10 @@ func elasticRun(built pipeline.Dataset, app core.App, cfg Config, ecfg ElasticCo
 	evSeen := 0
 	step := meta.Step
 	for epoch := meta.Epoch; epoch < cfg.Epochs; epoch++ {
-		it := loader.Epoch(epoch)
+		it := source.EpochBatches(epoch)
+		if it == nil {
+			return nil, fmt.Errorf("train: batch source yielded no epoch %d iterator (tenant detached?)", epoch)
+		}
 		var sum float64
 		var steps int
 		for {

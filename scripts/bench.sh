@@ -2,7 +2,9 @@
 # Staged-pipeline benchmark harness.
 #
 # Runs the BenchmarkPipeline* suite (CPU vs GPU decode placement, cached vs
-# uncached epochs) and emits BENCH_pipeline.json at the repo root. The JSON
+# uncached epochs) plus the BenchmarkDataserve* pair (multi-tenant shared
+# service vs private-loader-per-job) and emits BENCH_pipeline.json at the
+# repo root. The JSON
 # is committed so the staged loader's throughput is tracked across PRs: a
 # refactor that regresses ns_per_op materially against the committed numbers
 # (same machine class) needs a written justification.
@@ -29,6 +31,8 @@ if [ -f "$out" ]; then
 fi
 
 raw=$(go test -run '^$' -bench 'BenchmarkPipeline' -benchmem -count="$count" ./internal/pipeline/)
+raw="$raw
+$(go test -run '^$' -bench 'BenchmarkDataserve' -benchmem -count="$count" ./internal/dataserve/)"
 printf '%s\n' "$raw"
 
 printf '%s\n' "$raw" | awk -v count="$count" '
@@ -48,7 +52,7 @@ printf '%s\n' "$raw" | awk -v count="$count" '
 	}
 	END {
 		printf "{\n"
-		printf "  \"package\": \"scipp/internal/pipeline\",\n"
+		printf "  \"package\": \"scipp/internal/pipeline scipp/internal/dataserve\",\n"
 		printf "  \"cpu\": \"%s\",\n", cpu
 		printf "  \"count\": %d,\n", count
 		printf "  \"benchmarks\": [\n"
