@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"strings"
 	"sync"
 	"time"
 
@@ -107,6 +108,7 @@ type result struct {
 	tenants []dataserve.TenantStats
 
 	obsDecodes, obsDedup, obsRetries, obsQuar int64
+	obsShed, obsBreakerRejects                int64
 
 	transientLog []fault.Injection // dataset injector ground truth
 	rotLog       []fault.Injection // cache injector ground truth
@@ -220,6 +222,8 @@ func run(c cell, tenants, samples, epochs int, seed uint64) (result, error) {
 	res.obsDedup = s.Counter("dataserve.decode.dedup")
 	res.obsRetries = s.Counter("dataserve.retries")
 	res.obsQuar = s.Counter("dataserve.cache.quarantined")
+	res.obsShed = s.Counter("dataserve.shed")
+	res.obsBreakerRejects = s.Counter("dataserve.breaker.rejects")
 	if injector != nil {
 		res.transientLog = injector.Log()
 	}
@@ -398,7 +402,58 @@ func reconcile(c cell, res result, tenants, samples, epochs int) error {
 	if c.mix.name != "clean" && len(res.transientLog)+len(res.rotLog) == 0 {
 		return fmt.Errorf("fault mix %q injected nothing", c.mix.name)
 	}
+
+	// Overload-protection ledger: this sweep configures no deadlines and no
+	// breakers, so every Shed/Breaker/Poison/watchdog counter must be
+	// exactly zero — and the zeros must agree across tenant stats, service
+	// stats, and the obs registry. A nonzero here means a protection path
+	// fired on a healthy sweep (or accounting drifted), either of which is
+	// a bug worth a nonzero exit.
+	var shed, rejects int64
+	for i, ts := range res.tenants {
+		if ts.Skips != 0 || ts.BreakerTrips != 0 || ts.SlowDetached != 0 {
+			return fmt.Errorf("tenant %d protection fired unconfigured: skips %d, trips %d, slow-detached %d",
+				i, ts.Skips, ts.BreakerTrips, ts.SlowDetached)
+		}
+		shed += ts.Shed
+		rejects += ts.BreakerRejects
+	}
+	if res.svc.Shed != shed {
+		return fmt.Errorf("service shed %d != tenant sum %d", res.svc.Shed, shed)
+	}
+	if res.svc.BreakerRejects != rejects {
+		return fmt.Errorf("service breaker rejects %d != tenant sum %d", res.svc.BreakerRejects, rejects)
+	}
+	if res.svc.Shed != 0 || res.svc.BreakerRejects != 0 {
+		return fmt.Errorf("shed %d / breaker rejects %d on a sweep with no deadlines or breakers",
+			res.svc.Shed, res.svc.BreakerRejects)
+	}
+	if res.obsShed != res.svc.Shed {
+		return fmt.Errorf("dataserve.shed %d != stats %d", res.obsShed, res.svc.Shed)
+	}
+	if res.obsBreakerRejects != res.svc.BreakerRejects {
+		return fmt.Errorf("dataserve.breaker.rejects %d != stats %d", res.obsBreakerRejects, res.svc.BreakerRejects)
+	}
+	if res.svc.Poisoned != 0 || res.svc.PoisonRejects != 0 {
+		return fmt.Errorf("poison quarantine fired unconfigured: %d poisoned, %d rejects",
+			res.svc.Poisoned, res.svc.PoisonRejects)
+	}
+	if res.svc.SlowDetaches != 0 {
+		return fmt.Errorf("stall watchdog detached %d tenants with every consumer draining", res.svc.SlowDetaches)
+	}
 	return nil
+}
+
+// perTenantColumn renders one per-tenant counter as slash-joined values.
+func perTenantColumn(tenants []dataserve.TenantStats, get func(dataserve.TenantStats) int64) string {
+	var b strings.Builder
+	for i, ts := range tenants {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		fmt.Fprintf(&b, "%d", get(ts))
+	}
+	return b.String()
 }
 
 func main() {
@@ -413,8 +468,8 @@ func main() {
 		log.Fatal("-tenants must be >= 1")
 	}
 
-	fmt.Printf("%-18s %8s %8s %7s %7s %7s %7s %10s %6s\n",
-		"cell", "served", "decodes", "dedup", "retry", "quar", "ratio", "samples/s", "ident")
+	fmt.Printf("%-18s %8s %8s %7s %7s %7s %7s %7s %7s %10s %6s\n",
+		"cell", "served", "decodes", "dedup", "retry", "quar", "shed", "brkrej", "ratio", "samples/s", "ident")
 	for _, c := range sweep() {
 		res, err := run(c, *tenants, *samples, *epochs, *seed)
 		if err != nil {
@@ -423,9 +478,12 @@ func main() {
 		if err := reconcile(c, res, *tenants, *samples, *epochs); err != nil {
 			log.Fatalf("%s: %v", c, err)
 		}
-		fmt.Printf("%-18s %8d %8d %7d %7d %7d %7.3f %10.0f %6s\n",
+		fmt.Printf("%-18s %8d %8d %7d %7d %7d %7s %7s %7.3f %10.0f %6s\n",
 			c, res.delivered, res.svc.Decodes, res.svc.Dedup, res.svc.Retries,
-			res.svc.CacheQuarantined, res.decodeRatio(*tenants, *samples),
+			res.svc.CacheQuarantined,
+			perTenantColumn(res.tenants, func(ts dataserve.TenantStats) int64 { return ts.Shed }),
+			perTenantColumn(res.tenants, func(ts dataserve.TenantStats) int64 { return ts.BreakerRejects }),
+			res.decodeRatio(*tenants, *samples),
 			res.throughput(), "yes")
 	}
 }

@@ -124,6 +124,19 @@ func TestReconcileDetectsMismatch(t *testing.T) {
 		{"unlogged rot", func(r *result) {
 			r.rotLog = append(r.rotLog, fault.Injection{Sample: 0, Kind: fault.CacheBitRot})
 		}},
+		{"phantom shed", func(r *result) { r.svc.Shed++; r.tenants[0].Shed++; r.obsShed++ }},
+		{"tenant shed drift", func(r *result) { r.tenants[1].Shed++ }},
+		{"obs shed drift", func(r *result) { r.obsShed++ }},
+		{"phantom breaker reject", func(r *result) {
+			r.svc.BreakerRejects++
+			r.tenants[0].BreakerRejects++
+			r.obsBreakerRejects++
+		}},
+		{"obs breaker drift", func(r *result) { r.obsBreakerRejects++ }},
+		{"phantom trip", func(r *result) { r.tenants[2].BreakerTrips++ }},
+		{"phantom skip", func(r *result) { r.tenants[0].Skips++ }},
+		{"phantom blacklist", func(r *result) { r.svc.Poisoned++ }},
+		{"watchdog fired", func(r *result) { r.svc.SlowDetaches++ }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,684 @@
+// Command overload is the chaos sweep for the data service's overload
+// protection: tenant mix (duo, crowd) x fault mix (clean, rogue flood,
+// NVMe tier death, poison sample, everything at once) x protection policy
+// (bare queue, deadline shedding, circuit breakers, both). Every cell runs
+// one rogue tenant against one or more well-behaved victims and then
+// proves graceful degradation instead of collapse: the victims' delivered
+// batches stay bit-identical to private clean twins with p99 dispatch lag
+// inside the fairness bound, the rogue is contained by the active policy,
+// and every Shed / Breaker / Poison / TierFailover counter reconciles
+// exactly across TenantStats, ServiceStats, the obs registry, and the
+// fault injector logs.
+//
+//	overload -samples 24 -epochs 2 -seed 1
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+	"time"
+
+	"scipp/internal/codec"
+	"scipp/internal/core"
+	"scipp/internal/dataserve"
+	"scipp/internal/fault"
+	"scipp/internal/obs"
+	"scipp/internal/pipeline"
+	"scipp/internal/synthetic"
+	"scipp/internal/tensor"
+)
+
+const batch = 4
+
+// victimWeight outweighs the rogue's implicit weight 1 so DRR keeps the
+// victims' dispatch share — and therefore their lag bound — under flood.
+const victimWeight = 4
+
+// p99Bound is the PR-8 fairness bound on a duo victim's p99 dispatch lag;
+// crowdP99Bound loosens it for the crowd mix, where a victim's burst also
+// waits behind two other victims' DRR shares.
+const (
+	p99Bound      = 16
+	crowdP99Bound = 32
+)
+
+// victimDeadline is the victims' admission deadline under shed policies:
+// far above their lag bound, so a victim is never shed (shedding a victim
+// would silently drop samples and break bit-identity); the rogue's own
+// deadline is rogueDeadline, tight enough that its backlog sheds — armed
+// only in shed-only cells, since under the full policy the breaker owns
+// rogue containment (see the rogue attach).
+const (
+	victimDeadline = 64
+	rogueDeadline  = 4
+)
+
+// policy is the protection-policy axis.
+type policy struct {
+	name    string
+	shed    bool // admission deadlines + lowest-weight-first shedding
+	breaker bool // per-tenant circuit breakers
+}
+
+func policies() []policy {
+	return []policy{
+		{name: "queue"},
+		{name: "shed", shed: true},
+		{name: "breaker", breaker: true},
+		{name: "full", shed: true, breaker: true},
+	}
+}
+
+// tenantMix is the tenant-mix axis: one rogue plus victims well-behaved
+// tenants.
+type tenantMix struct {
+	name    string
+	victims int
+}
+
+func tenantMixes() []tenantMix {
+	return []tenantMix{{name: "duo", victims: 1}, {name: "crowd", victims: 3}}
+}
+
+// faultMix is the fault-mix axis.
+type faultMix struct {
+	name      string
+	flood     bool // rogue's dataset: every read fails, slowly
+	tierDeath bool // victims' NVMe cache tier dies mid-epoch
+	poison    bool // one corrupt sample in the victims' dataset, PoisonK 2
+}
+
+func faultMixes() []faultMix {
+	return []faultMix{
+		{name: "clean"},
+		{name: "flood", flood: true},
+		{name: "tierdeath", tierDeath: true},
+		{name: "poison", poison: true},
+		{name: "overload", flood: true, tierDeath: true, poison: true},
+	}
+}
+
+// cell is one sweep configuration.
+type cell struct {
+	tm  tenantMix
+	fm  faultMix
+	pol policy
+}
+
+func (c cell) String() string {
+	return fmt.Sprintf("%s/%s/%s", c.tm.name, c.fm.name, c.pol.name)
+}
+
+// sweep enumerates every cell.
+func sweep() []cell {
+	var cells []cell
+	for _, tm := range tenantMixes() {
+		for _, fm := range faultMixes() {
+			for _, p := range policies() {
+				cells = append(cells, cell{tm: tm, fm: fm, pol: p})
+			}
+		}
+	}
+	return cells
+}
+
+// errBadMedia is the rogue dataset's permanent read failure.
+var errBadMedia = errors.New("injected: bad media")
+
+// badDataset fails every read after a short stall: the rogue's storage is
+// both broken and slow, so its requests burn worker time on top of failing
+// — the overload the policies must contain.
+type badDataset struct {
+	n     int
+	delay time.Duration
+}
+
+func (d badDataset) Len() int { return d.n }
+
+func (d badDataset) Blob(int) ([]byte, error) {
+	time.Sleep(d.delay)
+	return nil, errBadMedia
+}
+
+func (d badDataset) Label(int) (*tensor.Tensor, error) { return nil, errBadMedia }
+
+// buildGood builds one victim dataset (CosmoFlow LUT, dim 8).
+func buildGood(samples int) (*pipeline.MemDataset, error) {
+	cfg := synthetic.DefaultCosmoConfig()
+	cfg.Dim = 8
+	return core.BuildCosmoDataset(cfg, samples, core.Plugin)
+}
+
+func goodFormat() codec.Format { return core.FormatFor(core.CosmoFlow, core.Plugin) }
+
+// badSample is the schedule slot poisoned under the poison mixes.
+func badSample(samples int) int { return samples / 2 }
+
+// tenantSeed derives victim i's shuffle seed, shared with its twin.
+func tenantSeed(seed uint64, i int) uint64 { return seed + uint64(i)*101 }
+
+// result is everything one cell's run observed.
+type result struct {
+	victims  []dataserve.TenantStats
+	digests  []uint64 // per-victim digest over delivered samples
+	twins    []uint64 // clean-twin digests, same schedules
+	p99s     []int64  // per-victim p99 dispatch lag
+	rogue    dataserve.TenantStats
+	rogueGot int64  // samples the rogue actually delivered
+	rogueDig uint64 // rogue digest (meaningful only when its data is clean)
+	rogueTwn uint64
+
+	svc   dataserve.ServiceStats
+	cache pipeline.CacheStats // victims' shared cache
+	snap  obs.Snapshot
+
+	tierLog []fault.Injection // tier injector ground truth
+
+	elapsed time.Duration
+}
+
+// run executes one cell.
+func run(c cell, samples, epochs int, seed uint64) (result, error) {
+	good, err := buildGood(samples)
+	if err != nil {
+		return result{}, err
+	}
+	if c.fm.poison {
+		good.Blobs[badSample(samples)] = good.Blobs[badSample(samples)][:3]
+	}
+
+	reg := obs.NewRegistry()
+	svc := dataserve.New(dataserve.Config{Workers: 4, Obs: reg})
+	defer svc.Close()
+
+	goodCache := pipeline.CacheConfig{HostMemBytes: 64 << 20}
+	if c.fm.tierDeath {
+		// A host tier a few samples wide forces demotions into the NVMe
+		// tier, so the injector has traffic to kill mid-epoch.
+		goodCache = pipeline.CacheConfig{
+			HostMemBytes: 16 << 10, NVMeBytes: 64 << 20, TierFailK: 2,
+		}
+	}
+	err = svc.Register(dataserve.DatasetConfig{
+		Name: "good", Data: good, Format: goodFormat(),
+		Cache: goodCache, PoisonK: 2,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	var tier *fault.TierInjector
+	if c.fm.tierDeath {
+		// Pure tier death, no flaky-cell IOErr noise: the failover topology
+		// stays deterministic (exactly one failover, no recovery) so the
+		// reconcile can be exact; flaky-cell interleavings are covered by
+		// the pipeline tier tests.
+		tier = fault.WrapTier(fault.TierFaultConfig{Seed: seed + 7, DieAfter: 12})
+		svc.Cache("good").SetTierFault(tier)
+	}
+
+	// The rogue gets its own dataset and cache — the bulkhead: under flood
+	// it is broken and slow, otherwise a private clean copy.
+	var rogueData pipeline.Dataset
+	if c.fm.flood {
+		rogueData = badDataset{n: samples, delay: 100 * time.Microsecond}
+	} else {
+		if rogueData, err = buildGood(samples); err != nil {
+			return result{}, err
+		}
+	}
+	err = svc.Register(dataserve.DatasetConfig{
+		Name: "rogue", Data: rogueData, Format: goodFormat(),
+		Cache: pipeline.CacheConfig{HostMemBytes: 64 << 20},
+	})
+	if err != nil {
+		return result{}, err
+	}
+
+	var brk dataserve.BreakerConfig
+	if c.pol.breaker {
+		// Backoff far past the run: a tripped rogue stays cut off, and
+		// BreakerTrips reconciles to exactly one.
+		brk = dataserve.BreakerConfig{Threshold: 4, Window: 16, Backoff: 1000}
+	}
+	rogueCfg := dataserve.TenantConfig{
+		Name: "rogue", Dataset: "rogue", Batch: batch, Shuffle: true,
+		Seed: seed + 999, Inflight: 16, Weight: 1,
+		MaxBadSamples: samples * epochs, Breaker: brk,
+	}
+	if c.pol.shed && !c.pol.breaker {
+		// Shed-only cells contain the rogue by deadline; when the breaker
+		// is also armed (full) the breaker owns rogue containment — arming
+		// both would race the shed pass against the error budget and make
+		// the trip count depend on goroutine interleaving.
+		rogueCfg.DeadlineLag = rogueDeadline
+	}
+	rogue, err := svc.Attach(rogueCfg)
+	if err != nil {
+		return result{}, err
+	}
+
+	victims := make([]*dataserve.Tenant, c.tm.victims)
+	for i := range victims {
+		vCfg := dataserve.TenantConfig{
+			Name: fmt.Sprintf("v%d", i), Dataset: "good", Batch: batch,
+			Shuffle: true, Seed: tenantSeed(seed, i), Inflight: 8,
+			Weight: victimWeight, MaxBadSamples: 2 * epochs, Breaker: brk,
+		}
+		if c.pol.shed {
+			vCfg.DeadlineLag = victimDeadline
+		}
+		if victims[i], err = svc.Attach(vCfg); err != nil {
+			return result{}, err
+		}
+	}
+
+	res := result{
+		digests: make([]uint64, c.tm.victims),
+		twins:   make([]uint64, c.tm.victims),
+		p99s:    make([]int64, c.tm.victims),
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, c.tm.victims)
+	for i, v := range victims {
+		wg.Add(1)
+		go func(i int, v *dataserve.Tenant) {
+			defer wg.Done()
+			res.digests[i], _, errs[i] = drainEpochs(v, epochs, true)
+		}(i, v)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The rogue tolerates terminal errors (an open breaker ends its
+		// epoch); whatever it still delivers is digested.
+		res.rogueDig, res.rogueGot, _ = drainEpochs(rogue, epochs, false)
+	}()
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("victim %d: %w", i, err)
+		}
+	}
+
+	res.svc = svc.Stats()
+	res.cache = svc.Cache("good").Stats()
+	res.snap = reg.Snapshot()
+	res.rogue = rogue.Stats()
+	res.victims = make([]dataserve.TenantStats, c.tm.victims)
+	for i, v := range victims {
+		res.victims[i] = v.Stats()
+		res.p99s[i] = res.victims[i].QueueWaitP99
+	}
+	if tier != nil {
+		res.tierLog = tier.Log()
+	}
+
+	// Clean twins: per-victim digests over a fresh dataset build with the
+	// same schedules; under poison the twin walks around the bad sample the
+	// same way the quarantine-skipping victim does.
+	twinDS, err := buildGood(samples)
+	if err != nil {
+		return res, err
+	}
+	skip := -1
+	if c.fm.poison {
+		skip = badSample(samples)
+	}
+	for i := range res.twins {
+		if res.twins[i], err = twinDigest(twinDS, tenantSeed(seed, i), epochs, skip); err != nil {
+			return res, fmt.Errorf("twin %d: %w", i, err)
+		}
+	}
+	if !c.fm.flood {
+		if res.rogueTwn, err = twinDigest(twinDS, seed+999, epochs, -1); err != nil {
+			return res, fmt.Errorf("rogue twin: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// drainEpochs walks a tenant through its epochs folding an FNV-1a digest
+// over every delivered sample (index then data bits). With strict set, a
+// terminal iterator error aborts; without it (the rogue) the epoch just
+// ends and the next one starts.
+func drainEpochs(tn *dataserve.Tenant, epochs int, strict bool) (uint64, int64, error) {
+	h := uint64(0xcbf29ce484222325)
+	var delivered int64
+	for e := 0; e < epochs; e++ {
+		it := tn.Epoch(e)
+		if it == nil {
+			if strict {
+				return h, delivered, fmt.Errorf("epoch %d: tenant detached", e)
+			}
+			return h, delivered, nil
+		}
+		for {
+			b, err := it.Next()
+			if err != nil {
+				it.Close()
+				if strict {
+					return h, delivered, fmt.Errorf("epoch %d: %w", e, err)
+				}
+				break
+			}
+			if b == nil {
+				it.Close()
+				break
+			}
+			for s := range b.Data {
+				h = fold(h, uint64(b.Indices[s]))
+				t := b.Data[s]
+				for i := 0; i < t.Elems(); i++ {
+					h = fold(h, uint64(math.Float32bits(t.At32(i))))
+				}
+				delivered++
+			}
+			b.Release()
+		}
+	}
+	return h, delivered, nil
+}
+
+// twinDigest is the clean single-tenant reference: the same per-epoch
+// shuffle the service schedules, decoded directly through the codec,
+// skipping at most one known-bad sample — exactly the stream a victim
+// delivers when the quarantine absorbs the poison.
+func twinDigest(ds *pipeline.MemDataset, seed uint64, epochs int, skip int) (uint64, error) {
+	src := &pipeline.ShuffledSource{N: ds.Len(), Seed: seed}
+	pool := pipeline.NewSlabPool()
+	format := goodFormat()
+	h := uint64(0xcbf29ce484222325)
+	for e := 0; e < epochs; e++ {
+		for _, idx := range src.Order(e) {
+			if idx == skip {
+				continue
+			}
+			blob, err := ds.Blob(idx)
+			if err != nil {
+				return h, err
+			}
+			cd, err := format.Open(blob)
+			if err != nil {
+				return h, err
+			}
+			dst := pool.GetTensor(cd.OutputDType(), cd.OutputShape())
+			err = codec.DecodeParallelInto(cd, dst, 1)
+			codec.Recycle(cd)
+			if err != nil {
+				pool.PutTensor(dst)
+				return h, err
+			}
+			h = fold(h, uint64(idx))
+			for i := 0; i < dst.Elems(); i++ {
+				h = fold(h, uint64(math.Float32bits(dst.At32(i))))
+			}
+			pool.PutTensor(dst)
+		}
+	}
+	return h, nil
+}
+
+// fold is one FNV-1a step over a 64-bit word.
+func fold(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ (v >> s & 0xFF)) * 0x100000001b3
+	}
+	return h
+}
+
+// reconcile cross-checks one cell's counters against the isolation
+// contract, the obs registry, and the injector ground truth. Every failure
+// is a reason the sweep must exit non-zero.
+func reconcile(c cell, res result, samples, epochs int) error {
+	perTenant := int64(samples * epochs)
+	victimWant := perTenant
+	victimSkips := int64(0)
+	if c.fm.poison {
+		victimWant = int64((samples - 1) * epochs)
+		victimSkips = int64(epochs)
+	}
+	bound := int64(p99Bound)
+	if c.tm.victims > 1 {
+		bound = crowdP99Bound
+	}
+
+	// Victims: bit-identical to their clean twins, inside the lag bound,
+	// and untouched by every protection mechanism.
+	for i, vs := range res.victims {
+		if res.digests[i] != res.twins[i] {
+			return fmt.Errorf("victim %d digest %016x diverged from clean twin %016x",
+				i, res.digests[i], res.twins[i])
+		}
+		if vs.Samples != victimWant {
+			return fmt.Errorf("victim %d delivered %d samples, want %d", i, vs.Samples, victimWant)
+		}
+		if vs.Skips != victimSkips {
+			return fmt.Errorf("victim %d skips %d, want %d", i, vs.Skips, victimSkips)
+		}
+		if vs.Shed != 0 || vs.Errors != 0 || vs.BreakerTrips != 0 || vs.SlowDetached != 0 {
+			return fmt.Errorf("victim %d degraded: shed %d errors %d trips %d slow-detached %d",
+				i, vs.Shed, vs.Errors, vs.BreakerTrips, vs.SlowDetached)
+		}
+		if vs.QueueWaitP99 > bound {
+			return fmt.Errorf("victim %d p99 dispatch lag %d exceeds fairness bound %d",
+				i, vs.QueueWaitP99, bound)
+		}
+	}
+
+	// Rogue: contained according to mix and policy.
+	rs := res.rogue
+	if c.fm.flood {
+		if rs.Samples != 0 || res.rogueGot != 0 {
+			return fmt.Errorf("rogue delivered %d samples off a 100%%-failing dataset", rs.Samples)
+		}
+		switch {
+		case c.pol.breaker:
+			if rs.BreakerTrips != 1 {
+				return fmt.Errorf("rogue breaker trips %d, want exactly 1 (backoff outlives the run)", rs.BreakerTrips)
+			}
+			if rs.BreakerRejects == 0 {
+				return fmt.Errorf("tripped rogue breaker rejected nothing")
+			}
+			if rs.BreakerProbes != 0 {
+				return fmt.Errorf("rogue breaker probed %d times inside the backoff", rs.BreakerProbes)
+			}
+		case c.pol.shed:
+			if rs.Skips+rs.Shed != perTenant {
+				return fmt.Errorf("rogue skips %d + shed %d != scheduled %d", rs.Skips, rs.Shed, perTenant)
+			}
+		default:
+			if rs.Skips != perTenant {
+				return fmt.Errorf("rogue skips %d != scheduled %d under bare queue", rs.Skips, perTenant)
+			}
+		}
+	} else {
+		if rs.BreakerTrips != 0 {
+			return fmt.Errorf("rogue breaker tripped %d times on a clean dataset", rs.BreakerTrips)
+		}
+		if rs.Samples+rs.Shed != perTenant {
+			return fmt.Errorf("rogue samples %d + shed %d != scheduled %d", rs.Samples, rs.Shed, perTenant)
+		}
+		if rs.Shed == 0 && res.rogueDig != res.rogueTwn {
+			return fmt.Errorf("rogue digest %016x diverged from its twin %016x", res.rogueDig, res.rogueTwn)
+		}
+	}
+	if !c.pol.shed && (rs.Shed != 0 || res.svc.Shed != 0) {
+		return fmt.Errorf("shed %d/%d without a shed policy", rs.Shed, res.svc.Shed)
+	}
+	if !c.pol.breaker && (rs.BreakerTrips != 0 || res.svc.BreakerRejects != 0) {
+		return fmt.Errorf("breaker activity (%d trips, %d rejects) without a breaker policy",
+			rs.BreakerTrips, res.svc.BreakerRejects)
+	}
+
+	// Poison quarantine: the bad sample is blacklisted exactly once as soon
+	// as PoisonK distinct victims exist to vote, and the failed-serve
+	// ledger balances: every bad-sample serve was a decode failure, a
+	// failed single-flight join, or a blacklist fast-fail.
+	if c.fm.poison {
+		wantPoisoned := int64(0)
+		if c.tm.victims >= 2 {
+			wantPoisoned = 1
+		}
+		if res.svc.Poisoned != wantPoisoned {
+			return fmt.Errorf("poisoned %d samples, want %d", res.svc.Poisoned, wantPoisoned)
+		}
+		badServes := int64(c.tm.victims) * int64(epochs)
+		if res.svc.PoisonRejects > badServes {
+			return fmt.Errorf("poison rejects %d exceed bad-sample serves %d", res.svc.PoisonRejects, badServes)
+		}
+		if wantPoisoned == 1 && res.svc.PoisonRejects < int64(c.tm.victims)*int64(epochs-1) {
+			return fmt.Errorf("poison rejects %d: blacklist never took effect", res.svc.PoisonRejects)
+		}
+	} else if res.svc.Poisoned != 0 || res.svc.PoisonRejects != 0 {
+		return fmt.Errorf("poison activity (%d, %d) without a poison mix", res.svc.Poisoned, res.svc.PoisonRejects)
+	}
+
+	// Tier fault domain: cache failure accounting reconciles one-to-one
+	// with the injector log, and the dead tier failed over exactly once.
+	if c.fm.tierDeath {
+		var io, dead int64
+		for _, inj := range res.tierLog {
+			switch inj.Kind {
+			case fault.TierIO:
+				io++
+			case fault.TierDead:
+				dead++
+			}
+		}
+		if res.cache.NVMeErrors != io+dead {
+			return fmt.Errorf("cache NVMe errors %d, injector logged %d (io %d + dead %d)",
+				res.cache.NVMeErrors, io+dead, io, dead)
+		}
+		if res.cache.TierFailovers != 1 {
+			return fmt.Errorf("tier failovers %d, want exactly 1", res.cache.TierFailovers)
+		}
+		if res.cache.TierRecoveries != 0 {
+			return fmt.Errorf("tier recovered %d times with revival disabled", res.cache.TierRecoveries)
+		}
+		if dead == 0 {
+			return fmt.Errorf("tier never died: DieAfter too high for this load")
+		}
+	} else if res.cache.NVMeErrors != 0 || res.cache.TierFailovers != 0 {
+		return fmt.Errorf("tier fault activity (%d errors, %d failovers) without a tier mix",
+			res.cache.NVMeErrors, res.cache.TierFailovers)
+	}
+
+	// Dispatch ledger: every dispatched request was delivered or skipped —
+	// shed and breaker-rejected requests never reached a worker.
+	served := rs.Samples + rs.Skips
+	for _, vs := range res.victims {
+		served += vs.Samples + vs.Skips
+	}
+	if res.svc.Dispatched != served {
+		return fmt.Errorf("dispatched %d != delivered+skipped %d: a protection path consumed a worker slot",
+			res.svc.Dispatched, served)
+	}
+
+	// Stats vs obs: the registry and the stats structs are written by the
+	// same code paths, so every pair must agree exactly.
+	type pair struct {
+		name string
+		want int64
+	}
+	tenants := append([]dataserve.TenantStats{rs}, res.victims...)
+	names := append([]string{"rogue"}, victimNames(len(res.victims))...)
+	var shedSum, rejectSum int64
+	for i, ts := range tenants {
+		p := "dataserve.tenant." + names[i] + "."
+		for _, pr := range []pair{
+			{p + "shed", ts.Shed},
+			{p + "skips", ts.Skips},
+			{p + "breaker.trips", ts.BreakerTrips},
+			{p + "breaker.probes", ts.BreakerProbes},
+			{p + "breaker.rejects", ts.BreakerRejects},
+			{p + "errors", ts.Errors},
+			{p + "detached.slow", ts.SlowDetached},
+		} {
+			if got := res.snap.Counter(pr.name); got != pr.want {
+				return fmt.Errorf("%s = %d, stats say %d", pr.name, got, pr.want)
+			}
+		}
+		shedSum += ts.Shed
+		rejectSum += ts.BreakerRejects
+	}
+	if res.svc.Shed != shedSum {
+		return fmt.Errorf("service shed %d != tenant sum %d", res.svc.Shed, shedSum)
+	}
+	if res.svc.BreakerRejects != rejectSum {
+		return fmt.Errorf("service breaker rejects %d != tenant sum %d", res.svc.BreakerRejects, rejectSum)
+	}
+	for _, pr := range []pair{
+		{"dataserve.shed", res.svc.Shed},
+		{"dataserve.breaker.rejects", res.svc.BreakerRejects},
+		{"dataserve.poisoned", res.svc.Poisoned},
+		{"dataserve.poison.rejects", res.svc.PoisonRejects},
+		{"dataserve.detached.slow", res.svc.SlowDetaches},
+		{"dataserve.dispatched", res.svc.Dispatched},
+	} {
+		if got := res.snap.Counter(pr.name); got != pr.want {
+			return fmt.Errorf("%s = %d, stats say %d", pr.name, got, pr.want)
+		}
+	}
+	if res.svc.SlowDetaches != 0 {
+		return fmt.Errorf("watchdog detached %d tenants with every consumer draining", res.svc.SlowDetaches)
+	}
+	return nil
+}
+
+// victimNames returns the attach names of n victims.
+func victimNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	return names
+}
+
+// maxP99 is the worst victim p99 lag of a cell.
+func maxP99(res result) int64 {
+	var m int64
+	for _, p := range res.p99s {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("overload: ")
+	samples := flag.Int("samples", 24, "victim dataset size")
+	epochs := flag.Int("epochs", 2, "epochs per tenant")
+	seed := flag.Uint64("seed", 1, "base seed (schedules and faults)")
+	flag.Parse()
+	if *samples < 8 {
+		log.Fatal("-samples must be >= 8")
+	}
+
+	fmt.Printf("%-24s %8s %8s %6s %7s %7s %7s %7s %5s %6s\n",
+		"cell", "victims", "rogue", "shed", "brkrej", "trips", "poison", "tierfo", "p99", "ident")
+	for _, c := range sweep() {
+		res, err := run(c, *samples, *epochs, *seed)
+		if err != nil {
+			log.Fatalf("%s: %v", c, err)
+		}
+		if err := reconcile(c, res, *samples, *epochs); err != nil {
+			log.Fatalf("%s: %v", c, err)
+		}
+		var victimSamples int64
+		for _, vs := range res.victims {
+			victimSamples += vs.Samples
+		}
+		fmt.Printf("%-24s %8d %8d %6d %7d %7d %7d %7d %5d %6s\n",
+			c, victimSamples, res.rogue.Samples, res.svc.Shed, res.svc.BreakerRejects,
+			res.rogue.BreakerTrips, res.svc.Poisoned, res.cache.TierFailovers,
+			maxP99(res), "yes")
+	}
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"scipp/internal/dataserve"
+	"scipp/internal/fault"
+)
+
+// TestSweepCells runs the real chaos sweep, small enough for the -race
+// merge gate: every cell must reconcile — victims bit-identical to their
+// clean twins inside the fairness bound, the rogue contained by the active
+// policy, and all counters agreeing across stats, obs, and injector logs.
+func TestSweepCells(t *testing.T) {
+	const (
+		samples = 24
+		epochs  = 2
+		seed    = uint64(1)
+	)
+	before := runtime.NumGoroutine()
+	for _, c := range sweep() {
+		t.Run(c.String(), func(t *testing.T) {
+			res, err := run(c, samples, epochs, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reconcile(c, res, samples, epochs); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// Zero goroutine leaks across forty service lifecycles.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before sweep, %d after\n%s", before, after, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestIsolationProof pins the acceptance scenario end to end: tenant A
+// (the rogue) sees 100% decode failures while the victims' NVMe cache tier
+// dies mid-epoch — and under the full protection policy tenant B still
+// delivers bit-identical batches within the p99 fairness bound of 16,
+// while the rogue's breaker trips exactly once.
+func TestIsolationProof(t *testing.T) {
+	c := cell{tm: tenantMixes()[0], fm: faultMixes()[4], pol: policies()[3]}
+	if c.String() != "duo/overload/full" {
+		t.Fatalf("sweep tables changed: got %q, want duo/overload/full", c)
+	}
+	res, err := run(c, 24, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reconcile(c, res, 24, 2); err != nil {
+		t.Fatal(err)
+	}
+	if res.digests[0] != res.twins[0] {
+		t.Errorf("victim digest %016x != clean twin %016x", res.digests[0], res.twins[0])
+	}
+	if res.p99s[0] > p99Bound {
+		t.Errorf("victim p99 dispatch lag %d exceeds %d", res.p99s[0], p99Bound)
+	}
+	if res.rogue.BreakerTrips != 1 {
+		t.Errorf("rogue breaker trips = %d, want 1", res.rogue.BreakerTrips)
+	}
+	if res.cache.TierFailovers != 1 {
+		t.Errorf("tier failovers = %d, want 1", res.cache.TierFailovers)
+	}
+	died := false
+	for _, inj := range res.tierLog {
+		if inj.Kind == fault.TierDead {
+			died = true
+		}
+	}
+	if !died {
+		t.Error("injector log records no tier death: the NVMe tier never died mid-epoch")
+	}
+}
+
+// TestDeterministicAcrossRuns pins the seeded contract: repeating the
+// richest cell reproduces the same victim digests and the same protection
+// counters, despite goroutine interleavings differing between runs.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	c := cell{tm: tenantMixes()[1], fm: faultMixes()[4], pol: policies()[3]} // crowd/overload/full
+	a, err := run(c, 24, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(c, 24, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.digests {
+		if a.digests[i] != b.digests[i] {
+			t.Errorf("victim %d digest not reproducible: %016x vs %016x", i, a.digests[i], b.digests[i])
+		}
+	}
+	if a.svc.Poisoned != b.svc.Poisoned || a.cache.TierFailovers != b.cache.TierFailovers ||
+		a.rogue.BreakerTrips != b.rogue.BreakerTrips {
+		t.Errorf("protection counters not reproducible: %+v/%+v vs %+v/%+v",
+			a.svc, a.cache, b.svc, b.cache)
+	}
+}
+
+// TestReconcileDetectsMismatch corrupts one field of a genuine result at a
+// time and checks reconcile rejects each — the sweep's "yes" column is
+// only as strong as the checker's ability to notice a lie. The cell is
+// crowd/overload/full so every protection mechanism (shed, breaker,
+// poison, tier failover) is active and checkable.
+func TestReconcileDetectsMismatch(t *testing.T) {
+	const (
+		samples = 24
+		epochs  = 2
+		seed    = uint64(3)
+	)
+	c := cell{tm: tenantMixes()[1], fm: faultMixes()[4], pol: policies()[3]}
+	good, err := run(c, samples, epochs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reconcile(c, good, samples, epochs); err != nil {
+		t.Fatalf("genuine result rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(r *result)
+	}{
+		{"victim digest diverged", func(r *result) { r.digests[0] ^= 1 }},
+		{"victim lost samples", func(r *result) { r.victims[0].Samples-- }},
+		{"victim shed", func(r *result) { r.victims[1].Shed++ }},
+		{"victim lag blowout", func(r *result) { r.victims[0].QueueWaitP99 = 1000 }},
+		{"rogue delivered through flood", func(r *result) { r.rogue.Samples++ }},
+		{"missing breaker trip", func(r *result) { r.rogue.BreakerTrips = 0 }},
+		{"double breaker trip", func(r *result) { r.rogue.BreakerTrips = 2 }},
+		{"phantom probe", func(r *result) { r.rogue.BreakerProbes++ }},
+		{"service shed drift", func(r *result) { r.svc.Shed++ }},
+		{"service reject drift", func(r *result) { r.svc.BreakerRejects-- }},
+		{"missing blacklist", func(r *result) { r.svc.Poisoned = 0 }},
+		{"poison reject overflow", func(r *result) { r.svc.PoisonRejects = 1000 }},
+		{"unlogged NVMe error", func(r *result) { r.cache.NVMeErrors++ }},
+		{"double failover", func(r *result) { r.cache.TierFailovers++ }},
+		{"phantom recovery", func(r *result) { r.cache.TierRecoveries++ }},
+		{"tier death vanished", func(r *result) { r.tierLog = nil; r.cache.NVMeErrors = 0 }},
+		{"dispatch ledger leak", func(r *result) { r.svc.Dispatched++ }},
+		{"watchdog fired", func(r *result) { r.svc.SlowDetaches++ }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := good
+			bad.digests = append([]uint64(nil), good.digests...)
+			bad.twins = append([]uint64(nil), good.twins...)
+			bad.p99s = append([]int64(nil), good.p99s...)
+			bad.victims = append([]dataserve.TenantStats(nil), good.victims...)
+			bad.tierLog = append([]fault.Injection(nil), good.tierLog...)
+			tc.mutate(&bad)
+			if err := reconcile(c, bad, samples, epochs); err == nil {
+				t.Fatal("reconcile accepted a corrupted result")
+			}
+		})
+	}
+}

@@ -240,5 +240,6 @@ func All() []*Analyzer {
 		PoolLeak,
 		CopyDiscipline,
 		WorkerGuard,
+		BreakerState,
 	}
 }

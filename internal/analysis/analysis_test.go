@@ -31,7 +31,8 @@ var fixtures = []struct {
 	{"fixhotalloc", "scipp/internal/fixhotalloc"},
 	{"fixpoolleak", "scipp/internal/fixpoolleak"},
 	{"fixcopydiscipline", "scipp/internal/fixcopydiscipline"},
-	{"fixworkerguard", "scipp/internal/pipeline"}, // pipeline scope for the supervised-goroutine rule
+	{"fixworkerguard", "scipp/internal/pipeline"},   // pipeline scope for the supervised-goroutine rule
+	{"fixbreakerstate", "scipp/internal/dataserve"}, // dataserve scope for the breaker transition rule
 }
 
 func moduleRoot(t *testing.T) string {

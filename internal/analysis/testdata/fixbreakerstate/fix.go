@@ -1,0 +1,52 @@
+// Package fixbreakerstate is a lint fixture for the circuit-breaker
+// transition discipline. The analysis tests load it under
+// scipp/internal/dataserve so the breakerstate rule applies: every
+// assignment to the breaker's state field must sit in a *Locked function
+// (the holding-svc.mu convention) that also records an obs instrument, so
+// no breaker changes position unserialized or uncounted.
+package fixbreakerstate
+
+// breaker mirrors the real struct's shape; the rule keys off the type name.
+type breaker struct {
+	state int
+}
+
+// counter mirrors an obs instrument handle.
+type counter struct{ n int64 }
+
+func (c *counter) Inc() { c.n++ }
+
+// tenant carries the breaker and its instrument, like the real Tenant.
+type tenant struct {
+	brk   *breaker
+	trips *counter
+}
+
+// Unlocked assigns breaker state outside any *Locked method: racy.
+func (t *tenant) Unlocked() {
+	t.brk.state = 1
+	t.trips.Inc()
+}
+
+// silentTripLocked holds the mutex by convention but records nothing: the
+// transition is invisible to reconciliation.
+func (t *tenant) silentTripLocked() {
+	t.brk.state = 1
+}
+
+// tripLocked is the disciplined transition; lint-clean.
+func (t *tenant) tripLocked() {
+	t.brk.state = 1
+	t.trips.Inc()
+}
+
+// machine is an unrelated type that happens to have a state field; its
+// assignments are not breaker transitions and stay lint-clean.
+type machine struct {
+	state int
+}
+
+// Reset mutates the unrelated state field; lint-clean.
+func (m *machine) Reset() {
+	m.state = 0
+}

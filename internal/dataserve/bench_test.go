@@ -3,6 +3,7 @@ package dataserve_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"scipp/internal/dataserve"
@@ -91,6 +92,95 @@ func drainTenantEpoch(b *testing.B, tn *dataserve.Tenant, epoch int) {
 		b.Errorf("epoch delivered %d samples, want %d", n, benchSamples)
 	}
 }
+
+// BenchmarkDataserveOverload{Queue,Shed} pit the two overload policies
+// against each other on the same contended mix: one weight-8 foreground
+// tenant and three weight-1 background floods, all draining concurrently.
+// Queue lets every background request wait its full dispatch lag out;
+// Shed arms DeadlineLag 4 on the floods so requests past their admission
+// deadline are dropped in the shed pass instead of holding decode
+// capacity. The committed pair tracks how much epoch latency shedding
+// buys back under pressure; samples/s counts only delivered samples, so
+// the shed variant's rate reflects the work actually done.
+func benchmarkDataserveOverload(b *testing.B, floodDeadline int64) {
+	const (
+		fgWeight  = 8
+		floods    = 3
+		fgBatch   = benchBatch
+		fgSamples = benchSamples
+	)
+	ds := buildDataset(benchSamples, testShape)
+	svc := dataserve.New(dataserve.Config{})
+	defer svc.Close()
+	err := svc.Register(dataserve.DatasetConfig{
+		Name:   "shared",
+		Data:   ds,
+		Format: rawF32Format{testShape},
+		Cache:  pipeline.CacheConfig{HostMemBytes: 64 << 20},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fg, err := svc.Attach(dataserve.TenantConfig{
+		Name: "fg", Dataset: "shared", Batch: fgBatch, Weight: fgWeight,
+		Inflight: 16, Shuffle: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tenants := []*dataserve.Tenant{fg}
+	for i := 0; i < floods; i++ {
+		tn, err := svc.Attach(dataserve.TenantConfig{
+			Name: fmt.Sprintf("flood%d", i), Dataset: "shared", Batch: benchBatch,
+			Weight: 1, Inflight: 32, Shuffle: true, Seed: uint64(i)*7 + 2,
+			DeadlineLag: floodDeadline,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tenants = append(tenants, tn)
+	}
+	var delivered int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, tn := range tenants {
+			wg.Add(1)
+			go func(tn *dataserve.Tenant) {
+				defer wg.Done()
+				it := tn.Epoch(i)
+				if it == nil {
+					b.Error("nil epoch iterator")
+					return
+				}
+				defer it.Close()
+				for {
+					batch, err := it.Next()
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if batch == nil {
+						return
+					}
+					atomic.AddInt64(&delivered, int64(batch.Size()))
+					batch.Release()
+				}
+			}(tn)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	if fg.Stats().Shed != 0 {
+		b.Errorf("foreground tenant shed %d requests", fg.Stats().Shed)
+	}
+	b.ReportMetric(float64(delivered)/b.Elapsed().Seconds(), "samples/s")
+}
+
+func BenchmarkDataserveOverloadQueue(b *testing.B) { benchmarkDataserveOverload(b, 0) }
+
+func BenchmarkDataserveOverloadShed(b *testing.B) { benchmarkDataserveOverload(b, 4) }
 
 // BenchmarkDataservePrivateLoaders is the deployment baseline: the same
 // three jobs, each on its own pipeline.Loader with a private cache.

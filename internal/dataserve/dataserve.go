@@ -21,10 +21,12 @@ package dataserve
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"scipp/internal/obs"
 	"scipp/internal/pipeline"
+	"scipp/internal/trace"
 )
 
 // Config sizes the service's shared machinery.
@@ -43,6 +45,16 @@ type Config struct {
 	// Obs, when non-nil, receives the dataserve.* service metrics and the
 	// dataserve.tenant.<name>.* per-tenant metrics.
 	Obs *obs.Registry
+	// Clock timestamps breaker backoffs and consumer stalls. Defaults to
+	// a wall clock; tests pass a trace.VirtualClock to drive both
+	// deterministically.
+	Clock trace.Clock
+	// StallSeconds arms the slow-consumer watchdog: a tenant whose sink
+	// has been blocked on an undrained iterator for at least this long
+	// (on Clock) is detached, releasing its requests and pooled memory.
+	// 0 disables the watchdog. Requires Clock to implement trace.Alarm
+	// (both the wall clock and VirtualClock do).
+	StallSeconds float64
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +70,9 @@ func (c Config) withDefaults() Config {
 	if c.Quantum <= 0 {
 		c.Quantum = 2
 	}
+	if c.Clock == nil {
+		c.Clock = trace.NewWallClock()
+	}
 	return c
 }
 
@@ -67,23 +82,29 @@ type request struct {
 	seq   int   // schedule position within the iterator's epoch
 	index int   // dataset sample index
 	enq   int64 // service dispatch count at enqueue, for queue-wait lag
+	probe bool  // the tenant breaker's single half-open probe
 }
 
 // Service is the multi-tenant data service. Construct with New, register
 // datasets with Register, attach tenants with Attach, and Close when done.
 // All methods are safe for concurrent use.
 type Service struct {
-	cfg Config
-	ob  serviceObs
+	cfg   Config
+	ob    serviceObs
+	clock trace.Clock
 
-	mu          sync.Mutex
-	datasets    map[string]*sharedDataset
-	tenants     map[string]*Tenant
-	order       []*Tenant // dispatcher visiting order (attach order)
-	cursor      int       // round-robin position in order
-	deficit     int       // remaining serve budget of order[cursor]
-	dispatchSeq int64     // total requests dispatched, drives queue-wait lag
-	closed      bool
+	mu           sync.Mutex
+	datasets     map[string]*sharedDataset
+	tenants      map[string]*Tenant
+	order        []*Tenant // dispatcher visiting order (attach order)
+	shedOrder    []*Tenant // shed-pass order: ascending weight, then attach
+	cursor       int       // round-robin position in order
+	deficit      int       // remaining serve budget of order[cursor]
+	dispatchSeq  int64     // total requests dispatched, drives queue-wait lag
+	shed         int64     // requests shed past their admission deadline
+	breakerFails int64     // requests fast-failed by open breakers
+	slowDetached int64     // tenants detached by the stall watchdog
+	closed       bool
 
 	notify chan struct{} // capacity 1: wakes an idle dispatcher
 	abort  chan struct{} // closed by Close
@@ -97,6 +118,7 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:      cfg,
+		clock:    cfg.Clock,
 		datasets: make(map[string]*sharedDataset),
 		tenants:  make(map[string]*Tenant),
 		notify:   make(chan struct{}, 1),
@@ -108,6 +130,10 @@ func New(cfg Config) *Service {
 	go s.dispatch()
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if alarm, ok := s.clock.(trace.Alarm); ok && cfg.StallSeconds > 0 {
+		s.wg.Add(1)
+		go s.watchdog(alarm)
 	}
 	return s
 }
@@ -135,7 +161,10 @@ func (s *Service) Close() {
 
 // enqueue appends a request to its tenant's pending queue and wakes the
 // dispatcher. It reports false when the service is closed or the tenant
-// detached, so the caller's source loop stops feeding.
+// detached, so the caller's source loop stops feeding. A request refused
+// by the tenant's open breaker never reaches the queue: its *BreakerError
+// outcome is delivered straight to the iterator, consuming no dispatcher
+// slot or decode worker.
 func (s *Service) enqueue(it *Iterator, seq, index int) bool {
 	t := it.t
 	s.mu.Lock()
@@ -143,7 +172,24 @@ func (s *Service) enqueue(it *Iterator, seq, index int) bool {
 		s.mu.Unlock()
 		return false
 	}
-	t.pend = append(t.pend, request{it: it, seq: seq, index: index, enq: s.dispatchSeq})
+	allow, probe := t.admitBreakerLocked(s.clock.Now())
+	if !allow {
+		retry := t.brk.until - s.clock.Now()
+		s.breakerFails++
+		s.mu.Unlock()
+		s.ob.breakerRejects.Inc()
+		if retry < 0 {
+			retry = 0
+		}
+		o := outcome{seq: seq, index: index, err: &BreakerError{Tenant: t.name, Index: index, Retry: retry}}
+		select {
+		case it.completions <- o:
+		case <-it.abort:
+		case <-s.abort:
+		}
+		return true
+	}
+	t.pend = append(t.pend, request{it: it, seq: seq, index: index, enq: s.dispatchSeq, probe: probe})
 	s.mu.Unlock()
 	select {
 	case s.notify <- struct{}{}:
@@ -163,7 +209,10 @@ func (s *Service) enqueue(it *Iterator, seq, index int) bool {
 func (s *Service) dispatch() {
 	defer s.wg.Done()
 	for {
-		r, ok := s.nextRequest()
+		r, shed, ok := s.nextRequest()
+		for _, sr := range shed {
+			s.deliverShed(sr)
+		}
 		if !ok {
 			select {
 			case <-s.notify:
@@ -180,18 +229,33 @@ func (s *Service) dispatch() {
 	}
 }
 
-// nextRequest picks the next request under deficit round robin. The first
-// visit is the cursor's tenant with its leftover deficit; each further
-// visit advances the cursor and replenishes the visited tenant's deficit,
-// so one call scans at most a full round (n+1 visits) before reporting
-// that no request is pending anywhere. A tenant whose backlog drains with
-// deficit left forfeits the leftover — the standard DRR empty-queue reset.
-func (s *Service) nextRequest() (request, bool) {
+// deliverShed hands a shed request's outcome back to its iterator so the
+// reorder buffer accounts for the sequence slot; the iterator skips it
+// without failing the epoch.
+func (s *Service) deliverShed(r request) {
+	o := outcome{seq: r.seq, index: r.index, shed: true}
+	select {
+	case r.it.completions <- o:
+	case <-r.it.abort:
+	case <-s.abort:
+	}
+}
+
+// nextRequest picks the next request under deficit round robin, after a
+// shed pass dropped every pending request past its admission deadline
+// (returned for out-of-lock delivery). The first visit is the cursor's
+// tenant with its leftover deficit; each further visit advances the cursor
+// and replenishes the visited tenant's deficit, so one call scans at most
+// a full round (n+1 visits) before reporting that no request is pending
+// anywhere. A tenant whose backlog drains with deficit left forfeits the
+// leftover — the standard DRR empty-queue reset.
+func (s *Service) nextRequest() (request, []request, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	shed := s.shedLocked()
 	n := len(s.order)
 	if n == 0 {
-		return request{}, false
+		return request{}, shed, false
 	}
 	if s.cursor >= n {
 		s.cursor = 0 // a detach shrank the ring under the cursor
@@ -213,11 +277,90 @@ func (s *Service) nextRequest() (request, bool) {
 			s.dispatchSeq++
 			s.ob.dispatched.Inc()
 			t.noteLag(lag)
-			return r, true
+			return r, shed, true
 		}
 		s.cursor = (s.cursor + 1) % n
 	}
-	return request{}, false
+	return request{}, shed, false
+}
+
+// shedLocked drops every pending request whose dispatch lag exceeds its
+// tenant's admission deadline. Tenants are visited lowest weight first
+// (attach order breaking ties), so under overload the cheap flows shrink
+// before the expensive ones — a deterministic policy the chaos sweep can
+// reconcile exactly. Caller holds s.mu; outcomes are delivered by the
+// caller outside the lock.
+func (s *Service) shedLocked() []request {
+	var shed []request
+	for _, t := range s.shedOrder {
+		for len(t.pend) > 0 && s.dispatchSeq-t.pend[0].enq > t.cfg.DeadlineLag {
+			r := t.pend[0]
+			t.pend[0] = request{}
+			t.pend = t.pend[1:]
+			if len(t.pend) == 0 {
+				t.pend = nil
+			}
+			if r.probe {
+				t.breakerAbortProbeLocked()
+			}
+			s.shed++
+			s.ob.shed.Inc()
+			t.noteShed()
+			shed = append(shed, r)
+		}
+	}
+	return shed
+}
+
+// rebuildShedOrderLocked recomputes the shed pass's visiting order: the
+// tenants with an admission deadline, ascending weight, attach order
+// breaking ties. Caller holds s.mu.
+func (s *Service) rebuildShedOrderLocked() {
+	s.shedOrder = s.shedOrder[:0]
+	for _, t := range s.order {
+		if t.cfg.DeadlineLag > 0 {
+			s.shedOrder = append(s.shedOrder, t)
+		}
+	}
+	sort.SliceStable(s.shedOrder, func(i, j int) bool {
+		return s.shedOrder[i].cfg.Weight < s.shedOrder[j].cfg.Weight
+	})
+}
+
+// watchdog detaches tenants whose consumers stopped draining: every
+// StallSeconds/2 on the clock it scans the live iterators and severs any
+// tenant whose sink has been blocked for at least StallSeconds, so one
+// abandoned consumer cannot pin pooled memory and queue slots forever.
+func (s *Service) watchdog(alarm trace.Alarm) {
+	defer s.wg.Done()
+	period := s.cfg.StallSeconds / 2
+	for {
+		ch, cancel := alarm.After(s.clock.Now() + period)
+		select {
+		case <-ch:
+		case <-s.abort:
+			cancel()
+			return
+		}
+		now := s.clock.Now()
+		var stale []*Tenant
+		s.mu.Lock()
+		for _, t := range s.order {
+			t.mu.Lock()
+			cur := t.cur
+			t.mu.Unlock()
+			if cur != nil && cur.stalledFor(now) >= s.cfg.StallSeconds {
+				stale = append(stale, t)
+			}
+		}
+		s.slowDetached += int64(len(stale))
+		s.mu.Unlock()
+		for _, t := range stale {
+			s.ob.slowDetached.Inc()
+			t.noteSlowDetached()
+			t.Detach()
+		}
+	}
 }
 
 // worker consumes dispatched requests: fetch the sample through the shared
@@ -238,21 +381,37 @@ func (s *Service) worker() {
 	}
 }
 
-// process serves one request end to end.
+// process serves one request end to end, feeding its outcome to the
+// tenant's breaker before delivery.
 func (s *Service) process(r request) {
+	t := r.it.t
 	select {
 	case <-r.it.abort:
+		if r.probe {
+			s.mu.Lock()
+			t.breakerAbortProbeLocked()
+			s.mu.Unlock()
+		}
 		return // stale: iterator closed between dispatch and service
 	default:
 	}
-	data, label, err := r.it.t.sd.fetch(r.it, r.index)
+	data, label, err := t.sd.fetch(r.it, r.index)
+	if err != errDetached && err != errClosed {
+		s.mu.Lock()
+		t.recordBreakerLocked(r.probe, err != nil, s.clock.Now())
+		s.mu.Unlock()
+	} else if r.probe {
+		s.mu.Lock()
+		t.breakerAbortProbeLocked()
+		s.mu.Unlock()
+	}
 	o := outcome{seq: r.seq, index: r.index, data: data, label: label, err: err}
 	select {
 	case r.it.completions <- o:
 	case <-r.it.abort:
-		r.it.t.sd.pool.PutTensor(data)
+		t.sd.pool.PutTensor(data)
 	case <-s.abort:
-		r.it.t.sd.pool.PutTensor(data)
+		t.sd.pool.PutTensor(data)
 	}
 }
 
@@ -313,6 +472,16 @@ type ServiceStats struct {
 	CacheHits, CacheMisses, CacheQuarantined, Retries int64
 	// Dispatched counts requests the fair-queueing dispatcher served.
 	Dispatched int64
+	// Shed counts requests dropped past their admission deadline, and
+	// BreakerRejects the requests fast-failed by open tenant breakers —
+	// neither ever consumed a dispatcher slot or decode worker.
+	Shed, BreakerRejects int64
+	// Poisoned counts samples blacklisted service-wide after failing K
+	// distinct tenants; PoisonRejects the requests fast-failed off the
+	// blacklist.
+	Poisoned, PoisonRejects int64
+	// SlowDetaches counts tenants severed by the slow-consumer watchdog.
+	SlowDetaches int64
 	// Tenants is the currently attached tenant count.
 	Tenants int
 }
@@ -324,7 +493,13 @@ func (s *Service) Stats() ServiceStats {
 	for _, sd := range s.datasets {
 		datasets = append(datasets, sd)
 	}
-	st := ServiceStats{Dispatched: s.dispatchSeq, Tenants: len(s.tenants)}
+	st := ServiceStats{
+		Dispatched:     s.dispatchSeq,
+		Shed:           s.shed,
+		BreakerRejects: s.breakerFails,
+		SlowDetaches:   s.slowDetached,
+		Tenants:        len(s.tenants),
+	}
 	s.mu.Unlock()
 	for _, sd := range datasets {
 		cs := sd.cache.Stats()
@@ -335,6 +510,8 @@ func (s *Service) Stats() ServiceStats {
 		st.Decodes += sd.decodes
 		st.Dedup += sd.dedup
 		st.Retries += sd.retries
+		st.Poisoned += sd.poisonedCount
+		st.PoisonRejects += sd.poisonRejects
 		sd.mu.Unlock()
 	}
 	return st

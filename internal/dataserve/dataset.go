@@ -35,6 +35,12 @@ type DatasetConfig struct {
 	// CPUWorkers is the intra-sample decode parallelism (chunk decode is
 	// deterministic, so this never affects output bits). Default 1.
 	CPUWorkers int
+	// PoisonK, when positive, arms the cross-tenant poison quarantine: a
+	// sample whose decode fails for PoisonK distinct tenants (owners or
+	// flight joiners) is blacklisted service-wide, and later requests
+	// fast-fail with a *PoisonError before touching cache or workers —
+	// every tenant pays the poison cost at most PoisonK times total.
+	PoisonK int
 }
 
 // flight is one in-progress decode that concurrent requests for the same
@@ -59,16 +65,21 @@ type sharedDataset struct {
 	pool       *pipeline.SlabPool
 	maxRetries int
 	cpuWorkers int
+	poisonK    int
 
 	// mu orders the miss/flight/admission races: it may take cache.mu and
 	// tenant mu inside it, never the reverse.
-	mu      sync.Mutex
-	flights map[int]*flight
-	owner   map[int]string              // sample -> tenant whose flight decoded it
-	touched map[string]map[int]struct{} // tenant -> samples it has been served
-	decodes int64
-	dedup   int64
-	retries int64
+	mu            sync.Mutex
+	flights       map[int]*flight
+	owner         map[int]string              // sample -> tenant whose flight decoded it
+	touched       map[string]map[int]struct{} // tenant -> samples it has been served
+	poisonVotes   map[int]map[string]struct{} // sample -> tenants whose serve failed
+	poisoned      map[int]struct{}            // the service-wide blacklist
+	decodes       int64
+	dedup         int64
+	retries       int64
+	poisonedCount int64 // == len(poisoned)
+	poisonRejects int64 // fast-fails served off the blacklist
 }
 
 func newSharedDataset(s *Service, cfg DatasetConfig) (*sharedDataset, error) {
@@ -79,17 +90,20 @@ func newSharedDataset(s *Service, cfg DatasetConfig) (*sharedDataset, error) {
 		cfg.CPUWorkers = 1
 	}
 	return &sharedDataset{
-		name:       cfg.Name,
-		svc:        s,
-		ds:         cfg.Data,
-		format:     cfg.Format,
-		cache:      pipeline.NewSampleCache(cfg.Cache),
-		pool:       pipeline.NewSlabPool(),
-		maxRetries: cfg.MaxRetries,
-		cpuWorkers: cfg.CPUWorkers,
-		flights:    make(map[int]*flight),
-		owner:      make(map[int]string),
-		touched:    make(map[string]map[int]struct{}),
+		name:        cfg.Name,
+		svc:         s,
+		ds:          cfg.Data,
+		format:      cfg.Format,
+		cache:       pipeline.NewSampleCache(cfg.Cache),
+		pool:        pipeline.NewSlabPool(),
+		maxRetries:  cfg.MaxRetries,
+		cpuWorkers:  cfg.CPUWorkers,
+		poisonK:     cfg.PoisonK,
+		flights:     make(map[int]*flight),
+		owner:       make(map[int]string),
+		touched:     make(map[string]map[int]struct{}),
+		poisonVotes: make(map[int]map[string]struct{}),
+		poisoned:    make(map[int]struct{}),
 	}, nil
 }
 
@@ -100,6 +114,15 @@ func newSharedDataset(s *Service, cfg DatasetConfig) (*sharedDataset, error) {
 func (sd *sharedDataset) fetch(it *Iterator, index int) (*tensor.Tensor, *tensor.Tensor, error) {
 	t := it.t
 	sd.mu.Lock()
+	// Blacklist path: a sample that already failed K distinct tenants is
+	// refused before it can touch the cache or burn a decode.
+	if _, bad := sd.poisoned[index]; bad {
+		k := sd.poisonK
+		sd.poisonRejects++
+		sd.mu.Unlock()
+		sd.svc.ob.poisonRejects.Inc()
+		return nil, nil, &PoisonError{Dataset: sd.name, Tenant: t.name, Index: index, Tenants: k}
+	}
 	// Hit path: the shared cache verifies integrity under its own lock; a
 	// quarantined resident reports a miss here and re-decodes below.
 	enc, label, hit, quarantined := sd.cache.Get(index)
@@ -127,6 +150,9 @@ func (sd *sharedDataset) fetch(it *Iterator, index int) (*tensor.Tensor, *tensor
 			return nil, nil, errClosed
 		}
 		if f.err != nil {
+			sd.mu.Lock()
+			sd.poisonVoteLocked(t.name, index)
+			sd.mu.Unlock()
 			return nil, nil, &SampleError{Dataset: sd.name, Tenant: t.name, Index: index, Err: f.err}
 		}
 		sd.mu.Lock()
@@ -157,6 +183,8 @@ func (sd *sharedDataset) fetch(it *Iterator, index int) (*tensor.Tensor, *tensor
 		sd.owner[index] = t.name
 		sd.firstTouchLocked(t.name, index)
 		sd.decodes++
+	} else {
+		sd.poisonVoteLocked(t.name, index)
 	}
 	sd.retries += int64(retries)
 	delete(sd.flights, index)
@@ -169,6 +197,30 @@ func (sd *sharedDataset) fetch(it *Iterator, index int) (*tensor.Tensor, *tensor
 		return nil, nil, &SampleError{Dataset: sd.name, Tenant: t.name, Index: index, Err: err}
 	}
 	return data, label, nil
+}
+
+// poisonVoteLocked records that tenant's serve of sample index failed
+// terminally; the PoisonK-th distinct tenant's vote blacklists the sample
+// service-wide. Callers hold sd.mu.
+func (sd *sharedDataset) poisonVoteLocked(tenant string, index int) {
+	if sd.poisonK <= 0 {
+		return
+	}
+	if _, done := sd.poisoned[index]; done {
+		return
+	}
+	votes := sd.poisonVotes[index]
+	if votes == nil {
+		votes = make(map[string]struct{})
+		sd.poisonVotes[index] = votes
+	}
+	votes[tenant] = struct{}{}
+	if len(votes) >= sd.poisonK {
+		sd.poisoned[index] = struct{}{}
+		sd.poisonedCount++
+		delete(sd.poisonVotes, index)
+		sd.svc.ob.poisoned.Inc()
+	}
 }
 
 // firstTouchLocked records that tenant has now been served sample index and

@@ -14,6 +14,11 @@ import "scipp/internal/obs"
 //	dataserve.cache.evictions     samples dropped by cache pressure
 //	dataserve.dispatched          requests served by the fair dispatcher
 //	dataserve.tenants             currently attached tenants (gauge)
+//	dataserve.shed                requests shed past their admission deadline
+//	dataserve.breaker.rejects     requests fast-failed by an open breaker
+//	dataserve.poisoned            samples blacklisted service-wide
+//	dataserve.poison.rejects      requests fast-failed off the blacklist
+//	dataserve.detached.slow       tenants detached by the stall watchdog
 //
 // Per tenant (<t> is the tenant name):
 //
@@ -29,6 +34,13 @@ import "scipp/internal/obs"
 //	dataserve.tenant.<t>.quota.denied    schedule samples refused by quota
 //	dataserve.tenant.<t>.queue_wait      dispatch-lag histogram
 //	dataserve.tenant.<t>.queue_wait.max  dispatch-lag high-water gauge
+//	dataserve.tenant.<t>.shed            requests shed past the deadline
+//	dataserve.tenant.<t>.skips           bad samples skipped mid-epoch
+//	dataserve.tenant.<t>.breaker.trips   transitions into the open state
+//	dataserve.tenant.<t>.breaker.probes  half-open probes admitted
+//	dataserve.tenant.<t>.breaker.rejects requests fast-failed while open
+//	dataserve.tenant.<t>.breaker.state   0 closed / 1 open / 2 half-open
+//	dataserve.tenant.<t>.detached.slow   stall-watchdog detaches
 //
 // Queue wait is measured in dispatch lag — how many requests the service
 // dispatched between this request's enqueue and its own dispatch — not in
@@ -46,6 +58,8 @@ type serviceObs struct {
 	decodeCount, decodeDedup, decodeErrors, retries *obs.Counter
 	cacheHits, cacheMisses, cacheQuarantined        *obs.Counter
 	cacheEvictions, dispatched                      *obs.Counter
+	shed, breakerRejects                            *obs.Counter
+	poisoned, poisonRejects, slowDetached           *obs.Counter
 	tenants                                         *obs.Gauge
 }
 
@@ -60,34 +74,49 @@ func newServiceObs(r *obs.Registry) serviceObs {
 		cacheQuarantined: r.Counter("dataserve.cache.quarantined"),
 		cacheEvictions:   r.Counter("dataserve.cache.evictions"),
 		dispatched:       r.Counter("dataserve.dispatched"),
+		shed:             r.Counter("dataserve.shed"),
+		breakerRejects:   r.Counter("dataserve.breaker.rejects"),
+		poisoned:         r.Counter("dataserve.poisoned"),
+		poisonRejects:    r.Counter("dataserve.poison.rejects"),
+		slowDetached:     r.Counter("dataserve.detached.slow"),
 		tenants:          r.Gauge("dataserve.tenants"),
 	}
 }
 
 // tenantObs bundles one tenant's instruments, resolved once at Attach.
 type tenantObs struct {
-	samples, batches, decodes, dedup *obs.Counter
-	hitsOwned, hitsBorrowed, joins   *obs.Counter
-	retries, errors, quotaDenied     *obs.Counter
-	queueWait                        *obs.Histogram
-	queueWaitMax                     *obs.Gauge
+	samples, batches, decodes, dedup            *obs.Counter
+	hitsOwned, hitsBorrowed, joins              *obs.Counter
+	retries, errors, quotaDenied                *obs.Counter
+	shed, skips                                 *obs.Counter
+	breakerTrips, breakerProbes, breakerRejects *obs.Counter
+	slowDetached                                *obs.Counter
+	queueWait                                   *obs.Histogram
+	queueWaitMax, breakerState                  *obs.Gauge
 }
 
 func newTenantObs(r *obs.Registry, name string) tenantObs {
 	p := "dataserve.tenant." + name + "."
 	return tenantObs{
-		samples:      r.Counter(p + "samples"),
-		batches:      r.Counter(p + "batches"),
-		decodes:      r.Counter(p + "decodes"),
-		dedup:        r.Counter(p + "dedup"),
-		hitsOwned:    r.Counter(p + "hits.owned"),
-		hitsBorrowed: r.Counter(p + "hits.borrowed"),
-		joins:        r.Counter(p + "joins"),
-		retries:      r.Counter(p + "retries"),
-		errors:       r.Counter(p + "errors"),
-		quotaDenied:  r.Counter(p + "quota.denied"),
-		queueWait:    r.Histogram(p+"queue_wait", lagBounds),
-		queueWaitMax: r.Gauge(p + "queue_wait.max"),
+		samples:        r.Counter(p + "samples"),
+		batches:        r.Counter(p + "batches"),
+		decodes:        r.Counter(p + "decodes"),
+		dedup:          r.Counter(p + "dedup"),
+		hitsOwned:      r.Counter(p + "hits.owned"),
+		hitsBorrowed:   r.Counter(p + "hits.borrowed"),
+		joins:          r.Counter(p + "joins"),
+		retries:        r.Counter(p + "retries"),
+		errors:         r.Counter(p + "errors"),
+		quotaDenied:    r.Counter(p + "quota.denied"),
+		shed:           r.Counter(p + "shed"),
+		skips:          r.Counter(p + "skips"),
+		breakerTrips:   r.Counter(p + "breaker.trips"),
+		breakerProbes:  r.Counter(p + "breaker.probes"),
+		breakerRejects: r.Counter(p + "breaker.rejects"),
+		slowDetached:   r.Counter(p + "detached.slow"),
+		queueWait:      r.Histogram(p+"queue_wait", lagBounds),
+		queueWaitMax:   r.Gauge(p + "queue_wait.max"),
+		breakerState:   r.Gauge(p + "breaker.state"),
 	}
 }
 

@@ -1,6 +1,7 @@
 package dataserve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -39,6 +40,19 @@ type TenantConfig struct {
 	// an epoch hitting the cap serves its admitted prefix and then Next
 	// reports a *QuotaError.
 	Quota int64
+	// Breaker arms the tenant's circuit breaker (see BreakerConfig); the
+	// zero value disables it.
+	Breaker BreakerConfig
+	// DeadlineLag is the admission deadline in dispatch-lag units: a
+	// pending request whose lag exceeds it is shed (counted in Shed,
+	// skipped by the iterator) instead of queueing unboundedly. 0 disables
+	// shedding for this tenant.
+	DeadlineLag int64
+	// MaxBadSamples, when positive, lets an epoch survive up to that many
+	// poisoned or terminally failing samples: the iterator skips them
+	// (counted in Skips) instead of aborting on the first error. Breaker
+	// rejections are never skipped — a tripped tenant's epoch ends.
+	MaxBadSamples int
 }
 
 func (c TenantConfig) withDefaults() TenantConfig {
@@ -72,6 +86,15 @@ type TenantStats struct {
 	Retries, Errors int64
 	// QuotaDenied counts schedule samples refused by the quota.
 	QuotaDenied int64
+	// Shed counts requests dropped past their admission deadline; Skips
+	// the bad samples an epoch survived under MaxBadSamples.
+	Shed, Skips int64
+	// BreakerTrips counts transitions into the open state, BreakerProbes
+	// the half-open probes admitted, and BreakerRejects the requests
+	// fast-failed while open.
+	BreakerTrips, BreakerProbes, BreakerRejects int64
+	// SlowDetached counts stall-watchdog detaches of this tenant (0 or 1).
+	SlowDetached int64
 	// QueueWaitMax and QueueWaitP99 summarize the tenant's dispatch-lag
 	// distribution (see the metrics doc: lag counts dispatches, not time).
 	QueueWaitMax, QueueWaitP99 int64
@@ -87,10 +110,11 @@ type Tenant struct {
 	cfg  TenantConfig
 	to   tenantObs
 
-	// pend and detached belong to the service dispatcher and are guarded
-	// by svc.mu; everything below mu is tenant-local.
+	// pend, detached, and brk belong to the service dispatcher and are
+	// guarded by svc.mu; everything below mu is tenant-local.
 	pend     []request
 	detached bool
+	brk      *breaker // nil when the breaker is disabled
 
 	mu        sync.Mutex
 	stats     TenantStats
@@ -125,8 +149,12 @@ func (s *Service) Attach(cfg TenantConfig) (*Tenant, error) {
 		to:        newTenantObs(s.cfg.Obs, cfg.Name),
 		lagCounts: make([]int64, len(lagBounds)+1),
 	}
+	if cfg.Breaker.Threshold > 0 {
+		t.brk = newBreaker(cfg.Breaker)
+	}
 	s.tenants[cfg.Name] = t
 	s.order = append(s.order, t)
+	s.rebuildShedOrderLocked()
 	s.ob.tenants.Set(float64(len(s.tenants)))
 	return t, nil
 }
@@ -154,6 +182,7 @@ func (t *Tenant) Detach() {
 			break
 		}
 	}
+	s.rebuildShedOrderLocked()
 	s.ob.tenants.Set(float64(len(s.tenants)))
 	s.mu.Unlock()
 	t.mu.Lock()
@@ -265,12 +294,38 @@ func (t *Tenant) noteDecode(retries int, err error) {
 	}
 }
 
+// noteShed records one request shed past its admission deadline. Called by
+// the dispatcher under svc.mu; takes only t.mu inside it.
+func (t *Tenant) noteShed() {
+	t.mu.Lock()
+	t.stats.Shed++
+	t.mu.Unlock()
+	t.to.shed.Inc()
+}
+
+// noteSkip records one bad sample the iterator skipped under MaxBadSamples.
+func (t *Tenant) noteSkip() {
+	t.mu.Lock()
+	t.stats.Skips++
+	t.mu.Unlock()
+	t.to.skips.Inc()
+}
+
+// noteSlowDetached records a stall-watchdog detach of this tenant.
+func (t *Tenant) noteSlowDetached() {
+	t.mu.Lock()
+	t.stats.SlowDetached++
+	t.mu.Unlock()
+	t.to.slowDetached.Inc()
+}
+
 // outcome is one served sample (or its terminal error) on its way back to
 // the tenant's iterator.
 type outcome struct {
 	seq, index  int
 	data, label *tensor.Tensor
 	err         error
+	shed        bool // dropped past its deadline: skip, don't fail
 }
 
 // Iterator yields one epoch of a tenant's schedule as pooled batches, in
@@ -291,6 +346,36 @@ type Iterator struct {
 	closeOnce   sync.Once
 	wg          sync.WaitGroup
 	done        bool // Next reached end of epoch (consumer-side only)
+	skips       int  // bad samples skipped this epoch (consumer-side only)
+
+	// stallMu guards the consumer's last-drain timestamp, read by the
+	// slow-consumer watchdog.
+	stallMu   sync.Mutex
+	lastDrain float64
+}
+
+// noteDrain timestamps the consumer taking an outcome off the ordered
+// channel, resetting the watchdog's undrained-backlog timer.
+func (it *Iterator) noteDrain() {
+	now := it.t.svc.clock.Now()
+	it.stallMu.Lock()
+	it.lastDrain = now
+	it.stallMu.Unlock()
+}
+
+// stalledFor reports how long the consumer has been stalled at clock time
+// now, or -1 when it is not. A consumer is stalled when completed outcomes
+// sit buffered in ordered and nobody has drained one since lastDrain:
+// results are ready and nobody is taking them. (The sink itself never
+// wedges — ordered holds Inflight outcomes and the token budget caps
+// outstanding work at Inflight — so the backlog is the only stall signal.)
+func (it *Iterator) stalledFor(now float64) float64 {
+	it.stallMu.Lock()
+	defer it.stallMu.Unlock()
+	if len(it.ordered) > 0 {
+		return now - it.lastDrain
+	}
+	return -1
 }
 
 // Epoch starts iterating the tenant's schedule for the given epoch. At
@@ -340,6 +425,7 @@ func (t *Tenant) Epoch(epoch int) *Iterator {
 		ordered:     make(chan outcome, t.cfg.Inflight),
 		abort:       make(chan struct{}),
 	}
+	it.lastDrain = t.svc.clock.Now()
 	for i := 0; i < t.cfg.Inflight; i++ {
 		select {
 		case it.tokens <- struct{}{}:
@@ -415,6 +501,10 @@ func (it *Iterator) sink() {
 			}
 			delete(pending, next)
 			next++
+			// The ordered buffer holds Inflight outcomes and the admission
+			// budget caps outstanding work at Inflight, so this send only
+			// blocks against teardown races — a stopped consumer shows up
+			// as an undrained ordered backlog, not a blocked sink.
 			select {
 			case it.ordered <- r:
 			case <-it.abort:
@@ -453,6 +543,7 @@ func (it *Iterator) Next() (*pipeline.Batch, error) {
 			b.Release()
 			return nil, errClosed
 		}
+		it.noteDrain()
 		if !ok {
 			it.done = true
 			if len(b.Indices) == 0 || t.cfg.DropLast {
@@ -466,7 +557,15 @@ func (it *Iterator) Next() (*pipeline.Batch, error) {
 		case it.tokens <- struct{}{}:
 		default:
 		}
+		if o.shed {
+			continue // shed past its deadline: already counted, not an error
+		}
 		if o.err != nil {
+			if it.skippable(o.err) {
+				it.skips++
+				t.noteSkip()
+				continue
+			}
 			it.done = true
 			b.Release()
 			t.mu.Lock()
@@ -481,6 +580,18 @@ func (it *Iterator) Next() (*pipeline.Batch, error) {
 	}
 	it.noteBatch(len(b.Indices))
 	return b, nil
+}
+
+// skippable reports whether err is a per-sample failure the epoch may
+// survive under MaxBadSamples: terminal decode failures and poison
+// rejections qualify; breaker rejections and teardown sentinels do not.
+func (it *Iterator) skippable(err error) bool {
+	if it.t.cfg.MaxBadSamples <= 0 || it.skips >= it.t.cfg.MaxBadSamples {
+		return false
+	}
+	var se *SampleError
+	var pe *PoisonError
+	return errors.As(err, &se) || errors.As(err, &pe)
 }
 
 // endErr is what a drained epoch reports: nil normally, the quota error

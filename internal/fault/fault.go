@@ -92,6 +92,20 @@ const (
 	// intact, so cache-integrity verification must catch it on the hit.
 	CacheBitRot
 
+	// TierIO fails one NVMe-tier access of a chosen sample (a flaky cell,
+	// a timed-out device command): the cache drops the resident and
+	// charges the tier's health.
+	TierIO
+	// TierSlow delivers an NVMe-tier access only after a stall on the
+	// configured clock (degraded-bandwidth mode: a device throttling or
+	// resilvering).
+	TierSlow
+	// TierDead fails every NVMe-tier access after the device dies (pulled
+	// drive, controller loss): only the cache's failover to HostMem-only
+	// mode keeps samples flowing, and only its recovery probes notice the
+	// tier coming back.
+	TierDead
+
 	numKinds
 )
 
@@ -120,6 +134,12 @@ func (k Kind) String() string {
 		return "stage-stall"
 	case CacheBitRot:
 		return "cache-bitrot"
+	case TierIO:
+		return "tier-io"
+	case TierSlow:
+		return "tier-slow"
+	case TierDead:
+		return "tier-dead"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }

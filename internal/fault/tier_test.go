@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"testing"
+
+	"scipp/internal/trace"
+)
+
+// TestTierDecideDeterministic pins the per-sample decision stream: same
+// seed, same fault assignment, and IOErr/Degraded populations are disjoint
+// (at most one kind per sample).
+func TestTierDecideDeterministic(t *testing.T) {
+	cfg := TierFaultConfig{Seed: 11, IOErr: 0.3, Degraded: 0.3}.withDefaults()
+	for i := 0; i < 256; i++ {
+		k1, ok1 := cfg.decide(i)
+		k2, ok2 := cfg.decide(i)
+		if k1 != k2 || ok1 != ok2 {
+			t.Fatalf("sample %d: decision not deterministic: %v/%v vs %v/%v", i, k1, ok1, k2, ok2)
+		}
+		if ok1 && k1 != TierIO && k1 != TierSlow {
+			t.Fatalf("sample %d: unexpected kind %v", i, k1)
+		}
+	}
+	// With both probabilities at 0.3 over 256 samples, both kinds appear.
+	var io, slow int
+	for i := 0; i < 256; i++ {
+		switch k, ok := cfg.decide(i); {
+		case ok && k == TierIO:
+			io++
+		case ok && k == TierSlow:
+			slow++
+		}
+	}
+	if io == 0 || slow == 0 {
+		t.Fatalf("decision stream degenerate: %d io, %d slow over 256 samples", io, slow)
+	}
+}
+
+// TestTierIOErrEvents walks one flaky sample: its first IOErrEvents
+// accesses fail and are logged, later accesses succeed (the re-admitted
+// sample's media behaves again).
+func TestTierIOErrEvents(t *testing.T) {
+	cfg := TierFaultConfig{Seed: 5, IOErr: 1.0, IOErrEvents: 2}
+	ti := WrapTier(cfg)
+	for access := 1; access <= 4; access++ {
+		err := ti.Access(7, access%2 == 0)
+		if access <= 2 && err == nil {
+			t.Fatalf("access %d: flaky sample succeeded inside IOErrEvents", access)
+		}
+		if access > 2 && err != nil {
+			t.Fatalf("access %d: flaky sample still failing past IOErrEvents: %v", access, err)
+		}
+	}
+	events, samples := ti.Summary().Of(TierIO)
+	if events != 2 || samples != 1 {
+		t.Fatalf("TierIO summary = %d events / %d samples, want 2/1", events, samples)
+	}
+}
+
+// TestTierDegradedStall checks TierSlow samples stall on the sleeper clock
+// without erroring, and that the stall is logged as a stall, not an error.
+func TestTierDegradedStall(t *testing.T) {
+	clock := &trace.VirtualClock{}
+	ti := WrapTier(TierFaultConfig{
+		Seed: 5, Degraded: 1.0, DegradedSeconds: 0.5, Clock: clock,
+	})
+	if err := ti.Access(3, false); err != nil {
+		t.Fatalf("degraded access errored: %v", err)
+	}
+	if got := clock.Now(); got != 0.5 {
+		t.Fatalf("clock advanced %g s, want the 0.5 s stall", got)
+	}
+	if events, _ := ti.Summary().Of(TierSlow); events != 1 {
+		t.Fatalf("TierSlow events = %d, want 1", events)
+	}
+	if events, _ := ti.Summary().Of(TierIO); events != 0 {
+		t.Fatalf("degraded access also logged %d TierIO errors", events)
+	}
+}
+
+// TestTierDeathAndRevival drives the full death schedule: accesses past
+// DieAfter fail as TierDead, earlier probes fail, the ReviveAfterProbes-th
+// probe succeeds, and a revived tier neither fails nor dies again.
+func TestTierDeathAndRevival(t *testing.T) {
+	ti := WrapTier(TierFaultConfig{Seed: 9, DieAfter: 3, ReviveAfterProbes: 2})
+	for i := 1; i <= 3; i++ {
+		if err := ti.Access(i, false); err != nil {
+			t.Fatalf("access %d before death failed: %v", i, err)
+		}
+	}
+	if ti.Dead() {
+		t.Fatal("tier dead before the schedule elapsed")
+	}
+	if err := ti.Access(4, true); err == nil {
+		t.Fatal("access past DieAfter succeeded")
+	}
+	if !ti.Dead() {
+		t.Fatal("tier alive past DieAfter")
+	}
+	if err := ti.Access(-1, false); err == nil {
+		t.Fatal("first probe against a dead tier succeeded")
+	}
+	if err := ti.Access(-1, false); err != nil {
+		t.Fatalf("revival probe failed: %v", err)
+	}
+	if ti.Dead() {
+		t.Fatal("tier still dead after revival probe")
+	}
+	// Revived: accesses succeed and the death schedule never re-fires.
+	for i := 0; i < 8; i++ {
+		if err := ti.Access(i, false); err != nil {
+			t.Fatalf("revived tier access failed: %v", err)
+		}
+	}
+	if events, _ := ti.Summary().Of(TierDead); events != 1 {
+		t.Fatalf("TierDead events = %d, want the 1 failed access", events)
+	}
+	// A healthy tier's probes are free no-ops.
+	if err := ti.Access(-1, false); err != nil {
+		t.Fatalf("probe against healthy tier failed: %v", err)
+	}
+}
+
+// TestTierDeadForeverWithoutRevival pins ReviveAfterProbes 0: probes keep
+// failing and the tier stays dead.
+func TestTierDeadForeverWithoutRevival(t *testing.T) {
+	ti := WrapTier(TierFaultConfig{Seed: 2, DieAfter: 1})
+	ti.Access(0, false)
+	if err := ti.Access(1, false); err == nil {
+		t.Fatal("access past DieAfter succeeded")
+	}
+	for i := 0; i < 5; i++ {
+		if err := ti.Access(-1, false); err == nil {
+			t.Fatal("probe revived a tier with revival disabled")
+		}
+	}
+	if !ti.Dead() {
+		t.Fatal("tier came back without a revival schedule")
+	}
+}
+
+// TestTierLogDeterministic pins the reconcile contract: identical runs
+// produce identical logs, and every TierIO/TierDead entry corresponds to
+// exactly one failed access.
+func TestTierLogDeterministic(t *testing.T) {
+	runOnce := func() ([]Injection, int) {
+		ti := WrapTier(TierFaultConfig{Seed: 4, IOErr: 0.4, DieAfter: 30})
+		failed := 0
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < 16; i++ {
+				if err := ti.Access(i, pass == 0); err != nil {
+					failed++
+				}
+			}
+		}
+		return ti.Log(), failed
+	}
+	logA, failsA := runOnce()
+	logB, failsB := runOnce()
+	if len(logA) != len(logB) || failsA != failsB {
+		t.Fatalf("runs diverged: %d/%d entries, %d/%d failures", len(logA), len(logB), failsA, failsB)
+	}
+	for i := range logA {
+		if logA[i] != logB[i] {
+			t.Fatalf("log entry %d diverged: %+v vs %+v", i, logA[i], logB[i])
+		}
+	}
+	errorEntries := 0
+	for _, inj := range logA {
+		if inj.Kind == TierIO || inj.Kind == TierDead {
+			errorEntries++
+		}
+	}
+	if errorEntries != failsA {
+		t.Fatalf("log records %d error entries, %d accesses failed", errorEntries, failsA)
+	}
+}

@@ -28,9 +28,28 @@ type CacheConfig struct {
 	// from the dataset instead of poisoning a batch. Disable only to
 	// measure the verification overhead.
 	DisableIntegrity bool
+	// TierFailK is how many consecutive NVMe-tier access failures mark the
+	// tier dead and fail the cache over to HostMem-only degraded mode
+	// (default 3). Failover drops the tier's residents (their media is
+	// unreadable) and suspends demotions; recovery is probed on the Get
+	// path and restores two-tier operation.
+	TierFailK int
+	// TierProbeEvery is how many Get calls pass between recovery probes of
+	// a dead NVMe tier (default 32).
+	TierProbeEvery int
 }
 
 func (c CacheConfig) enabled() bool { return c.HostMemBytes > 0 || c.NVMeBytes > 0 }
+
+func (c CacheConfig) withTierDefaults() CacheConfig {
+	if c.TierFailK <= 0 {
+		c.TierFailK = 3
+	}
+	if c.TierProbeEvery <= 0 {
+		c.TierProbeEvery = 32
+	}
+	return c
+}
 
 // CacheFromNode sizes a cache from a simulated node's storage hierarchy:
 // the host tier gets the platform's per-node memory budget, and — for
@@ -58,6 +77,16 @@ type CacheStats struct {
 	// corrupting event, so the tally reconciles against a fault injector's
 	// log.
 	Quarantined int64
+	// NVMeErrors counts failed NVMe-tier accesses (reads of residents and
+	// demotion writes; recovery probes are not errors). Each reconciles
+	// one-to-one against a tier injector's non-probe log entries.
+	NVMeErrors int64
+	// TierFailovers counts transitions into HostMem-only degraded mode
+	// (TierFailK consecutive NVMe errors); TierRecoveries counts the
+	// probe-driven restorations of two-tier operation; TierProbes counts
+	// the recovery probes issued while the tier was dead; TierDropped
+	// counts residents lost to a failover (their media became unreadable).
+	TierFailovers, TierRecoveries, TierProbes, TierDropped int64
 	// HostBytes/NVMeBytes and HostSamples/NVMeSamples are current occupancy.
 	HostBytes, NVMeBytes     int64
 	HostSamples, NVMeSamples int
@@ -83,6 +112,18 @@ type cacheEntry struct {
 // reports whether it modified the blob.
 type CacheTamper interface {
 	Tamper(index int, blob []byte) bool
+}
+
+// TierFault is the NVMe tier's fault domain — the hook a seeded tier-level
+// injector (fault.TierInjector) attaches through SetTierFault to model IO
+// errors, degraded bandwidth, and whole-tier death on the spill tier. The
+// cache consults it on every NVMe access: reading resident sample index
+// (write false), demoting or admitting it (write true), and probing a dead
+// tier for recovery (index -1). A non-nil error fails the access; a failed
+// read or write drops the entry (its media copy is unreadable) and counts
+// toward the tier's health, while a failed probe just leaves the tier dead.
+type TierFault interface {
+	Access(index int, write bool) error
 }
 
 // cacheSum is the integrity checksum over a resident sample's payload: an
@@ -147,6 +188,10 @@ type SampleCache struct {
 
 	mu        sync.Mutex
 	tamper    CacheTamper // nil outside fault-injection runs
+	tier      TierFault   // nil outside fault-injection runs
+	nvmeDead  bool        // HostMem-only degraded mode: demotions suspended
+	nvmeErrs  int         // consecutive NVMe access failures toward TierFailK
+	probeIn   int         // Get calls until the next recovery probe
 	entries   map[int]*cacheEntry
 	host      *list.List // front = most recently used
 	nvme      *list.List
@@ -158,7 +203,7 @@ type SampleCache struct {
 // NewSampleCache returns an empty cache with the given tier capacities.
 func NewSampleCache(cfg CacheConfig) *SampleCache {
 	return &SampleCache{
-		cfg:     cfg,
+		cfg:     cfg.withTierDefaults(),
 		entries: make(map[int]*cacheEntry),
 		host:    list.New(),
 		nvme:    list.New(),
@@ -174,6 +219,99 @@ func (c *SampleCache) SetTamper(t CacheTamper) {
 	c.mu.Unlock()
 }
 
+// SetTierFault installs (or, with nil, removes) the NVMe tier's fault hook.
+// Chaos harnesses attach a fault.TierInjector here so seeded tier faults
+// hit exactly the accesses a degraded or dying device would fail.
+func (c *SampleCache) SetTierFault(t TierFault) {
+	c.mu.Lock()
+	c.tier = t
+	c.mu.Unlock()
+}
+
+// TierHealthy reports whether the NVMe tier is in service (true until
+// TierFailK consecutive access failures, and again after a successful
+// recovery probe).
+func (c *SampleCache) TierHealthy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.nvmeDead
+}
+
+// nvmeReadLocked performs the tier access for a Get served from NVMe. It
+// reports whether the read succeeded; on failure the entry is dropped (its
+// media copy is unreadable) and the tier's health is charged.
+func (c *SampleCache) nvmeReadLocked(e *cacheEntry) bool {
+	if c.tier == nil {
+		return true
+	}
+	if err := c.tier.Access(e.index, false); err != nil {
+		c.noteNVMeErrorLocked()
+		c.removeLocked(e)
+		return false
+	}
+	c.nvmeErrs = 0
+	return true
+}
+
+// nvmeWriteLocked performs the tier access for a demotion or admission into
+// NVMe. It reports whether the write succeeded; a failure charges the
+// tier's health and the caller drops the entry instead.
+func (c *SampleCache) nvmeWriteLocked(index int) bool {
+	if c.tier == nil {
+		return true
+	}
+	if err := c.tier.Access(index, true); err != nil {
+		c.noteNVMeErrorLocked()
+		return false
+	}
+	c.nvmeErrs = 0
+	return true
+}
+
+// noteNVMeErrorLocked charges one failed NVMe access toward the tier's
+// health, failing the cache over to HostMem-only mode at TierFailK
+// consecutive failures. The failover drops every NVMe resident — the tier
+// that held them is unreadable — and suspends demotions; the entries
+// re-decode from the dataset on their next access, so output stays
+// bit-identical.
+func (c *SampleCache) noteNVMeErrorLocked() {
+	c.stats.NVMeErrors++
+	c.nvmeErrs++
+	if c.nvmeDead || c.nvmeErrs < c.cfg.TierFailK {
+		return
+	}
+	c.nvmeDead = true
+	c.nvmeErrs = 0
+	c.probeIn = c.cfg.TierProbeEvery
+	c.stats.TierFailovers++
+	for c.nvme.Len() > 0 {
+		e := c.nvme.Back().Value.(*cacheEntry)
+		c.removeLocked(e)
+		c.stats.TierDropped++
+	}
+}
+
+// probeTierLocked issues a recovery probe against a dead NVMe tier every
+// TierProbeEvery Get calls. A successful probe restores two-tier operation:
+// demotions resume and the tier refills through the normal LRU flow, so the
+// recovered cache serves the same bytes it would have without the outage.
+func (c *SampleCache) probeTierLocked() {
+	if !c.nvmeDead || c.tier == nil {
+		return
+	}
+	c.probeIn--
+	if c.probeIn > 0 {
+		return
+	}
+	c.probeIn = c.cfg.TierProbeEvery
+	c.stats.TierProbes++
+	if c.tier.Access(-1, false) == nil {
+		c.nvmeDead = false
+		c.nvmeErrs = 0
+		c.stats.TierRecoveries++
+	}
+}
+
 // Get returns sample i if resident, refreshing its recency within its tier.
 // While integrity is enabled the resident payload is verified against its
 // admission checksum first: a corrupted entry is quarantined — dropped and
@@ -183,8 +321,15 @@ func (c *SampleCache) SetTamper(t CacheTamper) {
 func (c *SampleCache) Get(i int) (blob []byte, label *tensor.Tensor, ok, quarantined bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.probeTierLocked()
 	e, found := c.entries[i]
 	if !found {
+		c.stats.Misses++
+		return nil, nil, false, false
+	}
+	if e.level == iosim.NVMe && !c.nvmeReadLocked(e) {
+		// The tier failed the read: the resident is gone, so the caller
+		// re-reads from the dataset and output stays bit-identical.
 		c.stats.Misses++
 		return nil, nil, false, false
 	}
@@ -237,6 +382,9 @@ func (c *SampleCache) Put(i int, blob []byte, label *tensor.Tensor) int {
 		e.elem = c.host.PushFront(e)
 		c.hostBytes += size
 	case size <= c.cfg.NVMeBytes:
+		if c.nvmeDead || !c.nvmeWriteLocked(i) {
+			return 0 // the only tier that fits is out of service
+		}
 		e.level = iosim.NVMe
 		e.elem = c.nvme.PushFront(e)
 		c.nvmeBytes += size
@@ -248,15 +396,16 @@ func (c *SampleCache) Put(i int, blob []byte, label *tensor.Tensor) int {
 }
 
 // rebalanceLocked restores both tier capacity invariants: host overflow
-// demotes LRU entries to NVMe (or drops them when no NVMe tier fits), then
-// NVMe overflow drops LRU entries. It returns the number of drops.
+// demotes LRU entries to NVMe (or drops them when no NVMe tier fits, or
+// while the tier is failed over and demotions are suspended), then NVMe
+// overflow drops LRU entries. It returns the number of drops.
 func (c *SampleCache) rebalanceLocked() int {
 	dropped := 0
 	for c.hostBytes > c.cfg.HostMemBytes {
 		e := c.host.Back().Value.(*cacheEntry)
 		c.host.Remove(e.elem)
 		c.hostBytes -= e.bytes
-		if e.bytes <= c.cfg.NVMeBytes {
+		if e.bytes <= c.cfg.NVMeBytes && !c.nvmeDead && c.nvmeWriteLocked(e.index) {
 			e.level = iosim.NVMe
 			e.elem = c.nvme.PushFront(e)
 			c.nvmeBytes += e.bytes

@@ -1,0 +1,250 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"scipp/internal/fault"
+	"scipp/internal/obs"
+)
+
+// stubTier is a hand-driven TierFault: every access outcome is scripted by
+// the test, so failover/probe/recovery transitions can be pinned exactly.
+type stubTier struct {
+	fail     bool
+	accesses []string // "r <i>" / "w <i>" / "p" trace, in call order
+}
+
+func (s *stubTier) Access(index int, write bool) error {
+	switch {
+	case index < 0:
+		s.accesses = append(s.accesses, "p")
+	case write:
+		s.accesses = append(s.accesses, fmt.Sprintf("w %d", index))
+	default:
+		s.accesses = append(s.accesses, fmt.Sprintf("r %d", index))
+	}
+	if s.fail {
+		return errors.New("stub tier failure")
+	}
+	return nil
+}
+
+// TestTierFailoverDuringEviction kills the NVMe tier in the middle of an
+// eviction pass: a demotion write inside rebalanceLocked fails, the tier
+// trips to dead with residents still on it, and the failover must purge
+// those residents (TierDropped), drop the in-flight demotion as a plain
+// eviction, and suspend further demotions — all without touching the tier
+// again while it is dead.
+func TestTierFailoverDuringEviction(t *testing.T) {
+	st := &stubTier{}
+	c := NewSampleCache(CacheConfig{
+		HostMemBytes: 2 * testSampleCost,
+		NVMeBytes:    10 * testSampleCost,
+		TierFailK:    1,
+	})
+	c.SetTierFault(st)
+
+	// Fill host and demote two entries onto the healthy tier.
+	for i := 0; i < 4; i++ {
+		if dropped := putSample(c, i); dropped != 0 {
+			t.Fatalf("put %d dropped %d entries with the tier healthy", i, dropped)
+		}
+	}
+	if s := c.Stats(); s.Demotions != 2 || s.NVMeSamples != 2 {
+		t.Fatalf("healthy-tier demotions = %d (%d resident), want 2 (2)", s.Demotions, s.NVMeSamples)
+	}
+
+	// Kill the tier: the next overflow's demotion write fails mid-eviction.
+	st.fail = true
+	if dropped := putSample(c, 4); dropped != 1 {
+		t.Fatalf("put during tier death dropped %d entries, want 1 (the failed demotion)", dropped)
+	}
+	s := c.Stats()
+	if s.NVMeErrors != 1 || s.TierFailovers != 1 {
+		t.Errorf("NVMeErrors/TierFailovers = %d/%d, want 1/1", s.NVMeErrors, s.TierFailovers)
+	}
+	if s.TierDropped != 2 || s.NVMeSamples != 0 {
+		t.Errorf("failover purged %d residents (%d left), want 2 (0)", s.TierDropped, s.NVMeSamples)
+	}
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1 (the demotion that had nowhere to go)", s.Evictions)
+	}
+	if c.TierHealthy() {
+		t.Error("tier still healthy after failover")
+	}
+
+	// Degraded mode: overflow evicts without consulting the dead tier.
+	before := len(st.accesses)
+	if dropped := putSample(c, 5); dropped != 1 {
+		t.Fatalf("degraded-mode put dropped %d entries, want 1", dropped)
+	}
+	if got := st.accesses[before:]; len(got) != 0 {
+		t.Errorf("degraded-mode eviction touched the dead tier: %v", got)
+	}
+	// The purged residents are gone: their Gets miss and re-reads stay clean.
+	for _, i := range []int{0, 1} {
+		if _, _, ok, quarantined := c.Get(i); ok || quarantined {
+			t.Errorf("purged sample %d: ok=%v quarantined=%v, want plain miss", i, ok, quarantined)
+		}
+	}
+}
+
+// TestTierReadFailureAndRecovery drives the read path: NVMe-resident Gets
+// fail one by one until the tier trips, then recovery probes (every
+// TierProbeEvery Gets) restore two-tier operation and demotions resume.
+func TestTierReadFailureAndRecovery(t *testing.T) {
+	st := &stubTier{}
+	c := NewSampleCache(CacheConfig{
+		HostMemBytes:   2 * testSampleCost,
+		NVMeBytes:      10 * testSampleCost,
+		TierFailK:      2,
+		TierProbeEvery: 3,
+	})
+	c.SetTierFault(st)
+	for i := 0; i < 4; i++ {
+		putSample(c, i)
+	}
+
+	st.fail = true
+	// Two failed NVMe reads: the first drops its entry, the second trips the
+	// tier and purges the one remaining resident.
+	for k, i := range []int{0, 1} {
+		if _, _, ok, _ := c.Get(i); ok {
+			t.Fatalf("read %d of dead media reported a hit", k)
+		}
+	}
+	s := c.Stats()
+	if s.NVMeErrors != 2 || s.TierFailovers != 1 || s.TierDropped != 1 {
+		t.Fatalf("after read failures: errors=%d failovers=%d dropped=%d, want 2/1/1",
+			s.NVMeErrors, s.TierFailovers, s.TierDropped)
+	}
+
+	// The tier heals; the cache notices on its next probe (every 3rd Get).
+	st.fail = false
+	for g := 0; g < 3; g++ {
+		c.Get(2) // host hit; drives the probe countdown
+	}
+	s = c.Stats()
+	if s.TierProbes != 1 || s.TierRecoveries != 1 {
+		t.Fatalf("probes/recoveries = %d/%d, want 1/1", s.TierProbes, s.TierRecoveries)
+	}
+	if !c.TierHealthy() {
+		t.Fatal("tier not healthy after successful probe")
+	}
+	// Demotions resume onto the recovered tier.
+	putSample(c, 6)
+	if s := c.Stats(); s.NVMeSamples != 1 {
+		t.Errorf("post-recovery demotion left %d NVMe residents, want 1", s.NVMeSamples)
+	}
+}
+
+// TestTierDeathRunBitIdentical is the end-to-end bit-identity lock for the
+// failover path: a cached multi-epoch run whose NVMe tier dies mid-run and
+// later revives must deliver exactly the bytes of an unfaulted twin, and
+// the cache's error/failover/probe accounting must reconcile exactly
+// against the injector's log.
+func TestTierDeathRunBitIdentical(t *testing.T) {
+	const n = 24
+	mk := func(reg *obs.Registry) *Loader {
+		l, err := New(testDataset(n), Config{
+			Format:  countFormat{},
+			Batch:   4,
+			Shuffle: true,
+			Seed:    17,
+			Cache: CacheConfig{
+				HostMemBytes:   8 * testSampleCost, // force demotions
+				NVMeBytes:      n * testSampleCost,
+				TierFailK:      2,
+				TierProbeEvery: 4,
+			},
+			Obs: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	clean := collectRun(t, mk(obs.NewRegistry()), 4)
+
+	faulted := mk(obs.NewRegistry())
+	ti := fault.WrapTier(fault.TierFaultConfig{
+		Seed:              5,
+		DieAfter:          20, // dies while epoch-residency is being built
+		ReviveAfterProbes: 2,
+	})
+	faulted.Cache().SetTierFault(ti)
+	got := collectRun(t, faulted, 4)
+
+	if len(got) != len(clean) {
+		t.Fatalf("faulted run delivered %d samples, clean %d", len(got), len(clean))
+	}
+	for i := range got {
+		if got[i] != clean[i] {
+			t.Fatalf("delivery %d diverges under tier death: %s vs %s", i, got[i], clean[i])
+		}
+	}
+
+	s := faulted.Cache().Stats()
+	logged := int64(0)
+	for _, inj := range ti.Log() {
+		if inj.Kind == fault.TierIO || inj.Kind == fault.TierDead {
+			logged++
+		}
+	}
+	if logged == 0 {
+		t.Fatal("tier injector logged nothing: death schedule never fired")
+	}
+	if s.NVMeErrors != logged {
+		t.Errorf("cache NVMeErrors %d != injector-logged failures %d", s.NVMeErrors, logged)
+	}
+	if s.TierFailovers != 1 || s.TierRecoveries != 1 {
+		t.Errorf("failovers/recoveries = %d/%d, want 1/1 for one death+revival", s.TierFailovers, s.TierRecoveries)
+	}
+	if s.TierProbes < 2 {
+		t.Errorf("probes = %d, want >= 2 (revival on the 2nd)", s.TierProbes)
+	}
+}
+
+// TestTierInjectorDeterminism pins the injector contract: the same seed and
+// schedule produce the same log, and the death schedule is a pure function
+// of the access count.
+func TestTierInjectorDeterminism(t *testing.T) {
+	runInjector := func() []fault.Injection {
+		ti := fault.WrapTier(fault.TierFaultConfig{Seed: 9, IOErr: 0.5, DieAfter: 10, ReviveAfterProbes: 3})
+		for a := 0; a < 14; a++ {
+			ti.Access(a%7, a%2 == 0) //nolint special pattern: alternating read/write
+		}
+		for p := 0; p < 3; p++ {
+			ti.Access(-1, false)
+		}
+		ti.Access(3, false) // post-revival access
+		return ti.Log()
+	}
+	a, b := runInjector(), runInjector()
+	if len(a) == 0 {
+		t.Fatal("injector logged nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("log lengths differ across identical runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("log entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	sum := fault.WrapTier(fault.TierFaultConfig{Seed: 9, DieAfter: 1})
+	sum.Access(0, false)
+	if sum.Dead() {
+		t.Error("tier dead before DieAfter accesses")
+	}
+	sum.Access(1, false)
+	if !sum.Dead() {
+		t.Error("tier alive past DieAfter accesses")
+	}
+	if ev, _ := sum.Summary().Of(fault.TierDead); ev != 1 {
+		t.Errorf("TierDead events = %d, want 1", ev)
+	}
+}
