@@ -15,7 +15,7 @@ test:
 # data-parallel trainer, fault injector, metrics registry, checkpoint
 # codec, chaos-training sweep).
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/iosim/... ./internal/dataserve/... ./internal/dist/... ./internal/train/... ./internal/fault/... ./internal/obs/... ./internal/nn/... ./cmd/chaostrain/... ./cmd/chaosloader/... ./cmd/dataserve/... ./cmd/overload/...
+	$(GO) test -race ./internal/pipeline/... ./internal/iosim/... ./internal/dataserve/... ./internal/dist/... ./internal/train/... ./internal/fault/... ./internal/obs/... ./internal/nn/... ./cmd/chaostrain/... ./cmd/chaosloader/... ./cmd/dataserve/... ./cmd/overload/... ./cmd/scenarios/...
 
 # Fault-injection and resilience suite: injector determinism, retry/backoff,
 # skip quotas, the end-to-end faulted DeepCAM acceptance run, the elastic
@@ -24,7 +24,7 @@ race:
 # tier failover, poison quarantine), and the chaos sweep smokes.
 fault:
 	$(GO) test -race -run 'Fault|Resilien|Retr|Backoff|Quota|SampleError|Transient|SameSeed|SameSample|Kind|FormatInjector|Summary|Elastic|Checkpoint|Rank|Supervis|Stall|Panic|Quarantine|Integrity|Chaos|BitRot|Breaker|Shed|Tier|Poison|SlowConsumer|Detach|Isolation' ./internal/fault/... ./internal/pipeline/... ./internal/train/... ./internal/dist/... ./internal/dataserve/...
-	$(GO) test -race ./cmd/chaosloader/ ./cmd/dataserve/ ./cmd/overload/
+	$(GO) test -race ./cmd/chaosloader/ ./cmd/dataserve/ ./cmd/overload/ ./cmd/scenarios/
 
 # scipplint is the repo's own stdlib-only static analyzer (internal/analysis);
 # it must exit 0 on the whole module.
@@ -60,5 +60,6 @@ fuzz:
 	$(GO) test -run=NONE -fuzz='^FuzzCacheIntegrity$$' -fuzztime=10s ./internal/pipeline/
 	$(GO) test -run=NONE -fuzz='^FuzzTenantCache$$' -fuzztime=10s ./internal/dataserve/
 	$(GO) test -run=NONE -fuzz='^FuzzBreakerState$$' -fuzztime=10s ./internal/dataserve/
+	$(GO) test -run=NONE -fuzz='^FuzzBlobDecode$$' -fuzztime=10s ./internal/dataserve/
 
 verify: build vet lint test race cover

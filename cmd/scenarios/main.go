@@ -1,0 +1,551 @@
+// Command scenarios sweeps the scenario matrix of ROADMAP item 4: three
+// synthetic domains (fixed-shape DeepCAM and CosmoFlow plus the ragged
+// weather-station archive) crossed with decode placement (CPU/GPU plugin)
+// and cache configuration. Every cell runs twice — once clean and once
+// under a seeded fault mix (worker panics, stalls, cache bit rot on cached
+// cells) — and the faulted run must deliver padded batches bit-identical
+// to the clean one, with the supervision counters reconciling against the
+// injector logs. Each cell reports preprocessing throughput (samples/s
+// over the post-warmup epochs) and a time-to-quality estimate: the wall
+// time to stream enough samples for a linear probe on masked per-channel
+// means to halve its initial loss.
+//
+//	scenarios -samples 32 -epochs 5 -seed 1 -out BENCH_scenarios.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"scipp/internal/codec"
+	"scipp/internal/codec/seriesfmt"
+	"scipp/internal/core"
+	"scipp/internal/fault"
+	"scipp/internal/gpusim"
+	"scipp/internal/pipeline"
+	"scipp/internal/platform"
+	"scipp/internal/synthetic"
+)
+
+// domain is one workload of the matrix: a dataset builder plus the decode
+// format its blobs need. The weather domain is the ragged one; the two
+// fixed-shape domains exercise the degenerate path of the same padded
+// iterator.
+type domain struct {
+	name  string
+	build func(samples int) (*pipeline.MemDataset, codec.Format, error)
+}
+
+func domains() []domain {
+	return []domain{
+		{name: "deepcam", build: func(n int) (*pipeline.MemDataset, codec.Format, error) {
+			cfg := synthetic.DefaultClimateConfig()
+			cfg.Channels, cfg.Height, cfg.Width = 4, 24, 32
+			cfg.Cyclones, cfg.Rivers = 1, 1
+			ds, err := core.BuildClimateDataset(cfg, n, core.Plugin)
+			return ds, core.FormatFor(core.DeepCAM, core.Plugin), err
+		}},
+		{name: "cosmoflow", build: func(n int) (*pipeline.MemDataset, codec.Format, error) {
+			cfg := synthetic.DefaultCosmoConfig()
+			cfg.Dim = 16
+			ds, err := core.BuildCosmoDataset(cfg, n, core.Plugin)
+			return ds, core.FormatFor(core.CosmoFlow, core.Plugin), err
+		}},
+		{name: "weather", build: func(n int) (*pipeline.MemDataset, codec.Format, error) {
+			cfg := synthetic.DefaultWeatherConfig()
+			cfg.MaxLen = 96
+			ds, err := core.BuildWeatherDataset(cfg, n)
+			return ds, seriesfmt.Bounded(cfg.Channels, cfg.MaxLen), err
+		}},
+	}
+}
+
+// cell is one sweep configuration: domain x decode placement x cache mode.
+type cell struct {
+	dom    domain
+	plugin pipeline.Plugin
+	cached bool
+}
+
+func (c cell) String() string {
+	cache := "uncached"
+	if c.cached {
+		cache = "cached"
+	}
+	return fmt.Sprintf("%s/%s/%s", c.dom.name, c.plugin, cache)
+}
+
+// sweep enumerates the full matrix: 3 domains x 2 placements x 2 cache
+// modes = 12 cells.
+func sweep() []cell {
+	var cells []cell
+	for _, d := range domains() {
+		for _, plug := range []pipeline.Plugin{pipeline.CPUPlugin, pipeline.GPUPlugin} {
+			for _, cached := range []bool{false, true} {
+				cells = append(cells, cell{dom: d, plugin: plug, cached: cached})
+			}
+		}
+	}
+	return cells
+}
+
+// faultMix is the chaos profile every cell's second run injects: panics and
+// stalls on the read stage, bit rot on the resident cache (cached cells).
+type faultMix struct {
+	panicP, stall, bitRot float64
+}
+
+func defaultMix() faultMix { return faultMix{panicP: 0.1, stall: 0.05, bitRot: 0.1} }
+
+// result is everything one cell observed across its clean and faulted runs.
+type result struct {
+	cleanDigest   uint64
+	faultDigest   uint64
+	samplesPerSec float64
+	ttqSteps      int
+	ttqSeconds    float64
+	panics        int
+	stalls        int
+	quarantined   int64
+	injected      int
+}
+
+// passStats is what one full run (all epochs over one pipeline) observed.
+type passStats struct {
+	digest    uint64
+	served    int
+	seconds   float64 // wall time of the timed (post-warmup) epochs
+	timed     int     // samples delivered in the timed epochs
+	bestSPS   float64 // best single-epoch throughput over the timed epochs
+	panics    int
+	stalls    int
+	quarCache int64
+}
+
+// config assembles the cell's pipeline configuration. Resilience and
+// supervision are always armed so clean and faulted runs share one config:
+// the only difference between the twins is the injector.
+func (c cell) config(format codec.Format, seed uint64) pipeline.Config {
+	cfg := pipeline.Config{
+		Format:     format,
+		Plugin:     c.plugin,
+		Batch:      4,
+		Shuffle:    true,
+		Seed:       seed,
+		Resilience: pipeline.Resilience{MaxRetries: 2},
+		Supervise: pipeline.SupervisorConfig{
+			MaxRestarts:   256,
+			StallDeadline: 0.05,
+			StallRestart:  true,
+		},
+	}
+	if c.plugin == pipeline.GPUPlugin {
+		cfg.Device = gpusim.New(platform.Summit().GPU)
+	}
+	if c.cached {
+		cfg.Cache = pipeline.CacheConfig{HostMemBytes: 64 << 20}
+	}
+	return cfg
+}
+
+// runPass drives all epochs of one pipeline over ds, digesting every padded
+// batch (indices, lengths, data bits, mask bits). Epoch 0 is the warmup —
+// it fills the cache and, when collect is non-nil, feeds the probe — and
+// epochs 1..E-1 are timed for throughput.
+func runPass(ds pipeline.Dataset, cfg pipeline.Config, epochs int, collect func(*pipeline.PaddedBatch) error) (passStats, error) {
+	l, err := pipeline.New(ds, cfg)
+	if err != nil {
+		return passStats{}, err
+	}
+	return drain(l, epochs, collect)
+}
+
+func drain(l *pipeline.Loader, epochs int, collect func(*pipeline.PaddedBatch) error) (passStats, error) {
+	ps := passStats{digest: 0xcbf29ce484222325}
+	for e := 0; e < epochs; e++ {
+		start := time.Now()
+		epochServed := 0
+		it := l.Epoch(e)
+		for {
+			pb, err := it.NextPadded()
+			if err != nil {
+				return ps, fmt.Errorf("epoch %d: %w", e, err)
+			}
+			if pb == nil {
+				break
+			}
+			for s := 0; s < pb.Size(); s++ {
+				ps.digest = fold(ps.digest, uint64(pb.Indices[s]))
+				ps.digest = fold(ps.digest, uint64(pb.Lengths[s]))
+			}
+			for _, v := range pb.Data.F32s {
+				ps.digest = fold(ps.digest, uint64(math.Float32bits(v)))
+			}
+			for _, v := range pb.Mask.F32s {
+				ps.digest = fold(ps.digest, uint64(math.Float32bits(v)))
+			}
+			if e == 0 && collect != nil {
+				if err := collect(pb); err != nil {
+					pb.Release()
+					it.Close()
+					return ps, err
+				}
+			}
+			ps.served += pb.Size()
+			epochServed += pb.Size()
+			if e > 0 {
+				ps.timed += pb.Size()
+			}
+			pb.Release()
+		}
+		if e > 0 {
+			secs := time.Since(start).Seconds()
+			ps.seconds += secs
+			// Keep the best single-epoch throughput: wall timings at this
+			// scale are milliseconds, and the max over epochs is far less
+			// noisy than the mean when the scheduler hiccups.
+			if secs > 0 {
+				if sps := float64(epochServed) / secs; sps > ps.bestSPS {
+					ps.bestSPS = sps
+				}
+			}
+		}
+		st := it.Stats()
+		ps.panics += st.Panics
+		ps.stalls += st.Stalls
+	}
+	if c := l.Cache(); c != nil {
+		ps.quarCache = c.Stats().Quarantined
+	}
+	return ps, nil
+}
+
+// run executes one cell: a clean pass that yields the reference digest,
+// throughput, and the probe features, then a faulted pass under mix whose
+// digest must match and whose recovery counters must reconcile against the
+// injector logs.
+func run(c cell, mix faultMix, samples, epochs int, seed uint64) (result, error) {
+	if epochs < 2 {
+		return result{}, fmt.Errorf("need >= 2 epochs (epoch 0 is warmup)")
+	}
+	ds, format, err := c.dom.build(samples)
+	if err != nil {
+		return result{}, err
+	}
+	cfg := c.config(format, seed)
+
+	// Clean pass: digest, throughput, and the probe's feature/target rows
+	// (keyed by dataset index so the shuffled order is irrelevant).
+	feats := make([][]float64, samples)
+	targets := make([][]float64, samples)
+	clean, err := runPass(ds, cfg, epochs, func(pb *pipeline.PaddedBatch) error {
+		return collectProbeRows(pb, feats, targets)
+	})
+	if err != nil {
+		return result{}, fmt.Errorf("clean: %w", err)
+	}
+	if clean.served != samples*epochs {
+		return result{}, fmt.Errorf("clean pass delivered %d samples, want %d", clean.served, samples*epochs)
+	}
+	if clean.seconds <= 0 || clean.timed == 0 || clean.bestSPS <= 0 {
+		return result{}, fmt.Errorf("clean pass timed nothing")
+	}
+	res := result{cleanDigest: clean.digest, samplesPerSec: clean.bestSPS}
+
+	// Faulted pass: same dataset, same config, same schedule seed — plus
+	// the injectors. Equal digests mean recovery was transparent.
+	injector := fault.WrapStage(ds, fault.StageFaultConfig{
+		Seed: seed + 3, Panic: mix.panicP, Stall: mix.stall,
+	})
+	defer injector.Release()
+	var ci *fault.CacheInjector
+	l, err := pipeline.New(injector, cfg)
+	if err != nil {
+		return result{}, fmt.Errorf("faulted: %w", err)
+	}
+	if c.cached && mix.bitRot > 0 {
+		ci = fault.NewCacheInjector(fault.CacheFaultConfig{Seed: seed + 5, BitRot: mix.bitRot})
+		l.Cache().SetTamper(ci)
+	}
+	faulted, err := drain(l, epochs, nil)
+	if err != nil {
+		return result{}, fmt.Errorf("faulted: %w", err)
+	}
+	res.faultDigest = faulted.digest
+	res.panics = faulted.panics
+	res.stalls = faulted.stalls
+	res.quarantined = faulted.quarCache
+
+	var panics, stalls int
+	for _, in := range injector.Log() {
+		switch in.Kind {
+		case fault.StagePanic:
+			panics++
+		case fault.StageStall:
+			stalls++
+		}
+	}
+	res.injected = panics + stalls
+	if res.panics != panics || res.stalls != stalls {
+		return res, fmt.Errorf("recovered %d panics / %d stalls, injector logged %d / %d",
+			res.panics, res.stalls, panics, stalls)
+	}
+	if ci != nil {
+		rots := int64(len(ci.Log()))
+		res.injected += int(rots)
+		if res.quarantined != rots {
+			return res, fmt.Errorf("cache quarantined %d, injector logged %d", res.quarantined, rots)
+		}
+	}
+	if res.faultDigest != res.cleanDigest {
+		return res, fmt.Errorf("faulted digest %016x diverged from clean %016x", res.faultDigest, res.cleanDigest)
+	}
+
+	// Time-to-quality: steps for the linear probe to halve its loss, costed
+	// as the wall time to stream steps x samples through preprocessing.
+	res.ttqSteps = probeSteps(feats, targets)
+	res.ttqSeconds = float64(res.ttqSteps) * float64(samples) / res.samplesPerSec
+	return res, nil
+}
+
+// collectProbeRows extracts one feature and target row per sample of a
+// padded batch, keyed by dataset index. Features are per-channel masked
+// means: channel axis = the first post-batch axis, mask weights along the
+// trailing axis, zero-observation samples contribute all-zero rows. Targets
+// are the label elements when the label is small (parameter-recovery
+// domains) or the label mean (dense segmentation masks).
+func collectProbeRows(pb *pipeline.PaddedBatch, feats, targets [][]float64) error {
+	shape := pb.Data.Shape
+	rank := len(shape)
+	if rank < 2 {
+		return fmt.Errorf("padded batch rank %d", rank)
+	}
+	stride := 1
+	for _, d := range shape[1:] {
+		stride *= d
+	}
+	channels := 1
+	if rank >= 3 {
+		channels = shape[1]
+	}
+	maxLen := shape[rank-1]
+	rows := 0
+	if maxLen > 0 && channels > 0 {
+		rows = stride / channels / maxLen
+	}
+	for s := 0; s < pb.Size(); s++ {
+		idx := pb.Indices[s]
+		if idx < 0 || idx >= len(feats) {
+			return fmt.Errorf("sample index %d out of range", idx)
+		}
+		mask := pb.Mask.F32s[s*maxLen : (s+1)*maxLen]
+		var msum float64
+		for _, m := range mask {
+			msum += float64(m)
+		}
+		f := make([]float64, channels)
+		if msum > 0 {
+			base := s * stride
+			per := stride / channels
+			for ch := 0; ch < channels; ch++ {
+				var sum float64
+				for r := 0; r < rows; r++ {
+					row := pb.Data.F32s[base+ch*per+r*maxLen : base+ch*per+(r+1)*maxLen]
+					for t, v := range row {
+						sum += float64(v) * float64(mask[t])
+					}
+				}
+				f[ch] = sum / (float64(rows) * msum)
+			}
+		}
+		feats[idx] = f
+
+		lbl := pb.Labels[s].ToF32().F32s
+		if len(lbl) <= 8 {
+			row := make([]float64, len(lbl))
+			for i, v := range lbl {
+				row[i] = float64(v)
+			}
+			targets[idx] = row
+		} else {
+			var sum float64
+			for _, v := range lbl {
+				sum += float64(v)
+			}
+			targets[idx] = []float64{sum / float64(len(lbl))}
+		}
+	}
+	return nil
+}
+
+// probeCap bounds the probe's gradient steps: the converged loss is read
+// off the trajectory's end, so the cap also defines "achievable".
+const probeCap = 5000
+
+// probeSteps fits a zero-initialized linear probe (bias + max-abs-normalized
+// features and targets) by full-batch gradient descent and returns the
+// number of steps until the loss has covered 95% of the achievable
+// reduction — the gap between the initial loss and the converged one. The
+// relative target makes the metric meaningful across domains whose labels
+// differ wildly in how linearly predictable they are (the zero-mean
+// CosmoFlow parameters admit far less reduction than the weather normals).
+func probeSteps(feats, targets [][]float64) int {
+	n := len(feats)
+	if n == 0 || len(feats[0]) == 0 || len(targets[0]) == 0 {
+		return 0
+	}
+	f, k := len(feats[0]), len(targets[0])
+	x := make([][]float64, n)
+	y := make([][]float64, n)
+	for i := range x {
+		x[i] = append([]float64{1}, feats[i]...) // bias column
+		y[i] = append([]float64(nil), targets[i]...)
+	}
+	normalize(x, 1) // leave the bias column alone
+	normalize(y, 0)
+
+	w := make([][]float64, f+1)
+	for i := range w {
+		w[i] = make([]float64, k)
+	}
+	loss0 := probeLoss(x, y, w)
+	if loss0 == 0 {
+		return 0
+	}
+	lr := 0.5 / float64(f+1)
+	losses := make([]float64, 0, probeCap)
+	for step := 1; step <= probeCap; step++ {
+		grad := make([][]float64, f+1)
+		for i := range grad {
+			grad[i] = make([]float64, k)
+		}
+		for i := range x {
+			for j := 0; j < k; j++ {
+				var pred float64
+				for d := 0; d <= f; d++ {
+					pred += x[i][d] * w[d][j]
+				}
+				e := 2 * (pred - y[i][j]) / float64(n*k)
+				for d := 0; d <= f; d++ {
+					grad[d][j] += e * x[i][d]
+				}
+			}
+		}
+		for d := 0; d <= f; d++ {
+			for j := 0; j < k; j++ {
+				w[d][j] -= lr * grad[d][j]
+			}
+		}
+		losses = append(losses, probeLoss(x, y, w))
+	}
+	// The trajectory is monotone (full-batch GD, stable step size), so the
+	// last loss is the converged one; quality = 95% of the way there.
+	target := losses[probeCap-1] + 0.05*(loss0-losses[probeCap-1])
+	for step, l := range losses {
+		if l <= target {
+			return step + 1
+		}
+	}
+	return probeCap
+}
+
+// normalize scales each column from `from` on to max-abs 1.
+func normalize(m [][]float64, from int) {
+	if len(m) == 0 {
+		return
+	}
+	for j := from; j < len(m[0]); j++ {
+		var max float64
+		for i := range m {
+			if a := math.Abs(m[i][j]); a > max {
+				max = a
+			}
+		}
+		if max > 0 {
+			for i := range m {
+				m[i][j] /= max
+			}
+		}
+	}
+}
+
+func probeLoss(x, y, w [][]float64) float64 {
+	var loss float64
+	k := len(y[0])
+	for i := range x {
+		for j := 0; j < k; j++ {
+			var pred float64
+			for d := range w {
+				pred += x[i][d] * w[d][j]
+			}
+			e := pred - y[i][j]
+			loss += e * e
+		}
+	}
+	return loss / float64(len(x)*k)
+}
+
+// fold is one FNV-1a step over a 64-bit word.
+func fold(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ (v >> s & 0xFF)) * 0x100000001b3
+	}
+	return h
+}
+
+// writeJSON emits the committed scenario table: one line per cell so the
+// bench gate's line-oriented parser can match name and samples_per_sec.
+func writeJSON(path string, samples, epochs int, cells []cell, results []result) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\n")
+	fmt.Fprintf(&b, "  \"harness\": \"scenarios\",\n")
+	fmt.Fprintf(&b, "  \"samples\": %d,\n", samples)
+	fmt.Fprintf(&b, "  \"epochs\": %d,\n", epochs)
+	fmt.Fprintf(&b, "  \"cells\": [\n")
+	for i, c := range cells {
+		r := results[i]
+		sep := ","
+		if i == len(cells)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "    {\"name\": \"%s\", \"samples_per_sec\": %.0f, \"ttq_steps\": %d, \"ttq_seconds\": %.4f, \"digest\": \"%016x\", \"faults_injected\": %d}%s\n",
+			c, r.samplesPerSec, r.ttqSteps, r.ttqSeconds, r.cleanDigest, r.injected, sep)
+	}
+	fmt.Fprintf(&b, "  ]\n}\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scenarios: ")
+	samples := flag.Int("samples", 32, "dataset size per domain")
+	epochs := flag.Int("epochs", 3, "epochs per cell (epoch 0 is warmup)")
+	seed := flag.Uint64("seed", 1, "base seed (schedule and faults)")
+	out := flag.String("out", "", "write the scenario table as JSON to this path")
+	flag.Parse()
+
+	cells := sweep()
+	results := make([]result, 0, len(cells))
+	fmt.Printf("%-28s %12s %9s %11s %7s %17s\n",
+		"cell", "samples/s", "ttq", "ttq_sec", "faults", "digest")
+	for _, c := range cells {
+		res, err := run(c, defaultMix(), *samples, *epochs, *seed)
+		if err != nil {
+			log.Fatalf("%s: %v", c, err)
+		}
+		results = append(results, res)
+		fmt.Printf("%-28s %12.0f %9d %11.4f %7d  %016x\n",
+			c, res.samplesPerSec, res.ttqSteps, res.ttqSeconds, res.injected, res.cleanDigest)
+	}
+	if *out != "" {
+		if err := writeJSON(*out, *samples, *epochs, cells, results); err != nil {
+			log.Fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

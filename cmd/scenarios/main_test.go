@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScenarioMatrix runs the real sweep, small enough for the -race merge
+// gate: all 12 cells (3 domains x 2 placements x 2 cache modes) must
+// complete, every faulted run must match its clean twin bit-for-bit (run
+// enforces this internally), and the ragged weather cells must produce
+// shorter-than-bound series (a real mask, not all-ones).
+func TestScenarioMatrix(t *testing.T) {
+	const (
+		samples = 24
+		epochs  = 2
+		seed    = uint64(1)
+	)
+	before := runtime.NumGoroutine()
+	cells := sweep()
+	if len(cells) != 12 {
+		t.Fatalf("sweep has %d cells, want 12 (3 domains x 2 placements x 2 cache modes)", len(cells))
+	}
+	digests := map[string]uint64{}
+	for _, c := range cells {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			res, err := run(c, defaultMix(), samples, epochs, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.faultDigest != res.cleanDigest {
+				t.Fatalf("faulted digest %016x != clean %016x", res.faultDigest, res.cleanDigest)
+			}
+			if res.injected == 0 {
+				t.Fatal("fault mix injected nothing")
+			}
+			if res.samplesPerSec <= 0 {
+				t.Fatalf("non-positive throughput %f", res.samplesPerSec)
+			}
+			if res.ttqSteps <= 0 || res.ttqSteps > probeCap {
+				t.Fatalf("ttq steps %d outside (0, %d]", res.ttqSteps, probeCap)
+			}
+			// Cache mode and placement must not change what is delivered:
+			// within a domain all four cells share one padded digest.
+			if prev, ok := digests[c.dom.name]; ok && prev != res.cleanDigest {
+				t.Fatalf("digest %016x diverged from domain twin %016x", res.cleanDigest, prev)
+			}
+			digests[c.dom.name] = res.cleanDigest
+		})
+	}
+	if len(digests) != 3 {
+		t.Fatalf("saw %d domains, want 3", len(digests))
+	}
+	// Zero goroutine leaks, allowing a short settling window for worker
+	// drains racing iterator teardown.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before sweep, %d after\n%s", before, after, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDeterministicAcrossRuns pins the contract the committed digests rely
+// on: repeating a cell reproduces the digest and the probe trajectory
+// exactly (throughput is wall-clock and may differ).
+func TestDeterministicAcrossRuns(t *testing.T) {
+	c := cell{dom: domains()[2], plugin: 1, cached: true} // weather/gpu/cached: ragged + device + bitrot
+	if c.dom.name != "weather" {
+		t.Fatalf("domain table changed: got %q, want weather", c.dom.name)
+	}
+	a, err := run(c, defaultMix(), 24, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(c, defaultMix(), 24, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.cleanDigest != b.cleanDigest {
+		t.Fatalf("digest not reproducible: %016x vs %016x", a.cleanDigest, b.cleanDigest)
+	}
+	if a.ttqSteps != b.ttqSteps {
+		t.Fatalf("probe not reproducible: %d vs %d steps", a.ttqSteps, b.ttqSteps)
+	}
+	if a.panics != b.panics || a.stalls != b.stalls || a.quarantined != b.quarantined {
+		t.Fatalf("fault counters not reproducible: %+v vs %+v", a, b)
+	}
+}
+
+// TestProbeSteps pins the probe's edges: perfectly predictable targets
+// converge fast, zero targets cost nothing, and a target the features
+// cannot explain still terminates (the 95%-of-achievable definition).
+func TestProbeSteps(t *testing.T) {
+	lin := make([][]float64, 16)
+	ylin := make([][]float64, 16)
+	yzero := make([][]float64, 16)
+	yalt := make([][]float64, 16)
+	for i := range lin {
+		lin[i] = []float64{float64(i)}
+		ylin[i] = []float64{3 * float64(i)}
+		yzero[i] = []float64{0}
+		yalt[i] = []float64{float64(1 - 2*(i%2))} // +-1, orthogonal to the ramp's span with bias
+	}
+	if s := probeSteps(lin, ylin); s <= 0 || s > probeCap/2 {
+		t.Errorf("linear target took %d steps", s)
+	}
+	if s := probeSteps(lin, yzero); s != 0 {
+		t.Errorf("zero target took %d steps, want 0", s)
+	}
+	if s := probeSteps(lin, yalt); s <= 0 || s > probeCap {
+		t.Errorf("unexplainable target took %d steps", s)
+	}
+}
+
+// TestWriteJSON pins the committed-file shape the bench gate parses: one
+// line per cell carrying both the name and an integral samples_per_sec.
+func TestWriteJSON(t *testing.T) {
+	cells := sweep()
+	results := make([]result, len(cells))
+	for i := range results {
+		results[i] = result{samplesPerSec: float64(1000 + i), ttqSteps: i + 1, ttqSeconds: 0.5, cleanDigest: 42, injected: 3}
+	}
+	path := filepath.Join(t.TempDir(), "scenarios.json")
+	if err := writeJSON(path, 32, 3, cells, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	matched := 0
+	for _, ln := range lines {
+		if !strings.Contains(ln, "\"name\":") {
+			continue
+		}
+		if !strings.Contains(ln, "\"samples_per_sec\":") {
+			t.Fatalf("cell line lacks samples_per_sec: %q", ln)
+		}
+		matched++
+	}
+	if matched != len(cells) {
+		t.Fatalf("%d cell lines, want %d", matched, len(cells))
+	}
+}

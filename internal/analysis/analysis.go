@@ -237,6 +237,7 @@ func All() []*Analyzer {
 		StageSend,
 		DataserveSend,
 		HotAlloc,
+		ShapeContract,
 		PoolLeak,
 		CopyDiscipline,
 		WorkerGuard,

@@ -29,6 +29,7 @@ var fixtures = []struct {
 	{"fixstagesend", "scipp/internal/pipeline"},      // pipeline scope for the stage send rule
 	{"fixdataservesend", "scipp/internal/dataserve"}, // dataserve scope for the tenant send rule
 	{"fixhotalloc", "scipp/internal/fixhotalloc"},
+	{"fixshapecontract", "scipp/internal/fixshapecontract"},
 	{"fixpoolleak", "scipp/internal/fixpoolleak"},
 	{"fixcopydiscipline", "scipp/internal/fixcopydiscipline"},
 	{"fixworkerguard", "scipp/internal/pipeline"},   // pipeline scope for the supervised-goroutine rule

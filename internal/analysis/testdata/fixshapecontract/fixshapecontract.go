@@ -1,0 +1,62 @@
+// Package fixshapecontract exercises the shapecontract analyzer: the
+// dataset-wide MaxShape() bound consulted inside a //scipp:hotpath-reachable
+// per-sample loop is flagged; the hoisted setup call, per-sample shape
+// queries, and unannotated code are not.
+package fixshapecontract
+
+// Shape is a stand-in for the tensor shape type.
+type Shape []int
+
+// Bounded is a stand-in for a ShapeBounded format.
+type Bounded struct{ c, l int }
+
+// MaxShape returns the archive-wide decoded-shape bound.
+func (b Bounded) MaxShape() Shape { return Shape{b.c, b.l} }
+
+// Decoder is a stand-in for one sample's decoder.
+type Decoder struct{ shape Shape }
+
+// OutputShape returns this sample's own decoded shape.
+func (d Decoder) OutputShape() Shape { return d.shape }
+
+// Assemble is a per-sample hot loop: the in-loop bound queries are flagged,
+// the hoisted one and the per-sample OutputShape are not.
+//
+//scipp:hotpath
+func Assemble(b Bounded, samples []Decoder) int {
+	bound := b.MaxShape() // sanctioned: hoisted setup
+	elems := 0
+	for _, d := range samples {
+		worst := b.MaxShape() // flagged: loop-invariant bound in the loop
+		own := d.OutputShape()
+		for i := range own {
+			if own[i] > worst[i] {
+				elems += bound[i]
+			}
+			elems += own[i]
+		}
+	}
+	for i := 0; i < len(samples); i++ {
+		elems += len(b.MaxShape()) // flagged: same smell in a plain for loop
+		elems += visit(b)
+	}
+	return elems
+}
+
+// visit is hot by reachability from Assemble, not by annotation.
+func visit(b Bounded) int {
+	n := 0
+	for i := 0; i < 2; i++ {
+		n += len(b.MaxShape()) // flagged: hot via root Assemble
+	}
+	return n
+}
+
+// Cold is unannotated: the same pattern is not the hot loop's business.
+func Cold(b Bounded, samples []Decoder) int {
+	n := 0
+	for range samples {
+		n += len(b.MaxShape()) // not flagged: not hot-reachable
+	}
+	return n
+}

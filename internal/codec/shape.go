@@ -1,0 +1,63 @@
+package codec
+
+import "scipp/internal/tensor"
+
+// The fixed-shape pipeline consumed ChunkDecoder.OutputShape as a
+// dataset-wide constant. With variable-shape datasets every opened decoder
+// reports its own sample's shape (shape-in-header decode), and the two
+// optional Format capabilities below replace the places that consumed the
+// constant for something other than decoding the sample at hand:
+//
+//   - ShapeBounded declares a per-dataset upper bound, for sizing slab
+//     pools and cache budgets before any sample is opened.
+//   - ShapeProber reads one sample's decoded shape straight from its blob
+//     header, for byte-cost accounting that must not pay a full Open.
+//
+// Fixed-shape formats are the degenerate case: their bound is the one shape
+// every decoder reports.
+
+// ShapeBounded is implemented by Formats whose decoded samples, while
+// individually variable-shaped, share a known upper-bound dtype and shape.
+// MaxShape is a sizing bound, never a decode contract: per-sample code must
+// take the shape from the opened decoder (or ProbeShape), which is what the
+// shapecontract lint rule enforces on hot paths.
+type ShapeBounded interface {
+	// MaxShape returns the element type and the elementwise upper-bound
+	// shape of every sample the format will decode.
+	MaxShape() (tensor.DType, tensor.Shape)
+}
+
+// MaxShape returns f's declared decoded-shape bound, when it has one.
+func MaxShape(f Format) (tensor.DType, tensor.Shape, bool) {
+	if b, ok := f.(ShapeBounded); ok {
+		dt, shape := b.MaxShape()
+		return dt, shape, true
+	}
+	return 0, nil, false
+}
+
+// ShapeProber is implemented by Formats that can read a sample's decoded
+// dtype and shape from its blob header without building a decoder — the
+// cheap path for per-sample byte-cost accounting.
+type ShapeProber interface {
+	// ProbeShape parses only as much of blob as identifies the decoded
+	// tensor's dtype and shape.
+	ProbeShape(blob []byte) (tensor.DType, tensor.Shape, error)
+}
+
+// ProbeShape returns blob's decoded dtype and shape: through f's prober when
+// it implements ShapeProber, otherwise by opening the blob and consulting
+// the decoder (recycling it immediately). The fallback costs a full Open, so
+// hot paths should prefer formats with a real prober.
+func ProbeShape(f Format, blob []byte) (tensor.DType, tensor.Shape, error) {
+	if p, ok := f.(ShapeProber); ok {
+		return p.ProbeShape(blob)
+	}
+	d, err := f.Open(blob)
+	if err != nil {
+		return 0, nil, err
+	}
+	dt, shape := d.OutputDType(), d.OutputShape().Clone()
+	Recycle(d)
+	return dt, shape, nil
+}

@@ -1,0 +1,66 @@
+package codec
+
+import (
+	"errors"
+	"testing"
+
+	"scipp/internal/tensor"
+)
+
+// boundedFormat declares a shape bound; probedFormat reads shapes from the
+// blob header; plainFormat does neither, exercising the fallbacks.
+type boundedFormat struct{ fakeFormat }
+
+func (boundedFormat) MaxShape() (tensor.DType, tensor.Shape) {
+	return tensor.F32, tensor.Shape{2, 16}
+}
+
+type probedFormat struct{ fakeFormat }
+
+func (probedFormat) ProbeShape(blob []byte) (tensor.DType, tensor.Shape, error) {
+	if len(blob) == 0 {
+		return 0, nil, errors.New("empty blob")
+	}
+	return tensor.F16, tensor.Shape{int(blob[0])}, nil
+}
+
+func TestMaxShape(t *testing.T) {
+	dt, shape, ok := MaxShape(boundedFormat{})
+	if !ok || dt != tensor.F32 || !shape.Equal(tensor.Shape{2, 16}) {
+		t.Errorf("MaxShape = %v %v %v, want F32 [2 16] true", dt, shape, ok)
+	}
+	if _, _, ok := MaxShape(fakeFormat{name: "plain"}); ok {
+		t.Error("unbounded format reported a shape bound")
+	}
+}
+
+func TestProbeShapeWithProber(t *testing.T) {
+	dt, shape, err := ProbeShape(probedFormat{}, []byte{9})
+	if err != nil || dt != tensor.F16 || !shape.Equal(tensor.Shape{9}) {
+		t.Errorf("ProbeShape = %v %v %v, want F16 [9] nil", dt, shape, err)
+	}
+	if _, _, err := ProbeShape(probedFormat{}, nil); err == nil {
+		t.Error("prober error was swallowed")
+	}
+}
+
+func TestProbeShapeFallbackOpens(t *testing.T) {
+	// fakeFormat has no prober: the fallback opens the blob and reports the
+	// decoder's own shape.
+	dt, shape, err := ProbeShape(fakeFormat{name: "plain"}, []byte{1, 2, 3})
+	if err != nil || dt != tensor.F32 || !shape.Equal(tensor.Shape{4}) {
+		t.Errorf("fallback ProbeShape = %v %v %v, want F32 [4] nil", dt, shape, err)
+	}
+}
+
+type failOpenFormat struct{ fakeFormat }
+
+func (failOpenFormat) Open([]byte) (ChunkDecoder, error) {
+	return nil, errors.New("corrupt blob")
+}
+
+func TestProbeShapeFallbackOpenError(t *testing.T) {
+	if _, _, err := ProbeShape(failOpenFormat{}, []byte{1}); err == nil {
+		t.Error("fallback swallowed the open error")
+	}
+}

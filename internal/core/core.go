@@ -160,6 +160,23 @@ func encodeCosmo(s *synthetic.CosmoSample, enc Encoding) ([]byte, error) {
 	}
 }
 
+// BuildWeatherDataset generates n irregular weather-station records under
+// cfg. The blobs are raw-series records (the ragged domain's shape lives in
+// each record's header, so there is no alternative encoding); labels are
+// the four per-station climate normals.
+func BuildWeatherDataset(cfg synthetic.WeatherConfig, n int) (*pipeline.MemDataset, error) {
+	ds := &pipeline.MemDataset{}
+	for i := 0; i < n; i++ {
+		s, err := synthetic.GenerateWeather(cfg, i)
+		if err != nil {
+			return nil, err
+		}
+		ds.Blobs = append(ds.Blobs, synthetic.WeatherToRecord(s))
+		ds.Labels = append(ds.Labels, s.Label())
+	}
+	return ds, nil
+}
+
 // LoaderConfig is the user-facing loader configuration.
 type LoaderConfig struct {
 	App      App

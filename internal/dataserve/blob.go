@@ -56,31 +56,52 @@ func encodeTensor(t *tensor.Tensor) []byte {
 
 // decodeTensorHeader validates a serialized sample's header and returns the
 // dtype and shape a destination tensor must have — what the materializing
-// tenant asks its pool for.
+// tenant asks its pool for. Every rejection is a typed *BlobFormatError.
+//
+// The header's dims are untrusted: the caller allocates a tensor of exactly
+// this shape, so the element count must be proven to fit the payload BEFORE
+// any size arithmetic that could overflow. Dims like {1<<31, 1<<31} multiply
+// to 2^62 elements whose 2^64-byte size wraps int to 0 — under the old
+// unchecked arithmetic a 15-byte payload passed the length test and the
+// materializing allocation OOM-panicked (the dims-int64-wrap fuzz crasher).
+// The running product is therefore bounded by len(enc) at every step, which
+// also makes the subsequent want computation overflow-free. Rank 0 is
+// rejected outright: the encoder never emits scalars, so a rank-0 header is
+// corruption, not a sample (zero-length dims, by contrast, are legitimate —
+// a ragged domain's empty sample serializes as header-only).
 func decodeTensorHeader(enc []byte) (tensor.DType, tensor.Shape, error) {
 	if len(enc) < 7 {
-		return 0, nil, fmt.Errorf("dataserve: sample payload truncated at %d bytes", len(enc))
+		return 0, nil, &BlobFormatError{Reason: fmt.Sprintf("truncated at %d bytes", len(enc))}
 	}
 	if m := binary.LittleEndian.Uint32(enc); m != blobMagic {
-		return 0, nil, fmt.Errorf("dataserve: bad sample payload magic %#x", m)
+		return 0, nil, &BlobFormatError{Reason: fmt.Sprintf("bad magic %#x", m)}
 	}
 	if v := enc[4]; v != blobVersion {
-		return 0, nil, fmt.Errorf("dataserve: unsupported sample payload version %d", v)
+		return 0, nil, &BlobFormatError{Reason: fmt.Sprintf("unsupported version %d", v)}
 	}
 	dt := tensor.DType(enc[5])
 	if dt != tensor.F32 && dt != tensor.F16 && dt != tensor.I16 {
-		return 0, nil, fmt.Errorf("dataserve: unknown sample dtype %d", int(dt))
+		return 0, nil, &BlobFormatError{Reason: fmt.Sprintf("unknown dtype %d", int(dt))}
 	}
 	rank := int(enc[6])
+	if rank == 0 {
+		return 0, nil, &BlobFormatError{Reason: "rank-0 shape (the encoder never emits scalars)"}
+	}
 	if len(enc) < 7+4*rank {
-		return 0, nil, fmt.Errorf("dataserve: sample header truncated (rank %d, %d bytes)", rank, len(enc))
+		return 0, nil, &BlobFormatError{Reason: fmt.Sprintf("header truncated (rank %d, %d bytes)", rank, len(enc))}
 	}
 	shape := make(tensor.Shape, rank)
+	elems := uint64(1)
 	for i := range shape {
-		shape[i] = int(binary.LittleEndian.Uint32(enc[7+4*i:]))
+		d := binary.LittleEndian.Uint32(enc[7+4*i:])
+		if d != 0 && elems > uint64(len(enc))/uint64(d) {
+			return 0, nil, &BlobFormatError{Reason: fmt.Sprintf("dims overflow the %d-byte payload at axis %d", len(enc), i)}
+		}
+		elems *= uint64(d)
+		shape[i] = int(d)
 	}
-	if want := 7 + 4*rank + shape.Elems()*dt.Size(); len(enc) != want {
-		return 0, nil, fmt.Errorf("dataserve: sample payload is %d bytes, want %d for %s%v", len(enc), want, dt, shape)
+	if want := 7 + 4*rank + int(elems)*dt.Size(); len(enc) != want {
+		return 0, nil, &BlobFormatError{Reason: fmt.Sprintf("%d bytes, want %d for %s%v", len(enc), want, dt, shape)}
 	}
 	return dt, shape, nil
 }

@@ -2,6 +2,7 @@ package dataserve
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -23,7 +24,8 @@ func blobSamples() []*tensor.Tensor {
 		}, 2, 4),
 		tensor.FromF16([]fp16.Bits{0x0000, 0x8000, 0x3C00, 0x7E01, 0xFC00, 0x0001}, 6),
 		tensor.FromI16([]int16{-32768, -1, 0, 1, 32767, 12345}, 3, 2),
-		tensor.FromF32([]float32{42}), // rank-0-adjacent: single element, rank 1
+		tensor.FromF32([]float32{42}, 1), // rank-0-adjacent: single element, rank 1
+		tensor.New(tensor.F32, 2, 0),     // ragged empty sample: header-only payload
 	}
 }
 
@@ -89,5 +91,38 @@ func TestBlobDecodeIntoMismatch(t *testing.T) {
 	}
 	if err := decodeTensorInto(tensor.New(tensor.I16, 2, 2), enc); err == nil {
 		t.Error("dtype mismatch accepted")
+	}
+}
+
+// TestBlobHeaderRejectsRank0AndOverflow pins the hardening the FuzzBlobDecode
+// crashers forced: scalar headers and dims whose byte size wraps int are
+// refused with a typed error before any allocation is sized from them, while
+// a ragged domain's legitimate empty sample (zero-length dim) round-trips.
+func TestBlobHeaderRejectsRank0AndOverflow(t *testing.T) {
+	for name, enc := range map[string][]byte{
+		"rank-0 scalar": rank0Payload(),
+		"dims int wrap": dimsWrapPayload(),
+	} {
+		_, _, err := decodeTensorHeader(enc)
+		if err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+		var fe *BlobFormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s rejected with untyped error %v", name, err)
+		}
+	}
+
+	empty := tensor.New(tensor.F32, 2, 0)
+	enc := encodeTensor(empty)
+	dt, shape, err := decodeTensorHeader(enc)
+	if err != nil {
+		t.Fatalf("empty ragged sample rejected: %v", err)
+	}
+	if dt != tensor.F32 || !shape.Equal(tensor.Shape{2, 0}) {
+		t.Fatalf("empty sample header = %s%v", dt, shape)
+	}
+	if err := decodeTensorInto(tensor.New(dt, shape...), enc); err != nil {
+		t.Fatalf("empty sample decode: %v", err)
 	}
 }

@@ -1,0 +1,188 @@
+package dataserve
+
+import (
+	"fmt"
+	"testing"
+
+	"scipp/internal/codec"
+	"scipp/internal/pipeline"
+	"scipp/internal/tensor"
+)
+
+// The byte-weighted DRR tests drive nextRequest/shedLocked directly on a
+// service with no dispatcher or worker goroutines: the serve order is then
+// a pure function of the pending queues, sizes and deficits, so the tests
+// pin the exact interleaving instead of a statistical bound.
+
+// inertFormat satisfies the registration check; these tests never decode.
+type inertFormat struct{}
+
+func (inertFormat) Name() string { return "inert" }
+func (inertFormat) Open([]byte) (codec.ChunkDecoder, error) {
+	return nil, fmt.Errorf("inert format never decodes")
+}
+
+// newIdleService builds a Service exactly as New does, minus the dispatcher,
+// worker, and watchdog goroutines, so tests own the dispatch loop.
+func newIdleService(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		datasets: make(map[string]*sharedDataset),
+		tenants:  make(map[string]*Tenant),
+		notify:   make(chan struct{}, 1),
+		abort:    make(chan struct{}),
+		workq:    make(chan request, cfg.QueueDepth),
+	}
+	s.ob = newServiceObs(cfg.Obs)
+	return s
+}
+
+// idleTenant registers a single-sample inert dataset under its own name and
+// attaches a tenant to it.
+func idleTenant(t *testing.T, s *Service, cfg TenantConfig) *Tenant {
+	t.Helper()
+	if cfg.Dataset == "" {
+		cfg.Dataset = cfg.Name + "-set"
+	}
+	if _, ok := s.datasets[cfg.Dataset]; !ok {
+		err := s.Register(DatasetConfig{
+			Name:   cfg.Dataset,
+			Data:   &pipeline.MemDataset{Blobs: [][]byte{{0}}, Labels: []*tensor.Tensor{tensor.FromF32([]float32{0}, 1)}},
+			Format: inertFormat{},
+		})
+		if err != nil {
+			t.Fatalf("Register %s: %v", cfg.Dataset, err)
+		}
+	}
+	tn, err := s.Attach(cfg)
+	if err != nil {
+		t.Fatalf("Attach %s: %v", cfg.Name, err)
+	}
+	return tn
+}
+
+// pend queues requests for the given sample indices directly, as enqueue
+// would, all with the current dispatch count as their enqueue stamp. Each
+// request carries a bare iterator so the serve order is attributable.
+func pend(s *Service, t *Tenant, idx ...int) {
+	it := &Iterator{t: t}
+	for i, ix := range idx {
+		t.pend = append(t.pend, request{it: it, seq: i, index: ix, enq: s.dispatchSeq})
+	}
+}
+
+// drainOrder runs nextRequest until the queues are empty, returning the
+// tenant name of each serve in order.
+func drainOrder(t *testing.T, s *Service, want int) []string {
+	t.Helper()
+	var order []string
+	for {
+		r, shed, ok := s.nextRequest()
+		if len(shed) != 0 {
+			t.Fatalf("unexpected shed of %d requests", len(shed))
+		}
+		if !ok {
+			break
+		}
+		order = append(order, r.it.t.name)
+	}
+	if len(order) != want {
+		t.Fatalf("dispatcher served %d requests, want %d", len(order), want)
+	}
+	return order
+}
+
+func TestUnitCostRoundRobinLegacy(t *testing.T) {
+	s := newIdleService(Config{Quantum: 2})
+	a := idleTenant(t, s, TenantConfig{Name: "a"})
+	b := idleTenant(t, s, TenantConfig{Name: "b"})
+	pend(s, a, 0, 0, 0, 0, 0, 0)
+	pend(s, b, 0, 0, 0, 0, 0, 0)
+
+	got := drainOrder(t, s, 12)
+	// The cursor starts on a with zero leftover deficit, so the first
+	// replenished visit lands on b: quantum-2 alternation from there.
+	want := []string{"b", "b", "a", "a", "b", "b", "a", "a", "b", "b", "a", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("serve %d went to %s, want %s (full order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestByteCostSkewsDispatch(t *testing.T) {
+	s := newIdleService(Config{Quantum: 4, CostUnitBytes: 100})
+	big := idleTenant(t, s, TenantConfig{Name: "big"})
+	small := idleTenant(t, s, TenantConfig{Name: "small"})
+	// Sizes as one warm epoch would have learned them: big's samples cost
+	// ceil(400/100) = 4 units, small's cost 1.
+	for i := 0; i < 8; i++ {
+		big.sd.sizeOf[i] = 400
+		small.sd.sizeOf[i] = 100
+	}
+	pend(s, big, 0, 1, 2, 3, 4, 5, 6, 7)
+	pend(s, small, 0, 1, 2, 3, 4, 5, 6, 7)
+
+	got := drainOrder(t, s, 16)
+	// Each replenishment grants Quantum*Weight = 4 units: one big sample
+	// or four small ones per visit — byte fairness, not sample fairness.
+	want := []string{
+		"small", "small", "small", "small", "big",
+		"small", "small", "small", "small", "big",
+		"big", "big", "big", "big", "big", "big",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("serve %d went to %s, want %s (full order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestByteCostCapAndUnknownSize(t *testing.T) {
+	s := newIdleService(Config{Quantum: 2, CostUnitBytes: 10})
+	tn := idleTenant(t, s, TenantConfig{Name: "solo"})
+	// Sample 0's size is unknown (cost 1); sample 1 would cost 10_000/10 =
+	// 1000 units but is capped at Quantum*Weight = 2, so it still ships on
+	// a fresh deficit and only overdrafts its own tenant's round.
+	tn.sd.sizeOf[1] = 10_000
+	pend(s, tn, 0, 1, 0, 1)
+
+	if got, want := s.serveCostLocked(tn, request{index: 0}), 1; got != want {
+		t.Errorf("unknown-size cost %d, want %d", got, want)
+	}
+	if got, want := s.serveCostLocked(tn, request{index: 1}), 2; got != want {
+		t.Errorf("capped cost %d, want %d", got, want)
+	}
+	order := drainOrder(t, s, 4)
+	if len(order) != 4 {
+		t.Fatalf("capped-cost backlog did not drain: %v", order)
+	}
+}
+
+func TestShedBytesAccounting(t *testing.T) {
+	s := newIdleService(Config{Quantum: 2, CostUnitBytes: 100})
+	tn := idleTenant(t, s, TenantConfig{Name: "late", DeadlineLag: 1})
+	tn.sd.sizeOf[0] = 250
+	tn.sd.sizeOf[1] = 150
+	// Three requests enqueued at dispatch count 0; sample 2 has never been
+	// served, so its shed is byte-invisible.
+	pend(s, tn, 0, 1, 2)
+	s.mu.Lock()
+	s.dispatchSeq = 10 // every pending request is now 10 dispatches stale
+	shed := s.shedLocked()
+	s.mu.Unlock()
+	if len(shed) != 3 {
+		t.Fatalf("shed %d requests, want 3", len(shed))
+	}
+	if s.shed != 3 {
+		t.Errorf("shed count %d, want 3", s.shed)
+	}
+	if want := int64(250 + 150); s.shedBytes != want {
+		t.Errorf("shed bytes %d, want %d", s.shedBytes, want)
+	}
+	if st := tn.Stats(); st.Shed != 3 {
+		t.Errorf("tenant shed %d, want 3", st.Shed)
+	}
+}

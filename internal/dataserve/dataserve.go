@@ -37,11 +37,25 @@ type Config struct {
 	// QueueDepth bounds the dispatched-work queue between the fair-queueing
 	// dispatcher and the workers. Defaults to 2*Workers.
 	QueueDepth int
-	// Quantum is the deficit replenished per dispatcher visit, in samples
-	// per unit of tenant weight: a tenant with weight w is served up to
-	// Quantum*w requests each round before the dispatcher moves on.
+	// Quantum is the deficit replenished per dispatcher visit, in cost
+	// units per unit of tenant weight: a tenant with weight w is granted
+	// Quantum*w units each round before the dispatcher moves on.
 	// Defaults to 2.
 	Quantum int
+	// CostUnitBytes switches the dispatcher from unit sample cost to
+	// byte-weighted cost: serving a sample charges
+	// ceil(payloadBytes/CostUnitBytes) deficit units instead of 1, so under
+	// a ragged domain a tenant drawing fat samples gets proportionally
+	// fewer dispatches per round than one drawing thin samples, and the
+	// fair share becomes bytes per round rather than samples per round.
+	// The charge is floored at 1 and capped at the tenant's full
+	// replenishment (Quantum*Weight), so any sample is servable within one
+	// visit. A sample's payload size (serialized decoded tensor plus label)
+	// is learned the first time it is served; until then it is charged unit
+	// cost, so a cold service converges to byte fairness within one epoch.
+	// 0 (the default) keeps exact unit-cost dispatch — fixed-shape
+	// workloads see the legacy behavior bit for bit.
+	CostUnitBytes int
 	// Obs, when non-nil, receives the dataserve.* service metrics and the
 	// dataserve.tenant.<name>.* per-tenant metrics.
 	Obs *obs.Registry
@@ -102,6 +116,8 @@ type Service struct {
 	deficit      int       // remaining serve budget of order[cursor]
 	dispatchSeq  int64     // total requests dispatched, drives queue-wait lag
 	shed         int64     // requests shed past their admission deadline
+	servedBytes  int64     // payload bytes successfully served, all tenants
+	shedBytes    int64     // known payload bytes of shed requests
 	breakerFails int64     // requests fast-failed by open breakers
 	slowDetached int64     // tenants detached by the stall watchdog
 	closed       bool
@@ -199,10 +215,11 @@ func (s *Service) enqueue(it *Iterator, seq, index int) bool {
 }
 
 // dispatch is the fair-queueing loop: deficit round robin over the attached
-// tenants with unit sample cost — each visit replenishes the tenant's
-// deficit by Quantum*Weight and serves up to that many of its pending
-// requests before moving on, so a tenant flooding requests is bounded to
-// its weight share per round and cannot starve a light tenant. Queue wait
+// tenants — each visit replenishes the tenant's deficit by Quantum*Weight
+// cost units and serves its pending requests against that budget before
+// moving on, so a tenant flooding requests is bounded to its weight share
+// per round and cannot starve a light tenant. Cost is 1 per sample, or the
+// sample's byte charge under Config.CostUnitBytes. Queue wait
 // is measured in dispatch lag (requests the service dispatched between a
 // request's enqueue and its own dispatch): a deterministic fairness signal
 // that does not depend on wall time.
@@ -248,7 +265,12 @@ func (s *Service) deliverShed(r request) {
 // and replenishes the visited tenant's deficit, so one call scans at most
 // a full round (n+1 visits) before reporting that no request is pending
 // anywhere. A tenant whose backlog drains with deficit left forfeits the
-// leftover — the standard DRR empty-queue reset.
+// leftover — the standard DRR empty-queue reset. A serve charges the
+// request's cost (1, or its byte charge under CostUnitBytes); a charge
+// larger than the remaining deficit is allowed once the tenant has any
+// deficit at all, and the overdraft is simply forfeited at the next
+// replenishment, so an expensive sample delays its own tenant's round, not
+// the ring.
 func (s *Service) nextRequest() (request, []request, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -272,7 +294,7 @@ func (s *Service) nextRequest() (request, []request, bool) {
 			if len(t.pend) == 0 {
 				t.pend = nil // reclaim the drained backlog's backing array
 			}
-			s.deficit--
+			s.deficit -= s.serveCostLocked(t, r)
 			lag := s.dispatchSeq - r.enq
 			s.dispatchSeq++
 			s.ob.dispatched.Inc()
@@ -282,6 +304,41 @@ func (s *Service) nextRequest() (request, []request, bool) {
 		s.cursor = (s.cursor + 1) % n
 	}
 	return request{}, shed, false
+}
+
+// serveCostLocked prices one request for the DRR deficit: 1 under legacy
+// unit cost (CostUnitBytes 0) or while the sample's payload size is not yet
+// known, otherwise ceil(bytes/CostUnitBytes) floored at 1 and capped at the
+// tenant's full replenishment Quantum*Weight so any sample is servable
+// within a single visit. Caller holds s.mu; the dataset's size table is a
+// leaf lock below it.
+func (s *Service) serveCostLocked(t *Tenant, r request) int {
+	u := s.cfg.CostUnitBytes
+	if u <= 0 {
+		return 1
+	}
+	n, ok := t.sd.sampleSize(r.index)
+	if !ok {
+		return 1
+	}
+	cost := (n + u - 1) / u
+	if cost < 1 {
+		cost = 1
+	}
+	if full := s.cfg.Quantum * t.cfg.Weight; cost > full {
+		cost = full
+	}
+	return cost
+}
+
+// noteServedBytes credits one successful serve's payload bytes to the
+// service and tenant byte accounting.
+func (s *Service) noteServedBytes(t *Tenant, n int64) {
+	s.mu.Lock()
+	s.servedBytes += n
+	s.mu.Unlock()
+	s.ob.bytesServed.Add(n)
+	t.noteBytes(n)
 }
 
 // shedLocked drops every pending request whose dispatch lag exceeds its
@@ -305,6 +362,12 @@ func (s *Service) shedLocked() []request {
 			}
 			s.shed++
 			s.ob.shed.Inc()
+			// Shed bytes are best-effort: a request shed before its sample
+			// was ever served has no known size and is counted as 0.
+			if n, ok := t.sd.sampleSize(r.index); ok {
+				s.shedBytes += int64(n)
+				s.ob.bytesShed.Add(int64(n))
+			}
 			t.noteShed()
 			shed = append(shed, r)
 		}
@@ -476,6 +539,13 @@ type ServiceStats struct {
 	// BreakerRejects the requests fast-failed by open tenant breakers —
 	// neither ever consumed a dispatcher slot or decode worker.
 	Shed, BreakerRejects int64
+	// ServedBytes totals the payload bytes (serialized decoded sample plus
+	// label) successfully served across all tenants — the byte-weighted
+	// dispatcher's cost basis, so it reconciles against Σ TenantStats.
+	// BytesServed exactly. ShedBytes is the same basis over shed requests
+	// whose sample size was already known (a never-served sample sheds as
+	// 0 bytes).
+	ServedBytes, ShedBytes int64
 	// Poisoned counts samples blacklisted service-wide after failing K
 	// distinct tenants; PoisonRejects the requests fast-failed off the
 	// blacklist.
@@ -496,6 +566,8 @@ func (s *Service) Stats() ServiceStats {
 	st := ServiceStats{
 		Dispatched:     s.dispatchSeq,
 		Shed:           s.shed,
+		ServedBytes:    s.servedBytes,
+		ShedBytes:      s.shedBytes,
 		BreakerRejects: s.breakerFails,
 		SlowDetaches:   s.slowDetached,
 		Tenants:        len(s.tenants),

@@ -80,6 +80,13 @@ type sharedDataset struct {
 	retries       int64
 	poisonedCount int64 // == len(poisoned)
 	poisonRejects int64 // fast-fails served off the blacklist
+
+	// sizeMu guards the learned per-sample payload sizes the byte-weighted
+	// dispatcher prices requests with. It is a leaf lock: taken under
+	// svc.mu (dispatch, shed) and under no lock at all (fetch), and takes
+	// nothing inside it.
+	sizeMu sync.Mutex
+	sizeOf map[int]int // sample index -> payload bytes (blob + label)
 }
 
 func newSharedDataset(s *Service, cfg DatasetConfig) (*sharedDataset, error) {
@@ -104,7 +111,32 @@ func newSharedDataset(s *Service, cfg DatasetConfig) (*sharedDataset, error) {
 		touched:     make(map[string]map[int]struct{}),
 		poisonVotes: make(map[int]map[string]struct{}),
 		poisoned:    make(map[int]struct{}),
+		sizeOf:      make(map[int]int),
 	}, nil
+}
+
+// noteServed records one successful serve: the sample's payload size is
+// learned for the dispatcher's byte-weighted cost (decode is deterministic,
+// so the size is stable across re-decodes) and the bytes are credited to
+// the service and tenant accounting. Called outside sd.mu.
+func (sd *sharedDataset) noteServed(t *Tenant, index int, enc []byte, label *tensor.Tensor) {
+	n := len(enc)
+	if label != nil {
+		n += label.Bytes()
+	}
+	sd.sizeMu.Lock()
+	sd.sizeOf[index] = n
+	sd.sizeMu.Unlock()
+	sd.svc.noteServedBytes(t, int64(n))
+}
+
+// sampleSize reports the learned payload size of a sample, if it has ever
+// been served.
+func (sd *sharedDataset) sampleSize(index int) (int, bool) {
+	sd.sizeMu.Lock()
+	n, ok := sd.sizeOf[index]
+	sd.sizeMu.Unlock()
+	return n, ok
 }
 
 // fetch serves one sample to one tenant through the shared path: cache hit,
@@ -137,7 +169,11 @@ func (sd *sharedDataset) fetch(it *Iterator, index int) (*tensor.Tensor, *tensor
 		sd.mu.Unlock()
 		t.noteHit(owned, first)
 		data, err := sd.materialize(enc)
-		return data, label, err
+		if err != nil {
+			return nil, nil, err
+		}
+		sd.noteServed(t, index, enc, label)
+		return data, label, nil
 	}
 	// Join path: someone is already decoding this sample.
 	if f, ok := sd.flights[index]; ok {
@@ -164,7 +200,11 @@ func (sd *sharedDataset) fetch(it *Iterator, index int) (*tensor.Tensor, *tensor
 		sd.mu.Unlock()
 		t.noteJoin(first)
 		data, err := sd.materialize(f.enc)
-		return data, f.label, err
+		if err != nil {
+			return nil, nil, err
+		}
+		sd.noteServed(t, index, f.enc, f.label)
+		return data, f.label, nil
 	}
 	// Owner path: this request decodes for everyone.
 	f := &flight{done: make(chan struct{})}
@@ -196,6 +236,7 @@ func (sd *sharedDataset) fetch(it *Iterator, index int) (*tensor.Tensor, *tensor
 	if err != nil {
 		return nil, nil, &SampleError{Dataset: sd.name, Tenant: t.name, Index: index, Err: err}
 	}
+	sd.noteServed(t, index, enc, label)
 	return data, label, nil
 }
 

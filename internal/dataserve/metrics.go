@@ -13,6 +13,8 @@ import "scipp/internal/obs"
 //	dataserve.cache.quarantined   integrity quarantines on the shared cache
 //	dataserve.cache.evictions     samples dropped by cache pressure
 //	dataserve.dispatched          requests served by the fair dispatcher
+//	dataserve.bytes.served        payload bytes successfully served
+//	dataserve.bytes.shed          known payload bytes of shed requests
 //	dataserve.tenants             currently attached tenants (gauge)
 //	dataserve.shed                requests shed past their admission deadline
 //	dataserve.breaker.rejects     requests fast-failed by an open breaker
@@ -24,6 +26,7 @@ import "scipp/internal/obs"
 //
 //	dataserve.tenant.<t>.samples         samples delivered into batches
 //	dataserve.tenant.<t>.batches         batches delivered
+//	dataserve.tenant.<t>.bytes.served    payload bytes served to this tenant
 //	dataserve.tenant.<t>.decodes         decodes this tenant performed
 //	dataserve.tenant.<t>.dedup           first-touch serves without own decode
 //	dataserve.tenant.<t>.hits.owned      cache hits on samples it decoded
@@ -58,6 +61,7 @@ type serviceObs struct {
 	decodeCount, decodeDedup, decodeErrors, retries *obs.Counter
 	cacheHits, cacheMisses, cacheQuarantined        *obs.Counter
 	cacheEvictions, dispatched                      *obs.Counter
+	bytesServed, bytesShed                          *obs.Counter
 	shed, breakerRejects                            *obs.Counter
 	poisoned, poisonRejects, slowDetached           *obs.Counter
 	tenants                                         *obs.Gauge
@@ -74,6 +78,8 @@ func newServiceObs(r *obs.Registry) serviceObs {
 		cacheQuarantined: r.Counter("dataserve.cache.quarantined"),
 		cacheEvictions:   r.Counter("dataserve.cache.evictions"),
 		dispatched:       r.Counter("dataserve.dispatched"),
+		bytesServed:      r.Counter("dataserve.bytes.served"),
+		bytesShed:        r.Counter("dataserve.bytes.shed"),
 		shed:             r.Counter("dataserve.shed"),
 		breakerRejects:   r.Counter("dataserve.breaker.rejects"),
 		poisoned:         r.Counter("dataserve.poisoned"),
@@ -86,6 +92,7 @@ func newServiceObs(r *obs.Registry) serviceObs {
 // tenantObs bundles one tenant's instruments, resolved once at Attach.
 type tenantObs struct {
 	samples, batches, decodes, dedup            *obs.Counter
+	bytesServed                                 *obs.Counter
 	hitsOwned, hitsBorrowed, joins              *obs.Counter
 	retries, errors, quotaDenied                *obs.Counter
 	shed, skips                                 *obs.Counter
@@ -100,6 +107,7 @@ func newTenantObs(r *obs.Registry, name string) tenantObs {
 	return tenantObs{
 		samples:        r.Counter(p + "samples"),
 		batches:        r.Counter(p + "batches"),
+		bytesServed:    r.Counter(p + "bytes.served"),
 		decodes:        r.Counter(p + "decodes"),
 		dedup:          r.Counter(p + "dedup"),
 		hitsOwned:      r.Counter(p + "hits.owned"),

@@ -89,6 +89,11 @@ type TenantStats struct {
 	// Shed counts requests dropped past their admission deadline; Skips
 	// the bad samples an epoch survived under MaxBadSamples.
 	Shed, Skips int64
+	// BytesServed totals the payload bytes (serialized decoded sample plus
+	// label) successfully served to this tenant — the byte-weighted
+	// dispatcher's cost basis. Σ over tenants reconciles exactly against
+	// ServiceStats.ServedBytes.
+	BytesServed int64
 	// BreakerTrips counts transitions into the open state, BreakerProbes
 	// the half-open probes admitted, and BreakerRejects the requests
 	// fast-failed while open.
@@ -292,6 +297,14 @@ func (t *Tenant) noteDecode(retries int, err error) {
 	if err == nil {
 		t.to.decodes.Inc()
 	}
+}
+
+// noteBytes credits one successful serve's payload bytes to the tenant.
+func (t *Tenant) noteBytes(n int64) {
+	t.mu.Lock()
+	t.stats.BytesServed += n
+	t.mu.Unlock()
+	t.to.bytesServed.Add(n)
 }
 
 // noteShed records one request shed past its admission deadline. Called by

@@ -119,3 +119,28 @@ func BenchmarkPipelineUncachedEpoch(b *testing.B) {
 func BenchmarkPipelineCachedEpochIntegrityOff(b *testing.B) {
 	benchCacheEpochs(b, CacheConfig{HostMemBytes: 64 << 20, DisableIntegrity: true})
 }
+
+// BenchmarkSlabPoolFragmentation is the satellite measurement behind the
+// capacity-class freelists: a ragged get/put stream cycling through many
+// distinct element counts. Under exact-elems pooling every length was its
+// own class and nearly every get missed to the heap; with round-up classes
+// the stream recycles a handful of slabs, so allocs/op is the honest
+// fragmentation signal. (Deliberately outside the BenchmarkPipeline* family:
+// it has no committed baseline cell in BENCH_pipeline.json.)
+func BenchmarkSlabPoolFragmentation(b *testing.B) {
+	p := NewSlabPool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		elems := 1 + (i*37)%997 // 997 distinct lengths, a few classes
+		t := p.GetTensor(tensor.F32, tensor.Shape{3, elems})
+		t.F32s[0] = float32(i) // touch the slab so reuse is not optimized away
+		p.PutTensor(t)
+	}
+	b.StopTimer()
+	st := p.Stats()
+	if b.N > 64 && st.Hits == 0 {
+		b.Fatal("ragged stream never hit the freelist")
+	}
+	b.ReportMetric(float64(st.Hits)/float64(st.Gets), "hit-ratio")
+}

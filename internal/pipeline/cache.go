@@ -3,6 +3,7 @@ package pipeline
 import (
 	"container/list"
 	"encoding/binary"
+	"fmt"
 	"math"
 	"sync"
 
@@ -435,6 +436,63 @@ func (c *SampleCache) removeLocked(e *cacheEntry) {
 		c.nvmeBytes -= e.bytes
 	}
 	delete(c.entries, e.index)
+}
+
+// VerifyAccounting re-derives the cache's byte accounting from the resident
+// entries themselves and checks it against the incrementally maintained
+// counters and the configured budgets. With per-entry sizes varying sample
+// by sample (the ragged domains), a single missed add or subtract in the
+// Put/demote/evict flow silently drifts the budget enforcement; this walk
+// proves, at any quiescent point, that Σ entry bytes per tier equals the
+// tier counter, every entry's recorded size matches its payload, each list
+// resident is indexed under its own key at its recorded level, and neither
+// tier exceeds its capacity. It reports the first discrepancy found; tests
+// call it after every mutation batch.
+func (c *SampleCache) VerifyAccounting() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tiers := []struct {
+		name  string
+		l     *list.List
+		level iosim.Level
+		sum   int64
+		cap   int64
+	}{
+		{"host", c.host, iosim.HostMem, c.hostBytes, c.cfg.HostMemBytes},
+		{"nvme", c.nvme, iosim.NVMe, c.nvmeBytes, c.cfg.NVMeBytes},
+	}
+	residents := 0
+	for _, tier := range tiers {
+		var sum int64
+		for el := tier.l.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			if e.level != tier.level {
+				return fmt.Errorf("cache: sample %d on the %s list records level %v", e.index, tier.name, e.level)
+			}
+			want := int64(len(e.blob))
+			if e.label != nil {
+				want += int64(e.label.Bytes())
+			}
+			if e.bytes != want {
+				return fmt.Errorf("cache: sample %d accounts %d bytes, payload is %d", e.index, e.bytes, want)
+			}
+			if c.entries[e.index] != e {
+				return fmt.Errorf("cache: sample %d resident on the %s list but not indexed", e.index, tier.name)
+			}
+			sum += e.bytes
+			residents++
+		}
+		if sum != tier.sum {
+			return fmt.Errorf("cache: %s tier counter %d, Σ entry bytes %d", tier.name, tier.sum, sum)
+		}
+		if sum > tier.cap {
+			return fmt.Errorf("cache: %s tier holds %d bytes over its %d budget", tier.name, sum, tier.cap)
+		}
+	}
+	if residents != len(c.entries) {
+		return fmt.Errorf("cache: %d list residents, %d indexed", residents, len(c.entries))
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the cache's accounting.

@@ -314,3 +314,81 @@ func TestCacheFromNode(t *testing.T) {
 		t.Error("enabled() misclassifies")
 	}
 }
+
+// verifyClean fails the test if the cache's byte accounting does not
+// reconcile exactly at this point.
+func verifyClean(t *testing.T, c *SampleCache, when string) {
+	t.Helper()
+	if err := c.VerifyAccounting(); err != nil {
+		t.Fatalf("%s: %v", when, err)
+	}
+}
+
+// TestVerifyAccountingExactUnderFaults drives every mutation the cache knows
+// — variable-size admissions, refresh-in-place, demotion, eviction,
+// quarantine, and tier failover — and proves Σ entry bytes reconciles with
+// the tier counters and budgets after each one. This is the ragged-domain
+// accounting lock: with per-sample sizes all different, any missed add or
+// subtract surfaces here.
+func TestVerifyAccountingExactUnderFaults(t *testing.T) {
+	c := NewSampleCache(CacheConfig{HostMemBytes: 64, NVMeBytes: 96, TierFailK: 1})
+	verifyClean(t, c, "empty cache")
+	for i := 0; i < 12; i++ {
+		lb := tensor.New(tensor.F32, 1)
+		lb.F32s[0] = float32(i)
+		c.Put(i, make([]byte, 3+5*i), lb) // every resident a different size
+		verifyClean(t, c, fmt.Sprintf("after put %d", i))
+	}
+	// Refresh a resident in place with a different payload size.
+	c.Put(8, make([]byte, 2), nil)
+	verifyClean(t, c, "after refresh")
+	// Touch residents to reshuffle recency, then force more demotions.
+	for i := 0; i < 12; i += 3 {
+		c.Get(i)
+		verifyClean(t, c, fmt.Sprintf("after get %d", i))
+	}
+	// Quarantine a resident through the tamper hook.
+	c.SetTamper(&flipTamper{targets: map[int]bool{8: true}})
+	c.Get(8)
+	verifyClean(t, c, "after quarantine")
+	// Kill the NVMe tier: the failover purge must keep accounting exact.
+	tier := &stubTier{fail: true}
+	c.SetTierFault(tier)
+	c.Put(20, make([]byte, 70), nil) // host-oversized: demotion write fails, tier dies
+	verifyClean(t, c, "after tier failover")
+	if c.TierHealthy() {
+		t.Fatal("tier survived a TierFailK=1 failure")
+	}
+	st := c.Stats()
+	if st.Demotions == 0 || st.Evictions == 0 || st.Quarantined != 1 {
+		t.Fatalf("test exercised too little: %+v", st)
+	}
+}
+
+// TestVerifyAccountingDetectsDrift corrupts the cache's internal accounting
+// directly and checks the verifier reports each class of discrepancy — the
+// proof it can actually fail, not just pass.
+func TestVerifyAccountingDetectsDrift(t *testing.T) {
+	fresh := func() *SampleCache {
+		c := NewSampleCache(CacheConfig{HostMemBytes: 100})
+		putSample(c, 1)
+		return c
+	}
+	breakers := map[string]func(c *SampleCache){
+		"tier counter drift": func(c *SampleCache) { c.hostBytes++ },
+		"entry size drift":   func(c *SampleCache) { c.entries[1].bytes--; c.hostBytes-- },
+		"level mismatch":     func(c *SampleCache) { c.entries[1].level = iosim.NVMe },
+		"unindexed resident": func(c *SampleCache) { delete(c.entries, 1) },
+		"over budget":        func(c *SampleCache) { c.cfg.HostMemBytes = 1 },
+	}
+	for name, corrupt := range breakers {
+		c := fresh()
+		verifyClean(t, c, name+" (pre)")
+		c.mu.Lock()
+		corrupt(c)
+		c.mu.Unlock()
+		if err := c.VerifyAccounting(); err == nil {
+			t.Errorf("%s went undetected", name)
+		}
+	}
+}

@@ -1,17 +1,83 @@
 package pipeline
 
 import (
+	"math/bits"
 	"sync"
 
 	"scipp/internal/tensor"
 )
 
-// slabClass is the recycling key of a sample slab: tensors are interchangeable
-// exactly when their dtype and element count match (the shape header is
-// patched on reuse when it differs).
+// slabClass is the recycling key of a sample slab: tensors are
+// interchangeable exactly when their dtype matches and their backing arrays
+// belong to the same capacity class. Capacities are rounded up to class
+// boundaries (classElems) so that ragged datasets — where nearly every
+// sample has a distinct element count — still recycle slabs instead of
+// degenerating into one single-tensor freelist per length; a reused slab is
+// resliced down to the sample's exact element count, with its shape header
+// patched. Fixed-shape datasets collapse to the old behavior: one class,
+// exact reuse.
 type slabClass struct {
 	dt    tensor.DType
-	elems int
+	elems int // class capacity bound, not the sample's exact count
+}
+
+// minClassElems is the smallest capacity class: tiny tensors of any length
+// share one freelist rather than fragmenting across lengths 1..64.
+const minClassElems = 64
+
+// classElems rounds a requested element count up to its capacity class: the
+// next multiple of an eighth of its power-of-two octave (64, 72, 80, ...,
+// 128, 144, ..., 1024, 1152, ...). Worst-case over-allocation is 25% just
+// above an octave boundary, amortized well below that — the standard
+// size-class trade between fragmentation across classes and slack within
+// one.
+func classElems(n int) int {
+	if n <= minClassElems {
+		return minClassElems
+	}
+	q := 1 << (bits.Len(uint(n-1)) - 3)
+	return (n + q - 1) &^ (q - 1)
+}
+
+// capClass floors a backing-array capacity to the largest class it can
+// serve, so a tensor re-entering the pool is filed where every future
+// GetTensor of that class fits inside it. Pool-allocated tensors have
+// exactly-class capacities, so the floor is the identity for them; a
+// foreign tensor below the smallest class reports 0 and is not pooled.
+func capClass(c int) int {
+	if c < minClassElems {
+		return 0
+	}
+	q := 1 << (bits.Len(uint(c)) - 3)
+	return c &^ (q - 1)
+}
+
+// tensorCap is the element capacity of t's backing array.
+func tensorCap(t *tensor.Tensor) int {
+	switch t.DT {
+	case tensor.F16:
+		return cap(t.F16s)
+	case tensor.I16:
+		return cap(t.I16s)
+	default:
+		return cap(t.F32s)
+	}
+}
+
+// resliceTensor shapes t to exactly shape/elems within its capacity: the
+// shape header is patched and the element slice resliced, never copied.
+func resliceTensor(t *tensor.Tensor, shape tensor.Shape, elems int) {
+	if !t.Shape.Equal(shape) {
+		t.Shape = shape.Clone()
+	}
+	switch t.DT {
+	case tensor.F16:
+		t.F16s = t.F16s[:elems]
+	case tensor.I16:
+		t.I16s = t.I16s[:elems]
+	default:
+		t.F32s = t.F32s[:elems]
+	}
 }
 
 // maxPooledPerClass bounds each class's freelist. The pipeline's steady
@@ -53,34 +119,46 @@ func NewSlabPool() *SlabPool {
 }
 
 // GetTensor returns a tensor of the given dtype and shape with unspecified
-// contents, reusing a recycled slab when one of the same class is free.
+// contents, reusing a recycled slab whose capacity class covers the shape
+// when one is free. The returned tensor's element slice always has capacity
+// of at least the class bound — at least the requested element count — an
+// invariant the fragmentation tests assert.
 func (p *SlabPool) GetTensor(dt tensor.DType, shape tensor.Shape) *tensor.Tensor {
-	class := slabClass{dt: dt, elems: shape.Elems()}
+	elems := shape.Elems()
+	class := slabClass{dt: dt, elems: classElems(elems)}
 	p.mu.Lock()
 	p.gets++
 	free := p.tensors[class]
-	if n := len(free); n > 0 {
+	for n := len(free); n > 0; n = len(free) {
 		t := free[n-1]
 		free[n-1] = nil
-		p.tensors[class] = free[:n-1]
+		free = free[:n-1]
+		p.tensors[class] = free
+		if tensorCap(t) < elems {
+			continue // never hand out a slab the shape does not fit
+		}
 		p.hits++
 		p.mu.Unlock()
-		if !t.Shape.Equal(shape) {
-			t.Shape = shape.Clone()
-		}
+		resliceTensor(t, shape, elems)
 		return t
 	}
 	p.mu.Unlock()
-	return tensor.New(dt, shape...)
+	t := tensor.New(dt, class.elems)
+	resliceTensor(t, shape, elems)
+	return t
 }
 
-// PutTensor returns t to its class's freelist. Nil tensors are ignored. The
-// caller must not use t afterwards.
+// PutTensor returns t to the freelist of the largest class its capacity can
+// serve. Nil tensors are ignored, as are foreign tensors too small for any
+// class. The caller must not use t afterwards.
 func (p *SlabPool) PutTensor(t *tensor.Tensor) {
 	if t == nil {
 		return
 	}
-	class := slabClass{dt: t.DT, elems: t.Shape.Elems()}
+	class := slabClass{dt: t.DT, elems: capClass(tensorCap(t))}
+	if class.elems == 0 {
+		return
+	}
 	p.mu.Lock()
 	if len(p.tensors[class]) < maxPooledPerClass {
 		p.tensors[class] = append(p.tensors[class], t)

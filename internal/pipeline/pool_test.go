@@ -44,11 +44,107 @@ func TestSlabPoolClassesDoNotMix(t *testing.T) {
 	p := NewSlabPool()
 	a := p.GetTensor(tensor.F32, tensor.Shape{4})
 	p.PutTensor(a)
-	if b := p.GetTensor(tensor.F32, tensor.Shape{8}); b == a {
-		t.Error("different elem count reused the same slab")
+	// Distinct elem counts within one capacity class share a freelist: the
+	// ragged refactor's round-up classes keep pooling effective when nearly
+	// every sample has its own length.
+	b := p.GetTensor(tensor.F32, tensor.Shape{8})
+	if b != a {
+		t.Error("same-class get with a different elem count did not reuse the slab")
+	}
+	if len(b.F32s) != 8 || cap(b.F32s) < 8 {
+		t.Errorf("reused slab len/cap = %d/%d, want 8/>=8", len(b.F32s), cap(b.F32s))
+	}
+	p.PutTensor(b)
+	// Distinct capacity classes never mix, and neither do dtypes.
+	if c := p.GetTensor(tensor.F32, tensor.Shape{4096}); c == a {
+		t.Error("different capacity class reused the same slab")
 	}
 	if c := p.GetTensor(tensor.F16, tensor.Shape{4}); c == a {
 		t.Error("different dtype reused the same slab")
+	}
+}
+
+// TestSlabPoolCapacityClasses pins the class arithmetic: round-up targets,
+// the floor on re-entry, and the identity between them for pool-allocated
+// capacities.
+func TestSlabPoolCapacityClasses(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 64}, {1, 64}, {64, 64}, {65, 80}, {80, 80}, {81, 96},
+		{127, 128}, {128, 128}, {129, 160}, {1000, 1024}, {1025, 1280},
+	}
+	for _, c := range cases {
+		if got := classElems(c.n); got != c.class {
+			t.Errorf("classElems(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+	for _, c := range cases {
+		if got := capClass(c.class); got != c.class {
+			t.Errorf("capClass(%d) = %d, want identity for class values", c.class, got)
+		}
+	}
+	if got := capClass(63); got != 0 {
+		t.Errorf("capClass(63) = %d, want 0 (below the smallest class)", got)
+	}
+	if got := capClass(100); got != 96 {
+		t.Errorf("capClass(100) = %d, want 96", got)
+	}
+}
+
+// TestSlabPoolRaggedReuseKeepsCapacity is the satellite-2 invariant: across
+// many distinct ragged element counts, every tensor GetTensor hands out —
+// fresh or reused, before or after class rounding — has cap(Data) >= the
+// requested elems, and the ragged stream still hits the freelist.
+func TestSlabPoolRaggedReuseKeepsCapacity(t *testing.T) {
+	p := NewSlabPool()
+	for i := 0; i < 400; i++ {
+		elems := 1 + (i*37)%997 // many distinct lengths across a few classes
+		got := p.GetTensor(tensor.F32, tensor.Shape{3, elems})
+		want := 3 * elems
+		if len(got.F32s) != want {
+			t.Fatalf("elems=%d: len = %d, want %d", elems, len(got.F32s), want)
+		}
+		if cap(got.F32s) < want {
+			t.Fatalf("elems=%d: cap = %d < requested %d after class rounding", elems, cap(got.F32s), want)
+		}
+		if cap(got.F32s) < classElems(want) {
+			t.Fatalf("elems=%d: cap = %d below class bound %d", elems, cap(got.F32s), classElems(want))
+		}
+		if !got.Shape.Equal(tensor.Shape{3, elems}) {
+			t.Fatalf("elems=%d: shape = %v", elems, got.Shape)
+		}
+		p.PutTensor(got)
+	}
+	st := p.Stats()
+	if st.Hits == 0 {
+		t.Error("ragged get/put stream never hit the freelist: classes are not pooling")
+	}
+	// The freelist count stays far below the number of distinct lengths:
+	// classes, not exact sizes, key the pool.
+	if st.FreeTensors > 40 {
+		t.Errorf("%d free tensors pooled: ragged lengths are fragmenting the pool", st.FreeTensors)
+	}
+}
+
+// TestSlabPoolForeignTensors pins the re-entry rules for tensors the pool
+// did not allocate: an exact-size foreign tensor files under the class its
+// capacity can actually serve (never one that could over-reslice it), and
+// tensors below the smallest class are not pooled at all.
+func TestSlabPoolForeignTensors(t *testing.T) {
+	p := NewSlabPool()
+	foreign := tensor.New(tensor.F32, 100) // cap 100: serves class 96, not 112
+	p.PutTensor(foreign)
+	got := p.GetTensor(tensor.F32, tensor.Shape{90}) // class 96
+	if got != foreign {
+		t.Error("foreign tensor was not filed under its floored capacity class")
+	}
+	if cap(got.F32s) < 90 {
+		t.Errorf("reused foreign cap = %d < 90", cap(got.F32s))
+	}
+
+	p2 := NewSlabPool()
+	p2.PutTensor(tensor.New(tensor.F32, 8)) // below minClassElems: dropped
+	if st := p2.Stats(); st.FreeTensors != 0 {
+		t.Errorf("sub-class foreign tensor was pooled: %+v", st)
 	}
 }
 

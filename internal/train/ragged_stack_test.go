@@ -1,0 +1,74 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"scipp/internal/pipeline"
+	"scipp/internal/synthetic"
+	"scipp/internal/tensor"
+)
+
+// TestPaddedEqualLengthsBitIdenticalToStack is the cross-layer lock on the
+// ragged refactor's degenerate case: over samples that all share one shape,
+// pipeline's pad-to-max assembly and train's fixed-shape StackData must
+// produce the same FP32 tensor, bit for bit, with an all-ones mask. Training
+// on fixed-shape domains through NextPadded therefore sees exactly the
+// batches the fixed-shape path always fed it.
+func TestPaddedEqualLengthsBitIdenticalToStack(t *testing.T) {
+	cfg := synthetic.DefaultWeatherConfig()
+	cfg.MinLen, cfg.MaxLen = 40, 40 // pin the length: the degenerate case
+	b := &pipeline.Batch{}
+	for i := 0; i < 4; i++ {
+		s, err := synthetic.GenerateWeather(cfg, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Data = append(b.Data, s.Data)
+		b.Labels = append(b.Labels, s.Label())
+		b.Indices = append(b.Indices, i)
+	}
+	pb, err := b.Padded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacked, err := StackData(b.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pb.Data.Shape.Equal(stacked.Shape) {
+		t.Fatalf("padded shape %v != stacked shape %v", pb.Data.Shape, stacked.Shape)
+	}
+	for i := range stacked.F32s {
+		if math.Float32bits(pb.Data.F32s[i]) != math.Float32bits(stacked.F32s[i]) {
+			t.Fatalf("elem %d: padded %g != stacked %g (not bit-identical)", i, pb.Data.F32s[i], stacked.F32s[i])
+		}
+	}
+	for _, m := range pb.Mask.F32s {
+		if m != 1 {
+			t.Fatal("equal-length batch carries padding in its mask")
+		}
+	}
+}
+
+// TestPaddedWidensF16LikeStack pins the dtype side of the identity: F16
+// samples widen to FP32 through the exact conversion StackData applies.
+func TestPaddedWidensF16LikeStack(t *testing.T) {
+	mk := func(vals ...float32) *tensor.Tensor {
+		return tensor.FromF32(vals, 1, len(vals)).ToF16()
+	}
+	b := &pipeline.Batch{Data: []*tensor.Tensor{mk(1, 2.5, -3), mk(0.125, 9, 42)}}
+	pb, err := b.Padded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacked, err := StackData(b.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range stacked.F32s {
+		if math.Float32bits(pb.Data.F32s[i]) != math.Float32bits(stacked.F32s[i]) {
+			t.Fatalf("F16 widening diverged at elem %d: %g vs %g", i, pb.Data.F32s[i], stacked.F32s[i])
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"scipp/internal/codec"
 	"scipp/internal/codec/deltafp"
 	"scipp/internal/codec/lut"
+	"scipp/internal/codec/seriesfmt"
 	"scipp/internal/core"
 	"scipp/internal/gpusim"
 	"scipp/internal/pipeline"
@@ -66,6 +67,12 @@ type (
 	ClimateSample = synthetic.ClimateSample
 	// CosmoSample is one 4-redshift universe sub-volume.
 	CosmoSample = synthetic.CosmoSample
+	// WeatherConfig configures irregular weather-station series generation.
+	WeatherConfig = synthetic.WeatherConfig
+	// WeatherSample is one station's variable-length observation record.
+	WeatherSample = synthetic.WeatherSample
+	// PaddedBatch is a ragged minibatch padded dense, with a validity mask.
+	PaddedBatch = pipeline.PaddedBatch
 	// TrainConfig configures a convergence run.
 	TrainConfig = train.Config
 	// LoaderConfig configures NewLoader.
@@ -125,6 +132,15 @@ func GenerateCosmo(cfg CosmoConfig, index int) (*CosmoSample, error) {
 	return synthetic.GenerateCosmo(cfg, index)
 }
 
+// DefaultWeatherConfig returns the small-archive weather-station data
+// configuration (four channels, series lengths 0..256).
+func DefaultWeatherConfig() WeatherConfig { return synthetic.DefaultWeatherConfig() }
+
+// GenerateWeather produces one station's irregular observation record.
+func GenerateWeather(cfg WeatherConfig, index int) (*WeatherSample, error) {
+	return synthetic.GenerateWeather(cfg, index)
+}
+
 // EncodeDeepCAM compresses a [C, H, W] FP32 climate stack with the paper's
 // differential floating-point scheme (§V-A).
 func EncodeDeepCAM(data *Tensor) ([]byte, error) {
@@ -180,6 +196,20 @@ func BuildClimateDataset(cfg ClimateConfig, n int, enc Encoding) (*MemDataset, e
 // BuildCosmoDataset generates an encoded CosmoFlow dataset under cfg.
 func BuildCosmoDataset(cfg CosmoConfig, n int, enc Encoding) (*MemDataset, error) {
 	return core.BuildCosmoDataset(cfg, n, enc)
+}
+
+// BuildWeatherDataset generates a ragged weather-station dataset under cfg.
+// Blobs are raw-series records decodable by the "raw-series" format (see
+// SeriesFormat); labels are each station's four climate normals.
+func BuildWeatherDataset(cfg WeatherConfig, n int) (*MemDataset, error) {
+	return core.BuildWeatherDataset(cfg, n)
+}
+
+// SeriesFormat returns the variable-length station-series decode format,
+// bounded by the archive-level shape guarantee the pool- and cache-sizing
+// layers consume.
+func SeriesFormat(cfg WeatherConfig) Format {
+	return seriesfmt.Bounded(cfg.Channels, cfg.MaxLen)
 }
 
 // NewLoader builds a prefetching loader over ds.

@@ -109,3 +109,72 @@ if [ -n "$baseline" ] && [ "${SCIPP_BENCH_NOGATE:-0}" != "1" ]; then
 	fi
 	echo "bench gate: ok (within 10% of committed baseline)"
 fi
+
+# Scenario matrix: re-run the domains x placement x cache sweep and gate
+# each cell against the committed BENCH_scenarios.json. The deterministic
+# columns are the hard lock: a changed digest or ttq_steps in any cell means
+# pipeline output or convergence behaviour drifted and the gate fails
+# outright. samples/s is a gross-regression backstop only (fail below 50% of
+# baseline): each cell's wall timing covers milliseconds of work, so the
+# best-epoch throughput still swings tens of percent run to run on a busy
+# machine, and a tight throughput gate here would flap.
+# SCIPP_BENCH_NOGATE=1 re-baselines.
+sout=BENCH_scenarios.json
+sbaseline=""
+if [ -f "$sout" ]; then
+	sbaseline=$(cat "$sout")
+fi
+
+go run ./cmd/scenarios -samples 32 -epochs 5 -seed 1 -out "$sout"
+echo "wrote $sout"
+
+if [ -n "$sbaseline" ] && [ "${SCIPP_BENCH_NOGATE:-0}" != "1" ]; then
+	sbase_tmp=$(mktemp)
+	printf '%s\n' "$sbaseline" >"$sbase_tmp"
+	sgate_status=0
+	awk '
+		function field_num(line, key,    pat) {
+			pat = "\"" key "\": [0-9]+"
+			if (match(line, pat)) return substr(line, RSTART + length(key) + 4, RLENGTH - length(key) - 4) + 0
+			return -1
+		}
+		function field_str(line, key,    pat) {
+			pat = "\"" key "\": \"[^\"]*\""
+			if (match(line, pat)) return substr(line, RSTART + length(key) + 5, RLENGTH - length(key) - 6)
+			return ""
+		}
+		/"name":/ {
+			if (match($0, /"name": "[^"]*"/)) {
+				name = substr($0, RSTART + 9, RLENGTH - 10)
+				if (FNR == NR) {
+					base_sps[name] = field_num($0, "samples_per_sec")
+					base_ttq[name] = field_num($0, "ttq_steps")
+					base_dig[name] = field_str($0, "digest")
+				} else {
+					sps = field_num($0, "samples_per_sec")
+					ttq = field_num($0, "ttq_steps")
+					dig = field_str($0, "digest")
+					if (name in base_dig && dig != base_dig[name]) {
+						printf "scenario gate: %s digest changed %s -> %s\n", name, base_dig[name], dig
+						bad = 1
+					}
+					if (name in base_ttq && ttq != base_ttq[name]) {
+						printf "scenario gate: %s ttq_steps changed %d -> %d\n", name, base_ttq[name], ttq
+						bad = 1
+					}
+					if (name in base_sps && base_sps[name] > 0 && sps < base_sps[name] * 0.50) {
+						printf "scenario gate: %s samples/s collapsed %.0f -> %.0f (<50%% of baseline)\n", name, base_sps[name], sps
+						bad = 1
+					}
+				}
+			}
+		}
+		END { exit bad }
+	' "$sbase_tmp" "$sout" || sgate_status=1
+	rm -f "$sbase_tmp"
+	if [ "$sgate_status" -ne 0 ]; then
+		echo "scenario gate: FAILED against committed baseline (SCIPP_BENCH_NOGATE=1 to re-baseline with justification)" >&2
+		exit 1
+	fi
+	echo "scenario gate: ok (digests and ttq_steps exact, samples/s above backstop)"
+fi
